@@ -1,0 +1,37 @@
+"""Ablation benches: predictor-noise and trap-cost sweeps (DESIGN.md)."""
+
+from repro.analysis.experiments.ablations import (
+    format_noise_ablation,
+    format_trap_ablation,
+    run_noise_ablation,
+    run_trap_ablation,
+)
+
+
+def test_noise_ablation(benchmark, config, factory, emit):
+    rows = benchmark.pedantic(
+        run_noise_ablation,
+        kwargs=dict(config=config, factory=factory, num_workloads=8),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_noise", format_noise_ablation(rows))
+    # Sec VI-D's thesis quantified: PREMA needs only *relative* accuracy,
+    # so it degrades gracefully as the estimate gets noisy.
+    assert rows[0].antt_vs_fcfs > 2.0
+    assert rows[-1].antt_vs_fcfs > 0.9
+    assert rows[0].antt <= min(row.antt for row in rows) * 1.15
+
+
+def test_trap_ablation(benchmark, emit):
+    rows = benchmark.pedantic(
+        run_trap_ablation,
+        kwargs=dict(num_workloads=6),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_trap", format_trap_ablation(rows))
+    # Preemption pays off across the realistic trap-cost range (us-scale);
+    # only ms-scale traps erode the advantage.
+    assert rows[0].antt_vs_fcfs > 1.5
+    assert rows[-1].antt_vs_fcfs <= rows[0].antt_vs_fcfs

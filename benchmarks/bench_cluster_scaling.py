@@ -1,0 +1,28 @@
+"""Extension bench: multi-NPU node-level scheduling (Sec II-C future work)."""
+
+from repro.analysis.experiments.cluster_scaling import (
+    format_cluster_scaling,
+    run_cluster_scaling,
+)
+
+
+def test_cluster_scaling(benchmark, config, factory, emit):
+    rows = benchmark.pedantic(
+        run_cluster_scaling,
+        kwargs=dict(config=config, factory=factory, num_tasks=24,
+                    num_workloads=4),
+        rounds=1,
+        iterations=1,
+    )
+    emit("cluster_scaling", format_cluster_scaling(rows))
+    by_key = {(r.num_devices, r.routing, r.device_policy): r for r in rows}
+    # PREMA devices beat NP-FCFS devices at every cluster size, and
+    # predictive routing never loses to round-robin for PREMA devices.
+    for devices in (1, 2, 4):
+        assert by_key[(devices, "least-loaded", "PREMA")].antt <= \
+            by_key[(devices, "least-loaded", "FCFS")].antt
+    assert by_key[(4, "least-loaded", "PREMA")].antt <= \
+        by_key[(4, "round-robin", "PREMA")].antt * 1.05
+    # Scaling out helps: 4 devices strictly beat 1 on ANTT.
+    assert by_key[(4, "least-loaded", "PREMA")].antt < \
+        by_key[(1, "least-loaded", "PREMA")].antt

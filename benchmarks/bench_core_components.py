@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the figure benches (one-shot harness timings), these use
+pytest-benchmark's statistical timing: they track the throughput of the
+components a downstream user would stress -- compilation, the analytical
+predictor, the cycle-stepping validator, and the multi-task simulator.
+"""
+
+import pytest
+
+from repro.core.predictor import LatencyPredictor
+from repro.isa.compiler import compile_model
+from repro.models.zoo import build_benchmark
+from repro.npu.cycle_sim import simulate_gemm
+from repro.npu.engine import profile_model
+from repro.npu.tiling import GemmShape
+from repro.sched.policies import make_policy
+from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+def test_compile_vggnet(benchmark, config):
+    graph = build_benchmark("CNN-VN")
+    model = benchmark(compile_model, graph, config, 1)
+    assert model.total_macs > 0
+
+
+def test_profile_googlenet(benchmark, config):
+    model = compile_model(build_benchmark("CNN-GN"), config, batch=1)
+    profile = benchmark(profile_model, model, config)
+    assert profile.total_cycles > 0
+
+
+def test_predict_mobilenet(benchmark, config):
+    model = compile_model(build_benchmark("CNN-MN"), config, batch=1)
+
+    def predict():
+        # Fresh predictor per call so the cache does not short-circuit.
+        return LatencyPredictor(config).predict_model(model)
+
+    assert benchmark(predict) > 0
+
+
+def test_unroll_and_compile_seq2seq(benchmark, config):
+    def build():
+        graph = build_benchmark("RNN-MT1", input_len=30, output_len=33)
+        return compile_model(graph, config, batch=1)
+
+    assert benchmark(build).total_macs > 0
+
+
+def test_cycle_sim_conv_layer(benchmark, config):
+    shape = GemmShape(m=256, k=1152, n=12544)
+    result = benchmark(simulate_gemm, shape, config)
+    assert result.total_cycles > 0
+
+
+def test_simulate_prema_workload(benchmark, config, factory):
+    workload = WorkloadGenerator(seed=77).generate(num_tasks=8)
+    simulator = NPUSimulator(
+        SimulationConfig(npu=config, mode=PreemptionMode.DYNAMIC),
+        make_policy("PREMA"),
+    )
+    # Warm the compilation caches outside the timed region.
+    factory.build_workload(workload)
+
+    def run():
+        return simulator.run(factory.build_workload(workload))
+
+    result = benchmark(run)
+    assert all(task.is_done for task in result.tasks)

@@ -1,0 +1,20 @@
+"""Regenerates paper Fig 1: co-location throughput/latency trade-off."""
+
+from repro.analysis.experiments.fig01_colocation import (
+    format_fig01,
+    improvement_summary,
+    run_fig01,
+)
+
+
+def test_fig01_colocation(benchmark, config, factory, emit):
+    results = benchmark.pedantic(
+        run_fig01,
+        kwargs=dict(config=config, num_requests=40, factory=factory),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig01_colocation", format_fig01(results))
+    summary = improvement_summary(results)
+    assert summary["throughput_gain"] > 1.0
+    assert summary["latency_degradation"] > 1.0

@@ -1,0 +1,24 @@
+"""Regenerates paper Fig 5: preemption latency and preemptor wait time."""
+
+from repro.analysis.experiments.fig05_preemption import (
+    format_fig05,
+    run_fig05,
+    summarize,
+)
+
+
+def test_fig05_preemption(benchmark, config, factory, emit):
+    rows = benchmark.pedantic(
+        run_fig05,
+        kwargs=dict(config=config, factory=factory, samples=25),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig05_preemption", format_fig05(rows))
+    summary = summarize(rows)
+    # Fig 5a: KILL/DRAIN checkpoint nothing; CHECKPOINT pays a usec-scale
+    # DMA (paper: average ~12 usec, worst case 59 usec).
+    assert summary["KILL"]["preemption_latency_us"] == 0.0
+    assert 1.0 < summary["CHECKPOINT"]["preemption_latency_us"] < 60.0
+    # Fig 5b: DRAIN's wait is msec-scale (paper: average 5.3 msec).
+    assert summary["DRAIN"]["wait_time_us"] > 1000.0

@@ -1,0 +1,26 @@
+"""Regenerates paper Fig 6: STP / preemptor-NTT per mechanism vs NP-FCFS."""
+
+from repro.analysis.experiments.fig06_mechanism_impact import (
+    format_fig06,
+    run_fig06,
+    summarize,
+)
+
+
+def test_fig06_mechanism_impact(benchmark, config, factory, emit):
+    rows = benchmark.pedantic(
+        run_fig06,
+        kwargs=dict(config=config, factory=factory, samples=6),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig06_mechanism_impact", format_fig06(rows))
+    summary = summarize(rows)
+    # Fig 6b: preempting mechanisms deliver multi-x NTT improvements for
+    # the high-priority task (paper: ~3x average), DRAIN ~= baseline.
+    assert summary["KILL"]["ntt_improvement"] > 1.5
+    assert summary["CHECKPOINT"]["ntt_improvement"] > 1.5
+    assert abs(summary["DRAIN"]["ntt_improvement"] - 1.0) < 0.05
+    # Fig 6a: CHECKPOINT retains more system throughput than KILL.
+    assert summary["CHECKPOINT"]["stp_improvement"] >= \
+        summary["KILL"]["stp_improvement"]

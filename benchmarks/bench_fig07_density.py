@@ -1,0 +1,19 @@
+"""Regenerates paper Fig 7: activation-density stability (+ SCNN claim)."""
+
+from repro.analysis.experiments.fig07_density import (
+    format_fig07,
+    run_fig07_density,
+    run_fig07_scnn,
+)
+
+
+def test_fig07_density(benchmark, config, emit):
+    density = benchmark.pedantic(
+        run_fig07_density, kwargs=dict(num_inputs=1000), rounds=1, iterations=1
+    )
+    scnn = run_fig07_scnn(config=config, num_inputs=500)
+    emit("fig07_density", format_fig07(density, scnn))
+    # Fig 7: per-layer density bands are narrow across 1000 inputs.
+    assert all(row.std_density < 0.06 for row in density)
+    # Sec V-B item 3: sparse-NPU latency never deviates more than 14%.
+    assert all(row.max_relative_deviation <= 0.14 for row in scnn)

@@ -1,0 +1,16 @@
+"""Regenerates paper Fig 9: sequence-length characterization graphs."""
+
+from repro.analysis.experiments.fig09_seqlen import format_fig09, run_fig09
+
+
+def test_fig09_seqlen(benchmark, emit):
+    rows, quality = benchmark.pedantic(
+        run_fig09, kwargs=dict(num_samples=1500), rounds=1, iterations=1
+    )
+    emit("fig09_seqlen", format_fig09(rows, quality))
+    # Output lengths stay strongly input-correlated for every application.
+    assert all(q.correlation > 0.9 for q in quality)
+    # The interquartile band is tight (the Fig 9 observation enabling the
+    # lookup-table regressor).
+    for row in rows:
+        assert row.q75 <= 1.6 * row.q25

@@ -1,0 +1,27 @@
+"""Regenerates paper Fig 10: MACs vs execution time scatter."""
+
+from repro.analysis.experiments.fig10_macs_vs_time import (
+    format_fig10,
+    run_fig10,
+    underutilized_points,
+)
+
+
+def test_fig10_macs_vs_time(benchmark, config, factory, emit):
+    points = benchmark.pedantic(
+        run_fig10, kwargs=dict(config=config, factory=factory),
+        rounds=1, iterations=1,
+    )
+    emit("fig10_macs_vs_time", format_fig10(points))
+    # The red-circled region exists: layers whose effective throughput is
+    # far below peak (depthwise convs, 1x1 reduces, batch-1 GEMV).
+    outliers = underutilized_points(points, config)
+    assert outliers
+    assert any("dw" in p.layer for p in outliers)
+    # And MAC count alone cannot rank layers by time (Sec V-B's argument
+    # for an architecture-aware predictor).
+    ranked_by_macs = sorted(points, key=lambda p: p.macs)
+    assert any(
+        a.execution_us > b.execution_us
+        for a, b in zip(ranked_by_macs, ranked_by_macs[1:])
+    )

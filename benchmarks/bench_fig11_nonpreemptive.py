@@ -1,0 +1,30 @@
+"""Regenerates paper Fig 11: six non-preemptive schedulers vs NP-FCFS."""
+
+from repro.analysis.experiments.fig11_nonpreemptive import (
+    format_fig11,
+    run_fig11,
+)
+
+
+def test_fig11_nonpreemptive(benchmark, config, factory, workloads, emit):
+    rows = benchmark.pedantic(
+        run_fig11,
+        kwargs=dict(workloads=workloads, config=config, factory=factory),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig11_nonpreemptive", format_fig11(rows))
+    by_policy = {row.policy: row for row in rows}
+    # Predictor-based policies (TOKEN/SJF/PREMA) beat the naive three on
+    # ANTT; SJF leads raw ANTT; PREMA leads fairness (Sec VI-A).
+    naive_best = max(
+        by_policy[p].antt_improvement for p in ("FCFS", "RRB", "HPF")
+    )
+    assert by_policy["SJF"].antt_improvement > naive_best
+    assert by_policy["PREMA"].antt_improvement > naive_best
+    assert by_policy["PREMA"].fairness_improvement == max(
+        row.fairness_improvement for row in rows
+    )
+    # PREMA reaches the bulk of latency-optimal SJF's ANTT (paper: 92%).
+    assert by_policy["PREMA"].antt_improvement > \
+        0.6 * by_policy["SJF"].antt_improvement

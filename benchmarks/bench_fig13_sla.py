@@ -1,0 +1,23 @@
+"""Regenerates paper Fig 13: SLA violation rate vs target, nine policies."""
+
+from repro.analysis.experiments.fig13_sla import format_fig13, run_fig13
+
+
+def test_fig13_sla(benchmark, config, factory, workloads, emit):
+    curves = benchmark.pedantic(
+        run_fig13,
+        kwargs=dict(workloads=workloads, config=config, factory=factory),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig13_sla", format_fig13(curves))
+    by_label = {curve.label: curve for curve in curves}
+    # Paper Sec VI-C: NP-FCFS violates ~36% at moderate targets while
+    # PREMA drops below 10% beyond N=4.
+    assert by_label["NP-FCFS"].rate_at(4) > 0.2
+    assert by_label["Dynamic-PREMA"].rate_at(4) < 0.10
+    # Monotone non-increasing curves for every policy.
+    for curve in curves:
+        assert list(curve.violation_rates) == sorted(
+            curve.violation_rates, reverse=True
+        )

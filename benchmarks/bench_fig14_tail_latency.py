@@ -1,0 +1,23 @@
+"""Regenerates paper Fig 14: high-priority 95%-ile tail latency."""
+
+from repro.analysis.experiments.fig14_tail_latency import (
+    average_slowdowns,
+    format_fig14,
+    run_fig14,
+)
+
+
+def test_fig14_tail_latency(benchmark, config, factory, workloads, emit):
+    rows = benchmark.pedantic(
+        run_fig14,
+        kwargs=dict(workloads=workloads, config=config, factory=factory),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig14_tail_latency", format_fig14(rows))
+    slowdowns = average_slowdowns(rows)
+    # Paper: NP-FCFS inflates the high-priority tail by ~21x on average;
+    # PREMA stays within ~1.4x of isolated; P-SJF sits between.
+    assert slowdowns["NP-FCFS"] > 3.0
+    assert slowdowns["PREMA"] < slowdowns["NP-FCFS"]
+    assert slowdowns["PREMA"] < 3.0

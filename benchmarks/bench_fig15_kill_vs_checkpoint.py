@@ -1,0 +1,22 @@
+"""Regenerates paper Fig 15: PREMA sensitivity to CHECKPOINT vs KILL."""
+
+from repro.analysis.experiments.fig15_kill_vs_checkpoint import (
+    checkpoint_advantage,
+    format_fig15,
+    run_fig15,
+)
+
+
+def test_fig15_kill_vs_checkpoint(benchmark, config, factory, workloads, emit):
+    rows = benchmark.pedantic(
+        run_fig15,
+        kwargs=dict(workloads=workloads, config=config, factory=factory),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig15_kill_vs_checkpoint", format_fig15(rows))
+    advantage = checkpoint_advantage(rows)
+    # Sec VI-E: CHECKPOINT is the robust default -- it never trails KILL
+    # on STP (wasted work) and holds its own on ANTT.
+    assert advantage["stp"] >= 1.0
+    assert advantage["antt"] > 0.8

@@ -1,0 +1,23 @@
+"""Regenerates paper Secs VI-F/G: implementation and storage overheads."""
+
+from repro.analysis.experiments.overhead_analysis import (
+    format_overhead,
+    run_overhead,
+)
+
+
+def test_overhead(benchmark, config, factory, emit):
+    report = benchmark.pedantic(
+        run_overhead,
+        kwargs=dict(config=config, factory=factory, batch=16),
+        rounds=1,
+        iterations=1,
+    )
+    emit("overhead", format_overhead(report))
+    # Sec VI-F: 448 bits/task, ~0.01 mm^2 for 16 tasks at 32 nm.
+    assert report.bits_per_task == 448
+    assert report.area_mm2_32nm < 0.02
+    # Sec VI-G: per-task worst-case checkpoints are MB-scale; the total
+    # fits comfortably in GBs of NPU-local DRAM.
+    total_gb = report.checkpoint_bytes_by_model["TOTAL"] / 1e9
+    assert total_gb < 1.0

@@ -1,0 +1,22 @@
+"""Regenerates paper Sec VI-D: prediction accuracy vs the oracle."""
+
+from repro.analysis.experiments.prediction_accuracy import (
+    format_accuracy,
+    run_prediction_accuracy,
+)
+
+
+def test_prediction_accuracy(benchmark, config, factory, workloads, emit):
+    report = benchmark.pedantic(
+        run_prediction_accuracy,
+        kwargs=dict(workloads=workloads, config=config, factory=factory),
+        rounds=1,
+        iterations=1,
+    )
+    emit("prediction_accuracy", format_accuracy(report))
+    # Paper: ~98% correlation, ~1.6% error; PREMA-with-model reaches ~99%
+    # of the oracle's scheduling quality.
+    assert report.correlation > 0.97
+    assert report.mean_relative_error < 0.05
+    assert report.stp_vs_oracle > 0.90
+    assert report.antt_vs_oracle > 0.75

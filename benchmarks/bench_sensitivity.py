@@ -1,0 +1,22 @@
+"""Regenerates paper Sec VI-E: PREMA's parameter-sweep sensitivity."""
+
+from repro.analysis.experiments.sensitivity import (
+    format_sensitivity,
+    run_sensitivity,
+)
+
+
+def test_sensitivity(benchmark, config, factory, emit):
+    points = benchmark.pedantic(
+        run_sensitivity,
+        kwargs=dict(config=config, factory=factory, num_workloads=8),
+        rounds=1,
+        iterations=1,
+    )
+    emit("sensitivity", format_sensitivity(points))
+    # Sec VI-E: PREMA's improvements stay intact across every sweep --
+    # always better than the NP-FCFS baseline on all three metrics.
+    for point in points:
+        assert point.antt_improvement > 1.0, point
+        assert point.stp_improvement > 1.0, point
+        assert point.fairness_improvement > 1.0, point

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+The figure benches reuse one NPU config, one task factory (compilation
+caches shared across benches) and one paper-scale workload ensemble
+(25 random 8-task workloads, Sec VI).  Regenerated tables are written to
+``benchmarks/results/`` and printed, so they survive in bench logs.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.npu.config import NPUConfig
+from repro.sched.prepare import TaskFactory
+from repro.workloads.generator import WorkloadGenerator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> NPUConfig:
+    return NPUConfig()
+
+
+@pytest.fixture(scope="session")
+def factory(config: NPUConfig) -> TaskFactory:
+    return TaskFactory(config)
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """The paper-scale ensemble: 25 simulation runs of 8-task workloads."""
+    return WorkloadGenerator(seed=11).generate_many(25, num_tasks=8)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a regenerated table to results/<name>.txt and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

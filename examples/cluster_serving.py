@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Node-level serving across multiple preemptible NPUs.
+
+The paper (Sec II-C) scopes itself to one NPU and leaves multi-NPU
+node-level policy as future work.  This example runs that layer: a
+Kubernetes-style router dispatches a burst of mixed-tenant requests to a
+pool of NPUs, comparing blind round-robin routing against predictive
+least-loaded routing (which reuses PREMA's Algorithm-1 estimates), with
+NP-FCFS vs PREMA devices underneath.
+
+Run:  python examples/cluster_serving.py [num_devices]
+"""
+
+import sys
+
+from repro import NPUConfig, TaskFactory, WorkloadGenerator, compute_metrics
+from repro.sched.cluster import ClusterScheduler, RoutingPolicy
+from repro.sched.simulator import PreemptionMode, SimulationConfig
+
+COMBOS = (
+    ("round-robin + NP-FCFS", RoutingPolicy.ROUND_ROBIN, "FCFS",
+     PreemptionMode.NP),
+    ("round-robin + PREMA", RoutingPolicy.ROUND_ROBIN, "PREMA",
+     PreemptionMode.DYNAMIC),
+    ("least-loaded + NP-FCFS", RoutingPolicy.LEAST_LOADED, "FCFS",
+     PreemptionMode.NP),
+    ("least-loaded + PREMA", RoutingPolicy.LEAST_LOADED, "PREMA",
+     PreemptionMode.DYNAMIC),
+)
+
+
+def main(num_devices: int = 4) -> None:
+    config = NPUConfig()
+    factory = TaskFactory(config)
+    workload = WorkloadGenerator(
+        seed=8, arrival_window_cycles=config.ms_to_cycles(25.0)
+    ).generate(num_tasks=24)
+    print(
+        f"Routing {len(workload)} requests onto {num_devices} NPUs "
+        f"(arrival window 25 ms)\n"
+    )
+    print(f"{'configuration':26s} {'ANTT':>7s} {'fairness':>9s} "
+          f"{'makespan ms':>12s} {'device utilization':>22s}")
+    for label, routing, policy, mode in COMBOS:
+        cluster = ClusterScheduler(
+            num_devices=num_devices,
+            simulation_config=SimulationConfig(npu=config, mode=mode),
+            policy_name=policy,
+            routing=routing,
+        )
+        tasks = factory.build_workload(workload)
+        result = cluster.run(tasks)
+        metrics = compute_metrics(result.tasks)
+        utilization = " ".join(
+            f"{u:4.0%}" for u in result.device_utilization()
+        )
+        print(
+            f"{label:26s} {metrics.antt:7.2f} {metrics.fairness:9.3f} "
+            f"{config.cycles_to_ms(result.makespan_cycles):12.2f} "
+            f"{utilization:>22s}"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Latency prediction walkthrough: Algorithm 1 + the seq2seq regressor.
+
+Shows the two halves of PREMA's predictor on real models:
+
+1. the architecture-aware node-level model (Algorithm 1) against the
+   ground-truth engine, per benchmark and batch size;
+2. the profile-driven sequence-length regressor for the non-linear RNNs,
+   including how prediction error flows into the end-to-end estimate.
+
+Run:  python examples/latency_prediction.py
+"""
+
+import random
+
+from repro import NPUConfig, Priority, TaskFactory
+from repro.workloads.specs import TaskSpec
+
+CNN_CASES = [("CNN-AN", 1), ("CNN-AN", 16), ("CNN-GN", 1), ("CNN-VN", 1),
+             ("CNN-VN", 16), ("CNN-MN", 1)]
+RNN_CASES = ["RNN-MT1", "RNN-MT2", "RNN-ASR"]
+
+
+def cnn_accuracy(config: NPUConfig, factory: TaskFactory) -> None:
+    print("Algorithm 1 vs ground-truth engine (static-topology networks):")
+    print(f"  {'model':8s} {'batch':>5s} {'actual ms':>10s} "
+          f"{'predicted ms':>13s} {'error':>7s}")
+    for benchmark, batch in CNN_CASES:
+        spec = TaskSpec(0, benchmark, batch, Priority.MEDIUM, 0.0)
+        actual = factory.isolated_cycles(spec)
+        predicted = factory.estimated_cycles(spec)
+        print(
+            f"  {benchmark:8s} {batch:5d} {config.cycles_to_ms(actual):10.3f} "
+            f"{config.cycles_to_ms(predicted):13.3f} "
+            f"{(predicted - actual) / actual:+7.1%}"
+        )
+
+
+def rnn_accuracy(config: NPUConfig, factory: TaskFactory, samples: int = 40) -> None:
+    print("\nEnd-to-end estimates for dynamic-length RNNs "
+          "(error includes the regressor's output-length prediction):")
+    rng = random.Random(9)
+    print(f"  {'model':8s} {'mean |err|':>11s} {'max |err|':>10s} "
+          f"{'corr source':>22s}")
+    for benchmark in RNN_CASES:
+        profile = factory.profiles[benchmark]
+        errors = []
+        for _ in range(samples):
+            input_len = rng.choice(profile.input_lengths)
+            output_len = rng.choice(profile.outputs_for(input_len))
+            spec = TaskSpec(0, benchmark, 1, Priority.MEDIUM, 0.0,
+                            input_len=input_len, actual_output_len=output_len)
+            actual = factory.isolated_cycles(spec)
+            predicted = factory.estimated_cycles(spec)
+            errors.append(abs(predicted - actual) / actual)
+        print(
+            f"  {benchmark:8s} {sum(errors) / len(errors):11.1%} "
+            f"{max(errors):10.1%} "
+            f"{'input->output length table':>22s}"
+        )
+
+
+def regressor_table(factory: TaskFactory) -> None:
+    print("\nRegression lookup table for RNN-MT1 (En->De), geomean outputs:")
+    regressor = factory.regressors["RNN-MT1"]
+    inputs = sorted(regressor.table)
+    row_in = "  input len: " + "  ".join(f"{i:4d}" for i in inputs)
+    row_out = "  predicted: " + "  ".join(
+        f"{regressor.predict(i):4d}" for i in inputs
+    )
+    print(row_in)
+    print(row_out)
+
+
+def main() -> None:
+    config = NPUConfig()
+    factory = TaskFactory(config)
+    cnn_accuracy(config, factory)
+    rnn_accuracy(config, factory)
+    regressor_table(factory)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one multi-tasked workload under three schedulers.
+
+Builds a random 8-task workload (the paper's Sec III methodology), runs it
+under NP-FCFS (the TensorRT-server-style baseline), preemptive SJF, and
+PREMA with dynamic mechanism selection, then prints the Eq 1-2 metrics and
+a Fig 2-style timeline for each.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import (
+    NPUConfig,
+    NPUSimulator,
+    PreemptionMode,
+    SimulationConfig,
+    TaskFactory,
+    WorkloadGenerator,
+    compute_metrics,
+    make_policy,
+)
+
+SCHEDULERS = (
+    ("NP-FCFS", "FCFS", PreemptionMode.NP),
+    ("P-SJF", "SJF", PreemptionMode.STATIC),
+    ("PREMA", "PREMA", PreemptionMode.DYNAMIC),
+)
+
+
+def main(seed: int = 42) -> None:
+    config = NPUConfig()
+    factory = TaskFactory(config)
+    workload = WorkloadGenerator(seed=seed).generate(num_tasks=8)
+
+    print(f"Workload ({workload.name}):")
+    for spec in workload.tasks:
+        lengths = (
+            f" in={spec.input_len} out={spec.actual_output_len}"
+            if spec.is_rnn
+            else ""
+        )
+        print(
+            f"  T{spec.task_id}: {spec.benchmark:8s} b{spec.batch:02d} "
+            f"{spec.priority.name.lower():6s} "
+            f"arrives {config.cycles_to_ms(spec.arrival_cycles):6.2f} ms"
+            f"{lengths}"
+        )
+
+    labels = {
+        spec.task_id: f"{spec.benchmark}/{spec.priority.name[0]}"
+        for spec in workload.tasks
+    }
+    for label, policy, mode in SCHEDULERS:
+        simulator = NPUSimulator(
+            SimulationConfig(npu=config, mode=mode), make_policy(policy)
+        )
+        tasks = factory.build_workload(workload)
+        result = simulator.run(tasks)
+        metrics = compute_metrics(result.tasks)
+        print(f"\n=== {label} ===")
+        print(
+            f"  ANTT={metrics.antt:6.2f}  STP={metrics.stp:5.2f}  "
+            f"fairness={metrics.fairness:6.3f}  "
+            f"preemptions={result.preemption_count}  "
+            f"drains={result.drain_decisions}  "
+            f"makespan={config.cycles_to_ms(result.makespan_cycles):6.2f} ms"
+        )
+        print(result.timeline.render_ascii(width=72, label_by_task=labels))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 42)

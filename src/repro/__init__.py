@@ -1,0 +1,76 @@
+"""repro: a reproduction of PREMA (Choi & Rhu, HPCA 2020).
+
+A predictive multi-task scheduling algorithm for preemptible neural
+processing units, built on a from-scratch TPU-like systolic-array
+performance model.
+
+Quickstart::
+
+    from repro import (
+        NPUConfig, TaskFactory, WorkloadGenerator,
+        NPUSimulator, SimulationConfig, PreemptionMode,
+        make_policy, compute_metrics,
+    )
+
+    config = NPUConfig()
+    workload = WorkloadGenerator(seed=1).generate(num_tasks=8)
+    factory = TaskFactory(config)
+    sim = NPUSimulator(
+        SimulationConfig(npu=config, mode=PreemptionMode.DYNAMIC),
+        make_policy("PREMA"),
+    )
+    result = sim.run(factory.build_workload(workload))
+    print(compute_metrics(result.tasks))
+"""
+
+from repro.core.predictor import LatencyPredictor, OraclePredictor
+from repro.core.regression import SequenceLengthRegressor
+from repro.core.scheduler import SchedulerConfig
+from repro.core.tokens import Priority
+from repro.npu.config import NPUConfig
+from repro.npu.preemption import mechanism_by_name
+from repro.sched.metrics import (
+    WorkloadMetrics,
+    aggregate_metrics,
+    compute_metrics,
+    sla_violation_rate,
+    tail_latency_cycles,
+)
+from repro.sched.policies import POLICY_NAMES, make_policy
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import (
+    NPUSimulator,
+    PreemptionMode,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.specs import TaskSpec, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NPUConfig",
+    "SchedulerConfig",
+    "Priority",
+    "LatencyPredictor",
+    "OraclePredictor",
+    "SequenceLengthRegressor",
+    "mechanism_by_name",
+    "TaskFactory",
+    "WorkloadGenerator",
+    "TaskSpec",
+    "WorkloadSpec",
+    "NPUSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "PreemptionMode",
+    "POLICY_NAMES",
+    "make_policy",
+    "WorkloadMetrics",
+    "compute_metrics",
+    "aggregate_metrics",
+    "sla_violation_rate",
+    "tail_latency_cycles",
+    "__version__",
+]

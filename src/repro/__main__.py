@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands mirror the library's main entry points:
+
+``simulate``
+    Run one random multi-tasked workload under a scheduler and print the
+    Eq 1-2 metrics plus a timeline.
+``predict``
+    Print Algorithm-1 latency estimates vs ground truth for a benchmark.
+``zoo``
+    List the benchmark models with their footprints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.tokens import Priority
+from repro.npu.config import NPUConfig
+from repro.sched.metrics import compute_metrics
+from repro.sched.policies import POLICY_NAMES, make_policy
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.specs import TaskSpec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PREMA reproduction: preemptible-NPU multi-task scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one random workload")
+    simulate.add_argument("--policy", choices=POLICY_NAMES, default="PREMA")
+    simulate.add_argument(
+        "--mode", choices=[m.value for m in PreemptionMode], default="dynamic"
+    )
+    simulate.add_argument(
+        "--mechanism", choices=["CHECKPOINT", "KILL"], default="CHECKPOINT"
+    )
+    simulate.add_argument("--tasks", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--timeline", action="store_true")
+
+    predict = sub.add_parser("predict", help="estimate a benchmark's latency")
+    predict.add_argument("benchmark")
+    predict.add_argument("--batch", type=int, default=1)
+    predict.add_argument("--input-len", type=int, default=30)
+    predict.add_argument("--output-len", type=int, default=30)
+
+    sub.add_parser("zoo", help="list the benchmark models")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = NPUConfig()
+    factory = TaskFactory(config)
+    workload = WorkloadGenerator(seed=args.seed).generate(num_tasks=args.tasks)
+    simulator = NPUSimulator(
+        SimulationConfig(
+            npu=config,
+            mode=PreemptionMode(args.mode),
+            mechanism=args.mechanism,
+        ),
+        make_policy(args.policy),
+    )
+    tasks = factory.build_workload(workload)
+    result = simulator.run(tasks)
+    metrics = compute_metrics(result.tasks)
+    print(
+        f"{args.policy} ({args.mode}/{args.mechanism}) on "
+        f"{args.tasks} tasks [seed {args.seed}]"
+    )
+    print(
+        f"  ANTT={metrics.antt:.3f}  STP={metrics.stp:.3f}  "
+        f"fairness={metrics.fairness:.4f}"
+    )
+    print(
+        f"  makespan={config.cycles_to_ms(result.makespan_cycles):.2f} ms  "
+        f"preemptions={result.preemption_count}  "
+        f"drains={result.drain_decisions}"
+    )
+    if args.timeline:
+        labels = {spec.task_id: spec.benchmark for spec in workload.tasks}
+        print(result.timeline.render_ascii(width=72, label_by_task=labels))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    config = NPUConfig()
+    factory = TaskFactory(config)
+    from repro.models.zoo import BENCHMARKS, is_rnn
+
+    if args.benchmark not in BENCHMARKS + ("RESNET",):
+        print(f"unknown benchmark {args.benchmark!r}; try: "
+              f"{', '.join(BENCHMARKS)}", file=sys.stderr)
+        return 2
+    lengths = {}
+    if is_rnn(args.benchmark):
+        lengths = dict(
+            input_len=args.input_len, actual_output_len=args.output_len
+        )
+    spec = TaskSpec(
+        task_id=0, benchmark=args.benchmark, batch=args.batch,
+        priority=Priority.MEDIUM, arrival_cycles=0.0, **lengths,
+    )
+    actual = factory.isolated_cycles(spec)
+    estimated = factory.estimated_cycles(spec)
+    print(f"{args.benchmark} b{args.batch:02d}"
+          + (f" in={args.input_len} out={args.output_len}" if lengths else ""))
+    print(f"  ground truth : {config.cycles_to_ms(actual):9.3f} ms")
+    print(f"  Algorithm 1  : {config.cycles_to_ms(estimated):9.3f} ms "
+          f"({(estimated - actual) / actual:+.1%})")
+    return 0
+
+
+def _cmd_zoo(_args: argparse.Namespace) -> int:
+    from repro.models.zoo import BENCHMARKS, build_benchmark, is_rnn
+
+    print(f"{'benchmark':10s} {'kind':5s} {'layers':>7s} {'params(M)':>10s} "
+          f"{'GMACs(b1)':>10s}")
+    for name in BENCHMARKS:
+        graph = build_benchmark(name, input_len=20, output_len=20)
+        kind = "RNN" if is_rnn(name) else "CNN"
+        print(
+            f"{name:10s} {kind:5s} {len(graph):7d} "
+            f"{graph.total_weight_elems() / 1e6:10.1f} "
+            f"{graph.total_macs(1) / 1e9:10.2f}"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "predict": _cmd_predict,
+        "zoo": _cmd_zoo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Analysis utilities and the per-figure experiment harnesses."""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import geometric_mean, pearson_correlation
+
+__all__ = ["format_table", "geometric_mean", "pearson_correlation"]

@@ -1,0 +1,7 @@
+"""Experiment harnesses, one module per paper figure/section.
+
+Each module exposes a ``run_*`` function returning structured rows and a
+``format_*`` helper the benchmark harness prints.  Experiments accept a
+``quick`` knob so the test suite can execute them end-to-end on small
+ensembles while the benchmarks regenerate the paper-scale versions.
+"""

@@ -1,0 +1,105 @@
+"""Extension experiment: node-level scheduling over multiple NPUs.
+
+The paper leaves multi-NPU policy as future work (Sec II-C); this harness
+measures it with our cluster layer: a fixed pool of inference requests is
+served by 1/2/4 NPUs under (router x device-scheduler) combinations, and
+we report ANTT, makespan, and the utilization spread across devices.
+
+The headline question: does the predictor keep paying off *above* the
+device?  Predictive least-loaded routing should beat blind round-robin,
+and PREMA devices should beat NP-FCFS devices at every cluster size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.npu.config import NPUConfig
+from repro.sched.cluster import ClusterScheduler, RoutingPolicy
+from repro.sched.metrics import compute_metrics
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import PreemptionMode, SimulationConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterRow:
+    """One (devices, router, device-scheduler) measurement."""
+
+    num_devices: int
+    routing: str
+    device_policy: str
+    antt: float
+    makespan_ms: float
+    mean_utilization: float
+    utilization_spread: float
+
+
+def run_cluster_scaling(
+    config: Optional[NPUConfig] = None,
+    factory: Optional[TaskFactory] = None,
+    num_tasks: int = 24,
+    num_workloads: int = 4,
+    device_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 33,
+) -> List[ClusterRow]:
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    workloads = WorkloadGenerator(
+        seed=seed, arrival_window_cycles=config.ms_to_cycles(30.0)
+    ).generate_many(num_workloads, num_tasks=num_tasks)
+    combos = [
+        (RoutingPolicy.ROUND_ROBIN, "FCFS", PreemptionMode.NP),
+        (RoutingPolicy.ROUND_ROBIN, "PREMA", PreemptionMode.DYNAMIC),
+        (RoutingPolicy.LEAST_LOADED, "FCFS", PreemptionMode.NP),
+        (RoutingPolicy.LEAST_LOADED, "PREMA", PreemptionMode.DYNAMIC),
+    ]
+    rows: List[ClusterRow] = []
+    for num_devices in device_counts:
+        for routing, policy, mode in combos:
+            antts, makespans, means, spreads = [], [], [], []
+            for workload in workloads:
+                scheduler = ClusterScheduler(
+                    num_devices=num_devices,
+                    simulation_config=SimulationConfig(npu=config, mode=mode),
+                    policy_name=policy,
+                    routing=routing,
+                    seed=seed,
+                )
+                tasks = factory.build_workload(workload)
+                result = scheduler.run(tasks)
+                metrics = compute_metrics(result.tasks)
+                utilization = result.device_utilization()
+                antts.append(metrics.antt)
+                makespans.append(config.cycles_to_ms(result.makespan_cycles))
+                means.append(float(np.mean(utilization)))
+                spreads.append(float(np.max(utilization) - np.min(utilization)))
+            rows.append(
+                ClusterRow(
+                    num_devices=num_devices,
+                    routing=routing.value,
+                    device_policy=policy,
+                    antt=float(np.mean(antts)),
+                    makespan_ms=float(np.mean(makespans)),
+                    mean_utilization=float(np.mean(means)),
+                    utilization_spread=float(np.mean(spreads)),
+                )
+            )
+    return rows
+
+
+def format_cluster_scaling(rows: Sequence[ClusterRow]) -> str:
+    return format_table(
+        ("devices", "routing", "device_policy", "ANTT", "makespan_ms",
+         "mean_util", "util_spread"),
+        [
+            (r.num_devices, r.routing, r.device_policy, r.antt,
+             r.makespan_ms, r.mean_utilization, r.utilization_spread)
+            for r in rows
+        ],
+        title="Extension: multi-NPU node-level scheduling (Sec II-C future work)",
+    )

@@ -1,0 +1,178 @@
+"""Fig 1: the co-location motivation (GoogLeNet + ResNet under NP-FCFS).
+
+The paper's Fig 1 measures TensorRT Inference Server on a V100: serving
+two models from one accelerator raises *per-accelerator* throughput
+(idle gaps of one stream absorb the other stream's work) at the cost of
+average latency (requests queue behind the co-tenant).  We reproduce the
+shape with open-loop request streams on the simulated NPU:
+
+- isolated: each model's stream is served by its own NPU;
+- co-located: both streams share a single NPU under NP-FCFS.
+
+Reported: per-NPU throughput (inferences/s/NPU) and mean request latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.core.tokens import Priority
+from repro.npu.config import NPUConfig
+from repro.sched.policies import make_policy
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.sched.task import TaskRuntime
+from repro.workloads.specs import TaskSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ColocationResult:
+    """Throughput/latency of one serving configuration."""
+
+    label: str
+    throughput_per_npu: float
+    mean_latency_ms: float
+
+
+def _request_stream(
+    benchmark: str,
+    num_requests: int,
+    mean_gap_cycles: float,
+    start_id: int,
+    rng: random.Random,
+) -> List[TaskSpec]:
+    """Open-loop request stream with exponential inter-arrival gaps."""
+    specs = []
+    clock = 0.0
+    for index in range(num_requests):
+        clock += rng.expovariate(1.0 / mean_gap_cycles)
+        specs.append(
+            TaskSpec(
+                task_id=start_id + index,
+                benchmark=benchmark,
+                batch=1,
+                priority=Priority.MEDIUM,
+                arrival_cycles=clock,
+            )
+        )
+    return specs
+
+
+def _serve(
+    specs: Sequence[TaskSpec],
+    factory: TaskFactory,
+    config: NPUConfig,
+) -> Tuple[float, float]:
+    """(completed inferences per second, mean latency ms) for one NPU."""
+    ordered = sorted(specs, key=lambda spec: spec.arrival_cycles)
+    reindexed = [
+        dataclasses.replace(spec, task_id=index)
+        for index, spec in enumerate(ordered)
+    ]
+    simulator = NPUSimulator(
+        SimulationConfig(npu=config, mode=PreemptionMode.NP),
+        make_policy("FCFS"),
+    )
+    tasks: List[TaskRuntime] = [factory.build_task(s) for s in reindexed]
+    result = simulator.run(tasks)
+    span_s = config.cycles_to_seconds(result.makespan_cycles)
+    throughput = len(tasks) / span_s
+    mean_latency_cycles = sum(t.turnaround_cycles for t in tasks) / len(tasks)
+    return throughput, config.cycles_to_ms(mean_latency_cycles)
+
+
+def run_fig01(
+    config: Optional[NPUConfig] = None,
+    num_requests: int = 40,
+    utilization: float = 0.4,
+    seed: int = 1,
+    factory: Optional[TaskFactory] = None,
+) -> List[ColocationResult]:
+    """Serve GoogLeNet/ResNet streams isolated and co-located.
+
+    ``utilization`` sets each stream's offered load relative to its
+    model's isolated service rate.  The default 0.4 keeps the combined
+    co-located load under capacity (0.8), the underutilized-datacenter
+    regime whose idle gaps co-location exploits (the paper quotes >5x
+    utilization gains from multi-tenancy in this regime).
+    """
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    if not 0 < utilization < 1:
+        raise ValueError("utilization must be in (0, 1)")
+    rng = random.Random(seed)
+    results: List[ColocationResult] = []
+    # Both streams span the same wall-clock window (sized so the slower
+    # model sends ``num_requests``); per-model request counts follow from
+    # the offered load, so the co-located NPU sees both tenants for the
+    # whole window rather than idling after the faster stream drains.
+    services = {
+        benchmark: factory.execution_profile(benchmark, 1).total_cycles
+        for benchmark in ("CNN-GN", "RESNET")
+    }
+    window = num_requests * max(services.values()) / utilization
+    streams = {}
+    for benchmark, service in services.items():
+        count = max(1, int(window * utilization / service))
+        streams[benchmark] = _request_stream(
+            benchmark, count, service / utilization, 0, rng
+        )
+    # Isolated: one NPU per model.
+    iso_throughputs = []
+    for benchmark, specs in streams.items():
+        throughput, latency = _serve(specs, factory, config)
+        iso_throughputs.append(throughput)
+        results.append(
+            ColocationResult(
+                label=f"isolated-{benchmark}",
+                throughput_per_npu=throughput,
+                mean_latency_ms=latency,
+            )
+        )
+    results.append(
+        ColocationResult(
+            label="isolated-mean",
+            throughput_per_npu=sum(iso_throughputs) / len(iso_throughputs),
+            mean_latency_ms=sum(r.mean_latency_ms for r in results) / 2,
+        )
+    )
+    # Co-located: both streams share one NPU.
+    merged = list(streams["CNN-GN"]) + list(streams["RESNET"])
+    throughput, latency = _serve(merged, factory, config)
+    results.append(
+        ColocationResult(
+            label="co-located",
+            throughput_per_npu=throughput,
+            mean_latency_ms=latency,
+        )
+    )
+    return results
+
+
+def improvement_summary(results: Sequence[ColocationResult]) -> dict:
+    by_label = {r.label: r for r in results}
+    isolated = by_label["isolated-mean"]
+    colocated = by_label["co-located"]
+    return {
+        "throughput_gain": colocated.throughput_per_npu
+        / isolated.throughput_per_npu,
+        "latency_degradation": colocated.mean_latency_ms
+        / isolated.mean_latency_ms,
+    }
+
+
+def format_fig01(results: Sequence[ColocationResult]) -> str:
+    table = format_table(
+        ("config", "inferences/s/NPU", "mean_latency_ms"),
+        [(r.label, r.throughput_per_npu, r.mean_latency_ms) for r in results],
+        title="Fig 1: co-location throughput vs latency (NP-FCFS)",
+    )
+    summary = improvement_summary(results)
+    return (
+        table
+        + f"\n  throughput gain: {summary['throughput_gain']:.2f}x"
+        + f"\n  latency degradation: {summary['latency_degradation']:.2f}x"
+    )

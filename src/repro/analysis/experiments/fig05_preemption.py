@@ -1,0 +1,141 @@
+"""Fig 5: preemption latency and preempting-task wait time per mechanism.
+
+Methodology (Sec IV-D): a two-task workload where a low-priority task runs
+first and a randomly chosen high-priority task preempts it under P-HPF at
+a uniformly random point of the low-priority task's execution.  The x-axis
+is the *preempted* task and its batch size; reported values average over
+the random preemption points and preempting tasks.
+
+- Fig 5a: preemption latency = cycles to checkpoint the execution context
+  (zero for KILL and DRAIN).
+- Fig 5b: the preempting task's wait time from request to service
+  (boundary wait + preemption latency; the whole remaining network for
+  DRAIN).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.npu.config import NPUConfig
+from repro.npu.preemption import mechanism_by_name
+from repro.sched.prepare import TaskFactory
+
+MECHANISMS = ("KILL", "CHECKPOINT", "DRAIN")
+BATCHES = (1, 4, 16)
+
+#: Canonical sequence lengths used when a benchmark needs an unroll.
+RNN_LENGTHS: Dict[str, Tuple[int, int]] = {
+    "RNN-SA": (30, 30),
+    "RNN-MT1": (30, 33),
+    "RNN-MT2": (30, 22),
+    "RNN-ASR": (60, 27),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PreemptionRow:
+    """One (preempted benchmark, batch, mechanism) measurement."""
+
+    benchmark: str
+    batch: int
+    mechanism: str
+    preemption_latency_us: float
+    wait_time_us: float
+
+
+def _lengths(benchmark: str) -> Tuple[Optional[int], Optional[int]]:
+    return RNN_LENGTHS.get(benchmark, (None, None))
+
+
+def run_fig05(
+    config: Optional[NPUConfig] = None,
+    benchmarks: Sequence[str] = tuple(
+        ["CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN"] + list(RNN_LENGTHS)
+    ),
+    batches: Sequence[int] = BATCHES,
+    samples: int = 25,
+    seed: int = 5,
+    factory: Optional[TaskFactory] = None,
+) -> List[PreemptionRow]:
+    """Measure Fig 5's two panels for every (benchmark, batch, mechanism)."""
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    rng = random.Random(seed)
+    mechanisms = {name: mechanism_by_name(name, config) for name in MECHANISMS}
+    rows: List[PreemptionRow] = []
+    for benchmark in benchmarks:
+        input_len, output_len = _lengths(benchmark)
+        for batch in batches:
+            profile = factory.execution_profile(
+                benchmark, batch, input_len, output_len
+            )
+            offsets = [
+                rng.uniform(0.0, profile.total_cycles) for _ in range(samples)
+            ]
+            for name, mechanism in mechanisms.items():
+                latencies = []
+                waits = []
+                for offset in offsets:
+                    outcome = mechanism.preempt(profile, offset)
+                    latencies.append(outcome.preemption_latency)
+                    boundary_wait = outcome.boundary_offset - offset
+                    waits.append(boundary_wait + outcome.preemption_latency)
+                rows.append(
+                    PreemptionRow(
+                        benchmark=benchmark,
+                        batch=batch,
+                        mechanism=name,
+                        preemption_latency_us=config.cycles_to_us(
+                            sum(latencies) / len(latencies)
+                        ),
+                        wait_time_us=config.cycles_to_us(sum(waits) / len(waits)),
+                    )
+                )
+    return rows
+
+
+def summarize(rows: Sequence[PreemptionRow]) -> Dict[str, Dict[str, float]]:
+    """Per-mechanism averages across benchmarks/batches (the Avg cluster)."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for name in MECHANISMS:
+        selected = [row for row in rows if row.mechanism == name]
+        summary[name] = {
+            "preemption_latency_us": sum(
+                r.preemption_latency_us for r in selected
+            ) / len(selected),
+            "wait_time_us": sum(r.wait_time_us for r in selected) / len(selected),
+        }
+    return summary
+
+
+def format_fig05(rows: Sequence[PreemptionRow]) -> str:
+    table_rows = [
+        (
+            row.benchmark,
+            f"b{row.batch:02d}",
+            row.mechanism,
+            row.preemption_latency_us,
+            row.wait_time_us,
+        )
+        for row in rows
+    ]
+    summary = summarize(rows)
+    for name, values in summary.items():
+        table_rows.append(
+            (
+                "Avg",
+                "-",
+                name,
+                values["preemption_latency_us"],
+                values["wait_time_us"],
+            )
+        )
+    return format_table(
+        ("preempted", "batch", "mechanism", "preempt_lat_us", "wait_us"),
+        table_rows,
+        title="Fig 5: preemption latency (a) and preempting-task wait time (b)",
+    )

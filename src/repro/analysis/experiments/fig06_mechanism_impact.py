@@ -1,0 +1,174 @@
+"""Fig 6: STP and preempting-task NTT per mechanism, vs NP-FCFS.
+
+Same two-task methodology as Fig 5, but the x-axis is the *preempting*
+(high-priority) task, because its length dominates the STP/NTT dynamics:
+short preemptors (CNN-GN, RNN-SA) gain the most from KILL/CHECKPOINT.
+
+Each sample simulates the pair twice -- NP-FCFS baseline and P-HPF with
+the mechanism under study -- and reports the preempting task's NTT
+improvement and the pair's STP ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments.fig05_preemption import RNN_LENGTHS, _lengths
+from repro.analysis.reporting import format_table
+from repro.core.tokens import Priority
+from repro.npu.config import NPUConfig
+from repro.sched.metrics import compute_metrics
+from repro.sched.policies import make_policy
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.workloads.specs import TaskSpec
+
+MECHANISMS = ("KILL", "CHECKPOINT", "DRAIN")
+BATCHES = (1, 4, 16)
+BENCHMARKS = ("CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN",
+              "RNN-SA", "RNN-MT1", "RNN-MT2", "RNN-ASR")
+
+
+@dataclasses.dataclass(frozen=True)
+class MechanismImpactRow:
+    """One (preempting benchmark, batch, mechanism) measurement."""
+
+    benchmark: str
+    batch: int
+    mechanism: str
+    stp_improvement: float
+    ntt_improvement: float
+
+
+def _make_pair(
+    low_benchmark: str,
+    high_benchmark: str,
+    batch: int,
+    arrival_fraction: float,
+    factory: TaskFactory,
+) -> Tuple[TaskSpec, TaskSpec]:
+    """A low-priority task at t=0 preempted by a high-priority arrival."""
+    low_in, low_out = _lengths(low_benchmark)
+    high_in, high_out = _lengths(high_benchmark)
+    low = TaskSpec(
+        task_id=0,
+        benchmark=low_benchmark,
+        batch=batch,
+        priority=Priority.LOW,
+        arrival_cycles=0.0,
+        input_len=low_in,
+        actual_output_len=low_out,
+    )
+    low_cycles = factory.isolated_cycles(low)
+    high = TaskSpec(
+        task_id=1,
+        benchmark=high_benchmark,
+        batch=batch,
+        priority=Priority.HIGH,
+        arrival_cycles=arrival_fraction * low_cycles,
+        input_len=high_in,
+        actual_output_len=high_out,
+    )
+    return low, high
+
+
+def _run_pair(
+    specs: Tuple[TaskSpec, TaskSpec],
+    mode: PreemptionMode,
+    mechanism: str,
+    factory: TaskFactory,
+    config: NPUConfig,
+) -> Tuple[float, float]:
+    """(STP, preempting-task NTT) for one simulated pair."""
+    # DRAIN never switches, which is exactly non-preemptive behaviour for
+    # a two-task workload, so it runs in NP mode.
+    simulator = NPUSimulator(
+        SimulationConfig(npu=config, mode=mode, mechanism=mechanism),
+        make_policy("HPF"),
+    )
+    tasks = [factory.build_task(spec) for spec in specs]
+    result = simulator.run(tasks)
+    metrics = compute_metrics(result.tasks)
+    return metrics.stp, metrics.ntt_by_task[1]
+
+
+def run_fig06(
+    config: Optional[NPUConfig] = None,
+    benchmarks: Sequence[str] = BENCHMARKS,
+    batches: Sequence[int] = BATCHES,
+    samples: int = 10,
+    seed: int = 6,
+    factory: Optional[TaskFactory] = None,
+) -> List[MechanismImpactRow]:
+    """Measure Fig 6's two panels for every (preemptor, batch, mechanism)."""
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    rng = random.Random(seed)
+    rows: List[MechanismImpactRow] = []
+    for high_benchmark in benchmarks:
+        for batch in batches:
+            stp = {name: [] for name in MECHANISMS}
+            ntt = {name: [] for name in MECHANISMS}
+            for _ in range(samples):
+                low_benchmark = rng.choice(
+                    [b for b in benchmarks if b != high_benchmark]
+                )
+                fraction = rng.uniform(0.05, 0.95)
+                specs = _make_pair(
+                    low_benchmark, high_benchmark, batch, fraction, factory
+                )
+                base_stp, base_ntt = _run_pair(
+                    specs, PreemptionMode.NP, "CHECKPOINT", factory, config
+                )
+                for name in MECHANISMS:
+                    if name == "DRAIN":
+                        mech_stp, mech_ntt = base_stp, base_ntt
+                    else:
+                        mech_stp, mech_ntt = _run_pair(
+                            specs, PreemptionMode.STATIC, name, factory, config
+                        )
+                    stp[name].append(mech_stp / base_stp)
+                    ntt[name].append(base_ntt / mech_ntt)
+            for name in MECHANISMS:
+                rows.append(
+                    MechanismImpactRow(
+                        benchmark=high_benchmark,
+                        batch=batch,
+                        mechanism=name,
+                        stp_improvement=sum(stp[name]) / len(stp[name]),
+                        ntt_improvement=sum(ntt[name]) / len(ntt[name]),
+                    )
+                )
+    return rows
+
+
+def summarize(rows: Sequence[MechanismImpactRow]) -> Dict[str, Dict[str, float]]:
+    summary: Dict[str, Dict[str, float]] = {}
+    for name in MECHANISMS:
+        selected = [row for row in rows if row.mechanism == name]
+        summary[name] = {
+            "stp_improvement": sum(r.stp_improvement for r in selected)
+            / len(selected),
+            "ntt_improvement": sum(r.ntt_improvement for r in selected)
+            / len(selected),
+        }
+    return summary
+
+
+def format_fig06(rows: Sequence[MechanismImpactRow]) -> str:
+    table_rows = [
+        (row.benchmark, f"b{row.batch:02d}", row.mechanism,
+         row.stp_improvement, row.ntt_improvement)
+        for row in rows
+    ]
+    for name, values in summarize(rows).items():
+        table_rows.append(
+            ("Avg", "-", name, values["stp_improvement"], values["ntt_improvement"])
+        )
+    return format_table(
+        ("preemptor", "batch", "mechanism", "STP_impr", "NTT_impr"),
+        table_rows,
+        title="Fig 6: STP (a) and preempting-task NTT (b) vs NP-FCFS",
+    )

@@ -1,0 +1,111 @@
+"""Fig 7: per-layer activation density stability (+ the SCNN latency claim).
+
+The paper profiles VGGNet's per-layer activation density across 1000
+ImageNet inferences and observes narrow bands, which is why even a
+sparsity-optimized NPU (SCNN) has predictable latency (Sec V-B item 3:
+<=14% max deviation, ~6% average).  We regenerate both halves from the
+seeded synthetic density profiles (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.isa.compiler import compile_model
+from repro.models.layers import LayerKind
+from repro.models.zoo import build_benchmark
+from repro.npu.config import NPUConfig
+from repro.npu.sparse import (
+    SCNNConfig,
+    SparseLatencyModel,
+    synthesize_density_profile,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DensityRow:
+    """One layer's density band across the profiled inputs."""
+
+    layer: str
+    mean_density: float
+    std_density: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SparseLatencyRow:
+    """SCNN latency stability for one pruned CNN."""
+
+    benchmark: str
+    mean_latency_ms: float
+    max_relative_deviation: float
+
+
+def run_fig07_density(
+    num_inputs: int = 1000, seed: int = 7
+) -> List[DensityRow]:
+    """Per-layer density bands for VGGNet (conv + fc layers, Fig 7 x-axis)."""
+    graph = build_benchmark("CNN-VN")
+    names = [
+        node.name
+        for node in graph
+        if node.kind in (LayerKind.CONV, LayerKind.FC)
+    ]
+    profile = synthesize_density_profile(
+        "CNN-VN", names, num_inputs=num_inputs, seed=seed
+    )
+    return [
+        DensityRow(layer=name, mean_density=mean, std_density=std)
+        for name, mean, std in profile.per_layer_stats()
+    ]
+
+
+def run_fig07_scnn(
+    config: Optional[NPUConfig] = None,
+    benchmarks: Sequence[str] = ("CNN-AN", "CNN-GN", "CNN-VN"),
+    num_inputs: int = 500,
+    seed: int = 7,
+) -> List[SparseLatencyRow]:
+    """SCNN latency stability over profiled inputs (Sec V-B item 3)."""
+    config = config or NPUConfig()
+    scnn = SparseLatencyModel(SCNNConfig())
+    rows: List[SparseLatencyRow] = []
+    for benchmark in benchmarks:
+        graph = build_benchmark(benchmark)
+        model = compile_model(graph, config, batch=1)
+        conv_names = [
+            layer.name for layer in model.layers if layer.kind == LayerKind.CONV
+        ]
+        profile = synthesize_density_profile(
+            benchmark, conv_names, num_inputs=num_inputs, seed=seed
+        )
+        mean_s, max_dev = scnn.latency_variation(model, profile)
+        rows.append(
+            SparseLatencyRow(
+                benchmark=benchmark,
+                mean_latency_ms=mean_s * 1e3,
+                max_relative_deviation=max_dev,
+            )
+        )
+    return rows
+
+
+def format_fig07(
+    density_rows: Sequence[DensityRow],
+    scnn_rows: Sequence[SparseLatencyRow],
+) -> str:
+    density_table = format_table(
+        ("layer", "mean_density", "std"),
+        [(r.layer, r.mean_density, r.std_density) for r in density_rows],
+        title="Fig 7: VGGNet per-layer activation density (1000 inputs)",
+    )
+    scnn_table = format_table(
+        ("benchmark", "mean_latency_ms", "max_rel_dev"),
+        [
+            (r.benchmark, r.mean_latency_ms, r.max_relative_deviation)
+            for r in scnn_rows
+        ],
+        title="Sec V-B item 3: SCNN latency stability (pruned CNNs)",
+    )
+    return density_table + "\n\n" + scnn_table

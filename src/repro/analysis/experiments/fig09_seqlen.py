@@ -1,0 +1,96 @@
+"""Fig 9: input->output sequence-length characterization graphs.
+
+Regenerates the four profile-driven characterization panels (En->De,
+En->Ko, En->Zh translation and ASR): per input length, the interquartile
+band of observed output lengths, plus the geomean the regression model
+serves.  Also reports the regressor's relative prediction error, the
+quantity that feeds PREMA's estimate quality for non-linear RNNs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.core.regression import SequenceLengthRegressor
+from repro.models.sequences import PROFILE_SPECS, generate_profile
+
+
+@dataclasses.dataclass(frozen=True)
+class SeqLenRow:
+    """One (application, input length) characterization point."""
+
+    application: str
+    input_len: int
+    q25: float
+    median: float
+    q75: float
+    geomean_prediction: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RegressorQuality:
+    application: str
+    correlation: float
+    mean_relative_error: float
+    max_relative_error: float
+
+
+def run_fig09(
+    applications: Sequence[str] = tuple(PROFILE_SPECS),
+    num_samples: int = 1500,
+    seed: int = 2020,
+) -> Tuple[List[SeqLenRow], List[RegressorQuality]]:
+    rows: List[SeqLenRow] = []
+    quality: List[RegressorQuality] = []
+    for application in applications:
+        profile = generate_profile(application, num_samples=num_samples, seed=seed)
+        regressor = SequenceLengthRegressor.from_profile(profile)
+        quartiles = profile.quartiles_by_input()
+        for input_len in profile.input_lengths:
+            q25, median, q75 = quartiles[input_len]
+            rows.append(
+                SeqLenRow(
+                    application=application,
+                    input_len=input_len,
+                    q25=q25,
+                    median=median,
+                    q75=q75,
+                    geomean_prediction=regressor.predict(input_len),
+                )
+            )
+        mean_err, max_err = regressor.error_against(profile)
+        quality.append(
+            RegressorQuality(
+                application=application,
+                correlation=profile.correlation(),
+                mean_relative_error=mean_err,
+                max_relative_error=max_err,
+            )
+        )
+    return rows, quality
+
+
+def format_fig09(
+    rows: Sequence[SeqLenRow], quality: Sequence[RegressorQuality]
+) -> str:
+    points = format_table(
+        ("app", "in_len", "q25", "median", "q75", "geomean_pred"),
+        [
+            (r.application, r.input_len, r.q25, r.median, r.q75,
+             r.geomean_prediction)
+            for r in rows
+        ],
+        title="Fig 9: output-length characterization (per input length)",
+    )
+    fit = format_table(
+        ("app", "corr", "mean_rel_err", "max_rel_err"),
+        [
+            (q.application, q.correlation, q.mean_relative_error,
+             q.max_relative_error)
+            for q in quality
+        ],
+        title="Regression-model quality",
+    )
+    return points + "\n\n" + fit

@@ -1,0 +1,97 @@
+"""Fig 10: layer execution time is not proportional to MAC count.
+
+For every GEMM layer of the eight benchmarks (batch 1), plot (MACs,
+engine execution time).  Layers that underutilize the systolic array --
+depthwise convolutions and small 1x1 reduces -- sit far off the dense
+trend, which is the paper's argument for an architecture-aware predictor
+instead of a MACs-as-proxy heuristic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import pearson_correlation
+from repro.npu.config import NPUConfig
+from repro.sched.prepare import TaskFactory
+
+BENCHMARKS = ("CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN",
+              "RNN-SA", "RNN-MT1", "RNN-MT2", "RNN-ASR")
+
+#: Canonical unroll lengths (shared with fig05).
+from repro.analysis.experiments.fig05_preemption import _lengths  # noqa: E402
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerPoint:
+    """One scatter point of Fig 10."""
+
+    benchmark: str
+    layer: str
+    macs: int
+    execution_us: float
+    effective_macs_per_cycle: float
+
+
+def run_fig10(
+    config: Optional[NPUConfig] = None,
+    benchmarks: Sequence[str] = BENCHMARKS,
+    factory: Optional[TaskFactory] = None,
+) -> List[LayerPoint]:
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    points: List[LayerPoint] = []
+    for benchmark in benchmarks:
+        input_len, output_len = _lengths(benchmark)
+        profile = factory.execution_profile(benchmark, 1, input_len, output_len)
+        for layer in profile.layers:
+            if layer.macs == 0:
+                continue
+            points.append(
+                LayerPoint(
+                    benchmark=benchmark,
+                    layer=layer.name,
+                    macs=layer.macs,
+                    execution_us=config.cycles_to_us(layer.cycles),
+                    effective_macs_per_cycle=layer.macs / layer.cycles,
+                )
+            )
+    return points
+
+
+def underutilized_points(
+    points: Sequence[LayerPoint], config: Optional[NPUConfig] = None,
+    threshold: float = 0.1,
+) -> List[LayerPoint]:
+    """The red-circled region: layers below ``threshold`` of peak MACs/cycle."""
+    config = config or NPUConfig()
+    peak = config.peak_macs_per_cycle
+    return [p for p in points if p.effective_macs_per_cycle < threshold * peak]
+
+
+def macs_time_correlation(points: Sequence[LayerPoint]) -> float:
+    """Correlation between MACs and time -- high overall, but the outliers
+    (not the correlation) are what break the MACs-as-proxy heuristic."""
+    return pearson_correlation(
+        [float(p.macs) for p in points], [p.execution_us for p in points]
+    )
+
+
+def format_fig10(points: Sequence[LayerPoint], top: int = 25) -> str:
+    ranked = sorted(points, key=lambda p: p.effective_macs_per_cycle)
+    rows = [
+        (p.benchmark, p.layer, p.macs, p.execution_us,
+         p.effective_macs_per_cycle)
+        for p in ranked[:top]
+    ]
+    table = format_table(
+        ("benchmark", "layer", "MACs", "time_us", "MACs/cycle"),
+        rows,
+        title=(
+            "Fig 10: lowest-utilization layers "
+            f"(of {len(points)} total; corr={macs_time_correlation(points):.3f})"
+        ),
+    )
+    return table

@@ -1,0 +1,88 @@
+"""Fig 11: ANTT/fairness/STP of six schedulers on a non-preemptive NPU.
+
+Isolates the value of the prediction model from preemption itself: FCFS,
+RRB and HPF schedule without the predictor; TOKEN, SJF and PREMA use it.
+All results are improvements normalized to NP-FCFS, averaged across the
+workload ensemble (the paper's 25 simulation runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.runner import SchedulerSetup, run_ensemble
+from repro.npu.config import NPUConfig
+from repro.sched.metrics import improvement_over_baseline
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import PreemptionMode
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.specs import WorkloadSpec
+
+POLICIES = ("FCFS", "RRB", "HPF", "TOKEN", "SJF", "PREMA")
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerRow:
+    """One scheduler's ensemble metrics, normalized to NP-FCFS."""
+
+    policy: str
+    antt_improvement: float
+    fairness_improvement: float
+    stp_improvement: float
+    raw_antt: float
+    raw_stp: float
+    raw_fairness: float
+
+
+def default_workloads(
+    num_workloads: int = 25, num_tasks: int = 8, seed: int = 11
+) -> Sequence[WorkloadSpec]:
+    return WorkloadGenerator(seed=seed).generate_many(
+        num_workloads, num_tasks=num_tasks
+    )
+
+
+def run_fig11(
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    config: Optional[NPUConfig] = None,
+    factory: Optional[TaskFactory] = None,
+) -> List[SchedulerRow]:
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    workloads = workloads if workloads is not None else default_workloads()
+    setups = [
+        SchedulerSetup(policy, policy, PreemptionMode.NP) for policy in POLICIES
+    ]
+    outcomes = run_ensemble(setups, workloads, factory=factory, npu=config)
+    baseline = outcomes["FCFS"].metrics
+    rows: List[SchedulerRow] = []
+    for policy in POLICIES:
+        metrics = outcomes[policy].metrics
+        improvement = improvement_over_baseline(metrics, baseline)
+        rows.append(
+            SchedulerRow(
+                policy=policy,
+                antt_improvement=improvement["antt"],
+                fairness_improvement=improvement["fairness"],
+                stp_improvement=improvement["stp"],
+                raw_antt=metrics.mean_antt,
+                raw_stp=metrics.mean_stp,
+                raw_fairness=metrics.mean_fairness,
+            )
+        )
+    return rows
+
+
+def format_fig11(rows: Sequence[SchedulerRow]) -> str:
+    return format_table(
+        ("policy", "ANTT_impr", "fairness_impr", "STP_impr",
+         "raw_ANTT", "raw_STP", "raw_fairness"),
+        [
+            (r.policy, r.antt_improvement, r.fairness_improvement,
+             r.stp_improvement, r.raw_antt, r.raw_stp, r.raw_fairness)
+            for r in rows
+        ],
+        title="Fig 11: non-preemptive schedulers, normalized to NP-FCFS",
+    )

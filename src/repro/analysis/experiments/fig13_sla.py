@@ -1,0 +1,69 @@
+"""Fig 13: SLA violation rate vs SLA target for nine policies.
+
+The SLA target is (Time_isolated x N) with N swept from 2 to 20
+(Sec VI-C).  The nine policies are NP-{FCFS,HPF,PREMA},
+Static-{HPF,SJF,PREMA} (CHECKPOINT) and Dynamic-{HPF,SJF,PREMA}.
+The violation rate covers *all* inference requests across the ensemble.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.analysis.runner import FIG13_SETUPS, run_ensemble
+from repro.npu.config import NPUConfig
+from repro.sched.metrics import sla_violation_rate
+from repro.sched.prepare import TaskFactory
+from repro.workloads.specs import WorkloadSpec
+
+DEFAULT_TARGETS = tuple(range(2, 21, 2))
+
+
+@dataclasses.dataclass(frozen=True)
+class SlaCurve:
+    """One policy's violation-rate curve over the SLA target sweep."""
+
+    label: str
+    targets: Tuple[int, ...]
+    violation_rates: Tuple[float, ...]
+
+    def rate_at(self, target: int) -> float:
+        return self.violation_rates[self.targets.index(target)]
+
+
+def run_fig13(
+    workloads: Sequence[WorkloadSpec],
+    config: Optional[NPUConfig] = None,
+    factory: Optional[TaskFactory] = None,
+    targets: Sequence[int] = DEFAULT_TARGETS,
+) -> List[SlaCurve]:
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    outcomes = run_ensemble(FIG13_SETUPS, workloads, factory=factory, npu=config)
+    curves: List[SlaCurve] = []
+    for setup in FIG13_SETUPS:
+        tasks = outcomes[setup.label].all_tasks()
+        rates = tuple(
+            sla_violation_rate(tasks, float(target)) for target in targets
+        )
+        curves.append(
+            SlaCurve(
+                label=setup.label,
+                targets=tuple(targets),
+                violation_rates=rates,
+            )
+        )
+    return curves
+
+
+def format_fig13(curves: Sequence[SlaCurve]) -> str:
+    if not curves:
+        raise ValueError("no curves to format")
+    headers = ["policy"] + [f"N={t}" for t in curves[0].targets]
+    rows = [
+        [curve.label] + [f"{rate:.1%}" for rate in curve.violation_rates]
+        for curve in curves
+    ]
+    return format_table(headers, rows, title="Fig 13: SLA violation rate")

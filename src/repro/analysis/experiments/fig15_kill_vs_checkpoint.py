@@ -1,0 +1,100 @@
+"""Fig 15: PREMA's sensitivity to CHECKPOINT vs KILL.
+
+Re-runs the Fig 12 matrix -- {HPF, TOKEN, SJF, PREMA} x {static, dynamic}
+-- with the preemption mechanism set to KILL and to CHECKPOINT, all
+normalized to NP-FCFS.  The paper's takeaway: KILL occasionally matches
+CHECKPOINT's ANTT but consistently loses on STP (wasted work), so
+CHECKPOINT is the robust default (Sec VI-E).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments.fig12_preemptive import (
+    POLICIES,
+    VARIANTS,
+    PreemptiveRow,
+    run_fig12,
+)
+from repro.analysis.reporting import format_table
+from repro.npu.config import NPUConfig
+from repro.sched.prepare import TaskFactory
+from repro.workloads.specs import WorkloadSpec
+
+MECHANISMS = ("KILL", "CHECKPOINT")
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityRow:
+    """One (mechanism, variant, policy) point of Fig 15."""
+
+    mechanism: str
+    variant: str
+    policy: str
+    antt_improvement: float
+    fairness_improvement: float
+    stp_improvement: float
+
+
+def run_fig15(
+    workloads: Sequence[WorkloadSpec],
+    config: Optional[NPUConfig] = None,
+    factory: Optional[TaskFactory] = None,
+) -> List[SensitivityRow]:
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    rows: List[SensitivityRow] = []
+    for mechanism in MECHANISMS:
+        for row in run_fig12(
+            workloads, config=config, factory=factory, mechanism=mechanism
+        ):
+            rows.append(
+                SensitivityRow(
+                    mechanism=mechanism,
+                    variant=row.variant,
+                    policy=row.policy,
+                    antt_improvement=row.antt_improvement,
+                    fairness_improvement=row.fairness_improvement,
+                    stp_improvement=row.stp_improvement,
+                )
+            )
+    return rows
+
+
+def checkpoint_advantage(rows: Sequence[SensitivityRow]) -> Dict[str, float]:
+    """Mean CHECKPOINT-over-KILL ratio per metric (paper: 87%/24%/77%)."""
+    ratios: Dict[str, List[float]] = {"antt": [], "stp": [], "fairness": []}
+    by_key = {
+        (r.mechanism, r.variant, r.policy): r for r in rows
+    }
+    for variant in VARIANTS:
+        for policy in POLICIES:
+            kill = by_key[("KILL", variant, policy)]
+            ckpt = by_key[("CHECKPOINT", variant, policy)]
+            ratios["antt"].append(ckpt.antt_improvement / kill.antt_improvement)
+            ratios["stp"].append(ckpt.stp_improvement / kill.stp_improvement)
+            ratios["fairness"].append(
+                ckpt.fairness_improvement / kill.fairness_improvement
+            )
+    return {key: sum(vals) / len(vals) for key, vals in ratios.items()}
+
+
+def format_fig15(rows: Sequence[SensitivityRow]) -> str:
+    table = format_table(
+        ("mechanism", "variant", "policy", "ANTT_impr", "fairness_impr",
+         "STP_impr"),
+        [
+            (r.mechanism, r.variant, r.policy, r.antt_improvement,
+             r.fairness_improvement, r.stp_improvement)
+            for r in rows
+        ],
+        title="Fig 15: CHECKPOINT vs KILL sensitivity (vs NP-FCFS)",
+    )
+    advantage = checkpoint_advantage(rows)
+    footer = (
+        "  CHECKPOINT/KILL mean ratio: "
+        + ", ".join(f"{k}={v:.2f}x" for k, v in advantage.items())
+    )
+    return table + "\n" + footer

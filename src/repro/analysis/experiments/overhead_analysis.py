@@ -1,0 +1,91 @@
+"""Secs VI-F/VI-G: implementation and storage overhead analyses.
+
+Regenerates the paper's overhead arithmetic from our models: the context
+table's SRAM bits/area for 16 co-located tasks, and the worst-case
+checkpoint storage footprint of the eight benchmarks at batch 16.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments.fig05_preemption import _lengths
+from repro.analysis.overhead import (
+    ContextTableOverhead,
+    checkpoint_storage_bytes,
+    oversubscription_migration_us,
+)
+from repro.analysis.reporting import format_mapping, format_table
+from repro.npu.config import NPUConfig
+from repro.sched.prepare import TaskFactory
+
+BENCHMARKS = ("CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN",
+              "RNN-SA", "RNN-MT1", "RNN-MT2", "RNN-ASR")
+
+
+@dataclasses.dataclass(frozen=True)
+class OverheadReport:
+    """All of Sec VI-F/G in one structure."""
+
+    bits_per_task: int
+    total_bits_16_tasks: int
+    area_mm2_32nm: float
+    checkpoint_bytes_by_model: Dict[str, float]
+    migration_us_per_checkpoint: Dict[str, float]
+
+
+def run_overhead(
+    config: Optional[NPUConfig] = None,
+    batch: int = 16,
+    num_tasks: int = 16,
+    factory: Optional[TaskFactory] = None,
+    benchmarks: Sequence[str] = BENCHMARKS,
+) -> OverheadReport:
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    table = ContextTableOverhead(num_tasks=num_tasks)
+    profiles = []
+    for benchmark in benchmarks:
+        input_len, output_len = _lengths(benchmark)
+        profiles.append(
+            factory.execution_profile(benchmark, batch, input_len, output_len)
+        )
+    storage = checkpoint_storage_bytes(profiles)
+    migration = {
+        name: oversubscription_migration_us(size, config)
+        for name, size in storage.items()
+        if name != "TOTAL"
+    }
+    return OverheadReport(
+        bits_per_task=table.bits_per_task,
+        total_bits_16_tasks=table.total_bits,
+        area_mm2_32nm=table.area_mm2_32nm,
+        checkpoint_bytes_by_model=storage,
+        migration_us_per_checkpoint=migration,
+    )
+
+
+def format_overhead(report: OverheadReport) -> str:
+    sram = format_mapping(
+        "Sec VI-F: context-table overhead",
+        {
+            "bits per task": report.bits_per_task,
+            "bits for 16 tasks": report.total_bits_16_tasks,
+            "area mm^2 (32nm)": report.area_mm2_32nm,
+        },
+    )
+    rows = [
+        (name, size / 1e6, report.migration_us_per_checkpoint.get(name, 0.0))
+        for name, size in report.checkpoint_bytes_by_model.items()
+        if name != "TOTAL"
+    ]
+    rows.append(
+        ("TOTAL", report.checkpoint_bytes_by_model["TOTAL"] / 1e6, 0.0)
+    )
+    storage = format_table(
+        ("model", "worst_ckpt_MB", "spill_us"),
+        rows,
+        title="Sec VI-G: worst-case checkpoint storage (batch 16)",
+    )
+    return sram + "\n\n" + storage

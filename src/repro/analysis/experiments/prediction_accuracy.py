@@ -1,0 +1,80 @@
+"""Sec VI-D: prediction-model accuracy vs an oracular PREMA.
+
+Two analyses:
+
+1. correlation and relative error between ``Time_estimated`` and the
+   simulated isolated execution time across the ensemble's task instances
+   (paper: ~98% correlation, ~1.6% error);
+2. PREMA scheduled with the real predictor vs PREMA scheduled with exact
+   (oracle) task lengths, compared on ANTT/STP/fairness (paper: the
+   predictor reaches ~99% of oracle on each).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_mapping
+from repro.analysis.runner import SchedulerSetup, run_setup
+from repro.analysis.stats import pearson_correlation, relative_error
+from repro.npu.config import NPUConfig
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import PreemptionMode
+from repro.workloads.specs import WorkloadSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class AccuracyReport:
+    """Predictor quality + oracle-relative scheduling quality."""
+
+    correlation: float
+    mean_relative_error: float
+    max_relative_error: float
+    antt_vs_oracle: float
+    stp_vs_oracle: float
+    fairness_vs_oracle: float
+
+
+def run_prediction_accuracy(
+    workloads: Sequence[WorkloadSpec],
+    config: Optional[NPUConfig] = None,
+    factory: Optional[TaskFactory] = None,
+) -> AccuracyReport:
+    config = config or NPUConfig()
+    factory = factory or TaskFactory(config)
+    estimates: List[float] = []
+    actuals: List[float] = []
+    for workload in workloads:
+        for estimated, actual in factory.prediction_pairs(workload.tasks):
+            estimates.append(estimated)
+            actuals.append(actual)
+    errors = [relative_error(e, a) for e, a in zip(estimates, actuals)]
+    setup = SchedulerSetup("PREMA", "PREMA", PreemptionMode.DYNAMIC)
+    with_model = run_setup(setup, workloads, factory, config, oracle=False)
+    with_oracle = run_setup(setup, workloads, factory, config, oracle=True)
+    return AccuracyReport(
+        correlation=pearson_correlation(estimates, actuals),
+        mean_relative_error=sum(errors) / len(errors),
+        max_relative_error=max(errors),
+        # ANTT is lower-better: model/oracle ratio >= 1 means oracle wins.
+        antt_vs_oracle=with_oracle.metrics.mean_antt / with_model.metrics.mean_antt,
+        stp_vs_oracle=with_model.metrics.mean_stp / with_oracle.metrics.mean_stp,
+        fairness_vs_oracle=(
+            with_model.metrics.mean_fairness / with_oracle.metrics.mean_fairness
+        ),
+    )
+
+
+def format_accuracy(report: AccuracyReport) -> str:
+    return format_mapping(
+        "Sec VI-D: prediction accuracy vs oracle",
+        {
+            "estimate-vs-actual correlation": report.correlation,
+            "mean relative error": report.mean_relative_error,
+            "max relative error": report.max_relative_error,
+            "ANTT fraction of oracle": report.antt_vs_oracle,
+            "STP fraction of oracle": report.stp_vs_oracle,
+            "fairness fraction of oracle": report.fairness_vs_oracle,
+        },
+    )

@@ -1,0 +1,70 @@
+"""ASCII table/series formatting for the benchmark harnesses.
+
+Every figure-reproduction bench prints its rows through these helpers so
+the regenerated tables look uniform in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render a fixed-width ASCII table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered)) if rendered
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[Cell], ys: Sequence[Cell]
+) -> str:
+    """Render one (x, y) series as two aligned rows (figure data dumps)."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    x_cells = [_format_cell(x) for x in xs]
+    y_cells = [_format_cell(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    x_line = "  ".join(c.rjust(w) for c, w in zip(x_cells, widths))
+    y_line = "  ".join(c.rjust(w) for c, w in zip(y_cells, widths))
+    return f"{name}\n  x: {x_line}\n  y: {y_line}"
+
+
+def format_mapping(title: str, mapping: Dict[str, Cell]) -> str:
+    """Render a flat key -> value mapping."""
+    width = max(len(k) for k in mapping) if mapping else 0
+    lines = [title] if title else []
+    for key, value in mapping.items():
+        lines.append(f"  {key.ljust(width)} : {_format_cell(value)}")
+    return "\n".join(lines)

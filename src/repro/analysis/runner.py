@@ -1,0 +1,110 @@
+"""Shared ensemble runner for the multi-workload experiments (Figs 11-15).
+
+One :class:`SchedulerSetup` names a (policy, preemption mode, mechanism)
+triple; :func:`run_ensemble` executes an ensemble of workloads under each
+setup with fresh task runtimes per run, and returns per-setup ensemble
+metrics plus the raw completed tasks (for SLA/tail analyses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.npu.config import NPUConfig
+from repro.sched.metrics import EnsembleMetrics, aggregate_metrics
+from repro.sched.policies import make_policy
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import (
+    NPUSimulator,
+    PreemptionMode,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.sched.task import TaskRuntime
+from repro.workloads.specs import WorkloadSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerSetup:
+    """A named (policy, mode, mechanism) evaluation point."""
+
+    label: str
+    policy: str
+    mode: PreemptionMode
+    mechanism: str = "CHECKPOINT"
+
+    def build_simulator(self, npu: NPUConfig) -> NPUSimulator:
+        return NPUSimulator(
+            SimulationConfig(npu=npu, mode=self.mode, mechanism=self.mechanism),
+            make_policy(self.policy),
+        )
+
+
+#: The nine policies of the paper's Fig 13, by their figure labels.
+FIG13_SETUPS: Tuple[SchedulerSetup, ...] = (
+    SchedulerSetup("NP-FCFS", "FCFS", PreemptionMode.NP),
+    SchedulerSetup("NP-HPF", "HPF", PreemptionMode.NP),
+    SchedulerSetup("NP-PREMA", "PREMA", PreemptionMode.NP),
+    SchedulerSetup("Static-HPF", "HPF", PreemptionMode.STATIC),
+    SchedulerSetup("Static-SJF", "SJF", PreemptionMode.STATIC),
+    SchedulerSetup("Static-PREMA", "PREMA", PreemptionMode.STATIC),
+    SchedulerSetup("Dynamic-HPF", "HPF", PreemptionMode.DYNAMIC),
+    SchedulerSetup("Dynamic-SJF", "SJF", PreemptionMode.DYNAMIC),
+    SchedulerSetup("Dynamic-PREMA", "PREMA", PreemptionMode.DYNAMIC),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class EnsembleOutcome:
+    """All completed runs of one setup over one workload ensemble."""
+
+    setup: SchedulerSetup
+    metrics: EnsembleMetrics
+    #: One entry per workload: the completed task runtimes.
+    tasks_per_workload: Tuple[Tuple[TaskRuntime, ...], ...]
+    results: Tuple[SimulationResult, ...]
+
+    def all_tasks(self) -> List[TaskRuntime]:
+        return [task for tasks in self.tasks_per_workload for task in tasks]
+
+
+def run_setup(
+    setup: SchedulerSetup,
+    workloads: Sequence[WorkloadSpec],
+    factory: TaskFactory,
+    npu: NPUConfig,
+    oracle: bool = False,
+) -> EnsembleOutcome:
+    """Run one setup over every workload (fresh runtimes per run)."""
+    simulator = setup.build_simulator(npu)
+    results: List[SimulationResult] = []
+    tasks_per_workload: List[Tuple[TaskRuntime, ...]] = []
+    for workload in workloads:
+        tasks = factory.build_workload(workload, oracle=oracle)
+        result = simulator.run(tasks)
+        results.append(result)
+        tasks_per_workload.append(tuple(tasks))
+    metrics = aggregate_metrics(tasks_per_workload)
+    return EnsembleOutcome(
+        setup=setup,
+        metrics=metrics,
+        tasks_per_workload=tuple(tasks_per_workload),
+        results=tuple(results),
+    )
+
+
+def run_ensemble(
+    setups: Sequence[SchedulerSetup],
+    workloads: Sequence[WorkloadSpec],
+    factory: Optional[TaskFactory] = None,
+    npu: Optional[NPUConfig] = None,
+    oracle: bool = False,
+) -> Dict[str, EnsembleOutcome]:
+    """Run every setup over the same workload ensemble."""
+    npu = npu or NPUConfig()
+    factory = factory or TaskFactory(npu)
+    return {
+        setup.label: run_setup(setup, workloads, factory, npu, oracle=oracle)
+        for setup in setups
+    }

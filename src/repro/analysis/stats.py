@@ -1,0 +1,52 @@
+"""Small statistics helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples."""
+    if len(xs) != len(ys):
+        raise ValueError("samples must have equal length")
+    if len(xs) < 2:
+        raise ValueError("correlation needs at least two points")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if np.allclose(x.std(), 0) or np.allclose(y.std(), 0):
+        raise ValueError("correlation undefined for constant samples")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Percentile of a sample (numpy linear interpolation)."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError("pct must be in [0, 100]")
+    return float(np.percentile(np.asarray(values, dtype=float), pct))
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return float(np.mean(np.asarray(values, dtype=float)))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / truth (truth must be nonzero)."""
+    if truth == 0:
+        raise ValueError("relative_error undefined for zero truth")
+    return abs(estimate - truth) / abs(truth)

@@ -1,0 +1,35 @@
+"""PREMA's core contribution: the predictive, token-based scheduler.
+
+- :mod:`repro.core.regression` -- profile-driven sequence-length lookup
+  table (Sec V-B, Fig 9).
+- :mod:`repro.core.predictor` -- architecture-aware latency prediction,
+  Algorithm 1.
+- :mod:`repro.core.tokens` -- token accounting and the dynamic threshold.
+- :mod:`repro.core.context` -- the inference task context table (Fig 4).
+- :mod:`repro.core.scheduler` -- the PREMA scheduling policy, Algorithm 2.
+- :mod:`repro.core.mechanism` -- dynamic preemption mechanism selection,
+  Algorithm 3.
+"""
+
+from repro.core.context import TaskContext, TaskState
+from repro.core.mechanism import MechanismChoice, select_mechanism
+from repro.core.predictor import LatencyPredictor, OraclePredictor, predicted_layer_cycles
+from repro.core.regression import SequenceLengthRegressor
+from repro.core.scheduler import PremaPolicyCore, SchedulerConfig
+from repro.core.tokens import PRIORITY_TOKENS, candidate_threshold, initial_tokens
+
+__all__ = [
+    "SequenceLengthRegressor",
+    "LatencyPredictor",
+    "OraclePredictor",
+    "predicted_layer_cycles",
+    "TaskContext",
+    "TaskState",
+    "PRIORITY_TOKENS",
+    "initial_tokens",
+    "candidate_threshold",
+    "SchedulerConfig",
+    "PremaPolicyCore",
+    "MechanismChoice",
+    "select_mechanism",
+]

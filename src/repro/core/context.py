@@ -1,0 +1,128 @@
+"""The inference task context table (paper Fig 4).
+
+One :class:`TaskContext` row per co-located task, tracking exactly the
+fields of Fig 4: TaskID, priority, token count, executed time, waited
+time, estimated time, and state.  The multi-task simulator owns a table of
+these; the PREMA policy core reads/writes it.  The TaskID doubles as the
+ASID the MMU uses for memory protection (Sec IV-A) -- modeled here as the
+table key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.tokens import Priority, initial_tokens
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a dispatched inference task inside the NPU scheduler."""
+
+    READY = "ready"
+    RUNNING = "running"
+    CHECKPOINTING = "checkpointing"
+    DONE = "done"
+
+
+@dataclasses.dataclass
+class TaskContext:
+    """One row of the inference task context table (Fig 4)."""
+
+    task_id: int
+    priority: Priority
+    #: Benchmark/model name (scheduler-visible request metadata).
+    benchmark: str = ""
+    #: Scheduling tokens (Algorithm 2); initialized from the priority.
+    tokens: float = 0.0
+    #: Cycles of useful execution retained so far.
+    executed_cycles: float = 0.0
+    #: Cycles spent waiting in the ready queue.
+    waited_cycles: float = 0.0
+    #: Predicted network-wide execution time (Algorithm 1 output).
+    estimated_cycles: float = 0.0
+    state: TaskState = TaskState.READY
+    #: Simulation timestamp of the last waited/executed accounting update.
+    last_update_cycles: float = 0.0
+    #: Waiting accrued since the last token grant (Algorithm 2 line 7).
+    waited_since_grant: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task_id must be >= 0")
+        if self.tokens == 0.0:
+            self.tokens = float(initial_tokens(self.priority))
+
+    @property
+    def estimated_remaining_cycles(self) -> float:
+        """Estimated work left (Algorithm 3 lines 1-2), floored at zero."""
+        return max(0.0, self.estimated_cycles - self.executed_cycles)
+
+    def grant_tokens(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("token grants must be >= 0")
+        self.tokens += amount
+        self.waited_since_grant = 0.0
+
+    def accrue_wait(self, now_cycles: float) -> None:
+        """Account waiting time up to ``now_cycles`` (READY tasks only).
+
+        ``last_update_cycles`` may legitimately sit in the future: a task
+        preempted at scheduler-wake time re-enters the ready queue at the
+        (later) tile-boundary commit, so accruals before that instant are
+        no-ops rather than negative waits.
+        """
+        delta = now_cycles - self.last_update_cycles
+        if delta <= 0:
+            return
+        if self.state == TaskState.READY:
+            self.waited_cycles += delta
+            self.waited_since_grant += delta
+        self.last_update_cycles = now_cycles
+
+
+class ContextTable:
+    """The preemption module's task table: id -> row (Fig 4)."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[int, TaskContext] = {}
+
+    def add(self, context: TaskContext) -> None:
+        if context.task_id in self._rows:
+            raise ValueError(f"duplicate task id {context.task_id}")
+        self._rows[context.task_id] = context
+
+    def remove(self, task_id: int) -> TaskContext:
+        if task_id not in self._rows:
+            raise KeyError(f"no such task {task_id}")
+        return self._rows.pop(task_id)
+
+    def __getitem__(self, task_id: int) -> TaskContext:
+        return self._rows[task_id]
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[TaskContext]:
+        return iter(self._rows.values())
+
+    def ready(self) -> List[TaskContext]:
+        """The ReadyQueue of Algorithm 2 (stable by task id = FCFS order)."""
+        return sorted(
+            (row for row in self._rows.values() if row.state == TaskState.READY),
+            key=lambda row: row.task_id,
+        )
+
+    def running(self) -> Optional[TaskContext]:
+        for row in self._rows.values():
+            if row.state == TaskState.RUNNING:
+                return row
+        return None
+
+    def sram_bits(self, bits_per_field: int = 64, fields: int = 7) -> int:
+        """On-chip storage for the table (Sec VI-F: 448 bits/task)."""
+        return bits_per_field * fields * len(self._rows)

@@ -1,0 +1,63 @@
+"""Dynamic preemption mechanism selection (paper Algorithm 3).
+
+Once the scheduling policy has picked a candidate that outranks the
+running task, the framework decides *how* to hand over the NPU: preempt
+via CHECKPOINT, or override the policy and DRAIN (let the running task
+finish first).  The decision compares the relative degradation each task
+would impose on the other:
+
+    Degradation_current   = candidate.remaining / current.estimated
+    Degradation_candidate = current.remaining  / candidate.estimated
+
+If preempting would hurt the current task more than waiting hurts the
+candidate (e.g. the current task is nearly done while the candidate is
+long), DRAIN wins; otherwise CHECKPOINT.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.context import TaskContext
+
+
+class MechanismChoice(enum.Enum):
+    """Outcome of Algorithm 3."""
+
+    DRAIN = "DRAIN"
+    CHECKPOINT = "CHECKPOINT"
+
+
+def relative_degradations(
+    current: TaskContext, candidate: TaskContext
+) -> tuple:
+    """(Degradation_current, Degradation_candidate) per Algorithm 3.
+
+    Estimated totals of zero (defensive) degrade to infinity so the
+    comparison still resolves deterministically.
+    """
+    current_remaining = current.estimated_remaining_cycles
+    candidate_remaining = candidate.estimated_remaining_cycles
+    degradation_current = (
+        candidate_remaining / current.estimated_cycles
+        if current.estimated_cycles > 0
+        else float("inf")
+    )
+    degradation_candidate = (
+        current_remaining / candidate.estimated_cycles
+        if candidate.estimated_cycles > 0
+        else float("inf")
+    )
+    return degradation_current, degradation_candidate
+
+
+def select_mechanism(
+    current: TaskContext, candidate: TaskContext
+) -> MechanismChoice:
+    """Algorithm 3: choose DRAIN or CHECKPOINT for this execution context."""
+    degradation_current, degradation_candidate = relative_degradations(
+        current, candidate
+    )
+    if degradation_current > degradation_candidate:
+        return MechanismChoice.DRAIN
+    return MechanismChoice.CHECKPOINT

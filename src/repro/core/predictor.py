@@ -1,0 +1,113 @@
+"""Architecture-aware inference-time prediction (paper Algorithm 1).
+
+The predictor walks the GEMM layers (CONV/FC/RECR) of a compiled model and
+sums, per layer, the double-buffered inner-tile and outer-tile costs:
+
+    C1 = ACC + SH + 2*SW
+    M1 = (SH*SW + SH*ACC) / BW
+    T_inner = max(C1, M1)
+    C2/M2   = same with the partial-n remainder
+    T_layer = inner_count*T_inner + outer_count*T_outer
+
+Vector-only layers (ACTV/POOL/SOFTMAX) are invisible to the predictor --
+they are the deliberate blind spot that, together with partial-tile
+savings in the engine, yields the paper's small-but-nonzero prediction
+error.  For RNNs, the number of unrolled nodes is itself predicted from
+the input sequence length via :class:`SequenceLengthRegressor`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.isa.compiler import CompiledModel
+from repro.npu.config import NPUConfig
+from repro.npu.systolic import predicted_gemm_cycles
+
+
+def predicted_layer_cycles(shape, config: NPUConfig) -> float:
+    """Algorithm 1's estimate for one (m, k, n) GEMM layer."""
+    return predicted_gemm_cycles(shape, config)
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictionBreakdown:
+    """Per-model prediction with layer-level detail for analysis."""
+
+    model_name: str
+    batch: int
+    total_cycles: float
+    layer_cycles: Dict[str, float]
+
+
+class LatencyPredictor:
+    """Network-wide inference time estimation (Algorithm 1, line 12).
+
+    The CPU derives ``Time_estimated`` from the model topology before
+    dispatching the request (Sec V-B "Putting Everything Together"); the
+    scheduler then treats it as part of the task's context state.
+    """
+
+    def __init__(self, config: NPUConfig) -> None:
+        self.config = config
+        self._cache: Dict[tuple, float] = {}
+
+    def predict_model(self, model: CompiledModel) -> float:
+        """Estimated cycles for a compiled model (CNN or unrolled RNN)."""
+        key = self._cache_key(model)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for layer in model.layers:
+            for shape in layer.gemm_shapes:
+                total += predicted_gemm_cycles(shape, self.config)
+        self._cache[key] = total
+        return total
+
+    def breakdown(self, model: CompiledModel) -> PredictionBreakdown:
+        """Per-layer estimates (Fig 10 and accuracy analyses)."""
+        layer_cycles: Dict[str, float] = {}
+        for layer in model.layers:
+            if not layer.gemm_shapes:
+                continue
+            layer_cycles[layer.name] = sum(
+                predicted_gemm_cycles(shape, self.config)
+                for shape in layer.gemm_shapes
+            )
+        return PredictionBreakdown(
+            model_name=model.name,
+            batch=model.batch,
+            total_cycles=sum(layer_cycles.values()),
+            layer_cycles=layer_cycles,
+        )
+
+    @staticmethod
+    def _cache_key(model: CompiledModel) -> tuple:
+        return (model.name, model.batch, len(model.layers))
+
+
+class OraclePredictor:
+    """Oracular variant for Sec VI-D: returns the exact simulated time.
+
+    Built by experiments that already know each task's ground-truth
+    isolated execution profile; lets us measure how far PREMA-with-model
+    sits from PREMA-with-perfect-knowledge.
+    """
+
+    def __init__(self) -> None:
+        self._truth: Dict[int, float] = {}
+
+    def register(self, task_id: int, true_cycles: float) -> None:
+        if true_cycles < 0:
+            raise ValueError("true_cycles must be >= 0")
+        self._truth[task_id] = true_cycles
+
+    def predict_task(self, task_id: int) -> float:
+        if task_id not in self._truth:
+            raise KeyError(f"oracle has no ground truth for task {task_id}")
+        return self._truth[task_id]
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._truth

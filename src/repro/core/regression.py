@@ -1,0 +1,96 @@
+"""Profile-driven sequence-length regression (paper Sec V-B).
+
+The characterization graph of Fig 9 becomes a software-level lookup table:
+indexed by the (statically known) input sequence length, it returns the
+*geometric mean* of the output sequence lengths observed across the
+profiling dataset.  Input lengths never profiled fall back to linear
+interpolation between the nearest profiled neighbours (clamped at the
+edges), so the regressor is total over positive inputs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.models.sequences import SequenceProfile, geomean
+
+
+class SequenceLengthRegressor:
+    """Lookup-table regressor: input length -> predicted output length."""
+
+    def __init__(self, table: Dict[int, float], application: str = "") -> None:
+        if not table:
+            raise ValueError("regression table must be non-empty")
+        for input_len, predicted in table.items():
+            if input_len <= 0:
+                raise ValueError("profiled input lengths must be positive")
+            if predicted <= 0:
+                raise ValueError("predicted output lengths must be positive")
+        self.application = application
+        self._inputs: List[int] = sorted(table)
+        self._outputs: List[float] = [table[i] for i in self._inputs]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profile(cls, profile: SequenceProfile) -> "SequenceLengthRegressor":
+        """Build the table from a characterization profile (Fig 9 data)."""
+        table = {
+            input_len: geomean([float(o) for o in profile.outputs_for(input_len)])
+            for input_len in profile.input_lengths
+        }
+        return cls(table, application=profile.application)
+
+    @classmethod
+    def identity(cls, input_lengths: Sequence[int]) -> "SequenceLengthRegressor":
+        """Regressor for linear RNN apps (Fig 8b): output == input."""
+        return cls({i: float(i) for i in input_lengths}, application="linear")
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, input_len: int) -> int:
+        """Predicted output sequence length (>= 1) for ``input_len``."""
+        if input_len <= 0:
+            raise ValueError("input_len must be positive")
+        value = self._interpolate(input_len)
+        return max(1, int(round(value)))
+
+    def _interpolate(self, input_len: int) -> float:
+        inputs, outputs = self._inputs, self._outputs
+        if input_len <= inputs[0]:
+            return outputs[0] * input_len / inputs[0]
+        if input_len >= inputs[-1]:
+            return outputs[-1] * input_len / inputs[-1]
+        pos = bisect.bisect_left(inputs, input_len)
+        if inputs[pos] == input_len:
+            return outputs[pos]
+        left_in, right_in = inputs[pos - 1], inputs[pos]
+        left_out, right_out = outputs[pos - 1], outputs[pos]
+        frac = (input_len - left_in) / (right_in - left_in)
+        return left_out + frac * (right_out - left_out)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Dict[int, float]:
+        return dict(zip(self._inputs, self._outputs))
+
+    def error_against(self, profile: SequenceProfile) -> Tuple[float, float]:
+        """(mean, max) relative prediction error over a profile's samples."""
+        errors = []
+        for input_len, output_len in profile.samples:
+            predicted = self.predict(input_len)
+            errors.append(abs(predicted - output_len) / output_len)
+        if not errors:
+            return 0.0, 0.0
+        return sum(errors) / len(errors), max(errors)
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceLengthRegressor(application={self.application!r}, "
+            f"entries={len(self._inputs)})"
+        )

@@ -1,0 +1,88 @@
+"""Token accounting for the PREMA scheduler (paper Sec V-C, Table II).
+
+Each dispatched task starts with tokens equal to its user-defined priority
+value (low/medium/high -> 1/3/9) and periodically earns additional tokens
+proportional to its priority and the slowdown it has suffered while
+waiting.  A task becomes a scheduling *candidate* when its tokens exceed a
+dynamic threshold derived from the current maximum token count, rounded
+down to the closest priority token value (the paper's max=8 -> threshold=3
+example).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Tuple
+
+
+class Priority(enum.IntEnum):
+    """User-defined priority levels (Google-Cloud-style service tiers)."""
+
+    LOW = 0
+    MEDIUM = 1
+    HIGH = 2
+
+
+#: Tokens granted per priority level at dispatch (paper Table II).
+PRIORITY_TOKENS: Dict[Priority, int] = {
+    Priority.LOW: 1,
+    Priority.MEDIUM: 3,
+    Priority.HIGH: 9,
+}
+
+#: Priority token values, ascending (threshold quantization grid).
+TOKEN_LEVELS: Tuple[int, ...] = tuple(sorted(PRIORITY_TOKENS.values()))
+
+
+def initial_tokens(priority: Priority) -> int:
+    """Tokens assigned when a task is dispatched (Algorithm 2, line 3)."""
+    return PRIORITY_TOKENS[priority]
+
+
+def token_increment(
+    priority: Priority, waited_delta_cycles: float, estimated_cycles: float
+) -> float:
+    """Tokens earned over one scheduling period (Algorithm 2, line 7).
+
+    ``Slowdown_normalized`` is the waiting time accrued since the last
+    grant, normalized by the task's estimated isolated execution time, so
+    short tasks accumulate tokens proportionally faster (DESIGN.md #3).
+    """
+    if waited_delta_cycles < 0:
+        raise ValueError("waited_delta_cycles must be >= 0")
+    if estimated_cycles <= 0:
+        raise ValueError("estimated_cycles must be positive")
+    slowdown_normalized = waited_delta_cycles / estimated_cycles
+    return PRIORITY_TOKENS[priority] * slowdown_normalized
+
+
+def candidate_threshold(max_tokens: float) -> float:
+    """The dynamic candidate threshold (Algorithm 2, line 9).
+
+    Returns the largest priority token value *strictly below*
+    ``max_tokens`` (0 when even the lowest level is not below it), so the
+    task holding the maximum always qualifies under the strict ``>``
+    comparison -- the behaviour the paper's max=8 -> threshold=3 example
+    requires (DESIGN.md deviation #2).
+    """
+    threshold = 0.0
+    for level in TOKEN_LEVELS:
+        if level < max_tokens:
+            threshold = float(level)
+    return threshold
+
+
+def select_candidates(tokens_by_task: Dict[int, float]) -> Tuple[int, ...]:
+    """Task ids whose tokens exceed the dynamic threshold.
+
+    Given the ready queue's token counts, returns the candidate group of
+    Algorithm 2 line 9 (never empty when the queue is non-empty).
+    """
+    if not tokens_by_task:
+        return ()
+    threshold = candidate_threshold(max(tokens_by_task.values()))
+    return tuple(
+        task_id
+        for task_id, tokens in tokens_by_task.items()
+        if tokens > threshold
+    )

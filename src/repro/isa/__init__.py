@@ -1,0 +1,27 @@
+"""NPU CISC ISA and the DNN-graph-to-instruction compiler (Sec II-B)."""
+
+from repro.isa.compiler import CompiledLayer, CompiledModel, compile_model
+from repro.isa.instructions import (
+    ConvOp,
+    GemmOp,
+    Instruction,
+    InstructionStream,
+    LoadTile,
+    Opcode,
+    StoreTile,
+    VectorOp,
+)
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "LoadTile",
+    "GemmOp",
+    "ConvOp",
+    "VectorOp",
+    "StoreTile",
+    "InstructionStream",
+    "CompiledLayer",
+    "CompiledModel",
+    "compile_model",
+]

@@ -1,0 +1,157 @@
+"""The NPU's CISC instruction set (paper Sec II-B).
+
+Five opcodes: ``LOAD_TILE``, ``GEMM_OP``, ``CONV_OP``, ``VECTOR_OP`` and
+``STORE_TILE``.  ``CONV_OP`` is a ``GEMM_OP`` whose operands were produced
+by im2col lowering; both drive the systolic array identically, so they
+share the :class:`GemmOp` timing path and differ only in opcode tag.
+
+Instructions carry *sizes*, not data: this is a performance model, so an
+instruction is fully described by how many bytes it moves and which tile
+it computes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, List, Optional
+
+from repro.npu.tiling import Tile
+
+
+class Opcode(enum.Enum):
+    LOAD_TILE = "LOAD_TILE"
+    GEMM_OP = "GEMM_OP"
+    CONV_OP = "CONV_OP"
+    VECTOR_OP = "VECTOR_OP"
+    STORE_TILE = "STORE_TILE"
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """Base instruction: an opcode plus a target task's address space."""
+
+    @property
+    def opcode(self) -> Opcode:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadTile(Instruction):
+    """DMA from DRAM into UBUF (activations) or the weight buffer."""
+
+    num_bytes: int
+    destination: str = "ubuf"  # "ubuf" | "wbuf"
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if self.destination not in ("ubuf", "wbuf"):
+            raise ValueError("destination must be 'ubuf' or 'wbuf'")
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.LOAD_TILE
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmOp(Instruction):
+    """One tile's matrix multiply on the systolic array."""
+
+    tile: Tile
+    #: True when this k-step commits its output tile from ACCQ to UBUF
+    #: (last reduction step); preemption checkpoints snap to these commits.
+    commits_output: bool = True
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.GEMM_OP
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvOp(GemmOp):
+    """GEMM_OP on im2col-lowered convolution operands (Sec II-B)."""
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.CONV_OP
+
+
+@dataclasses.dataclass(frozen=True)
+class VectorOp(Instruction):
+    """Element-wise vector-unit work (activations, pooling, gate math)."""
+
+    num_elems: int
+    function: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.num_elems < 0:
+            raise ValueError("num_elems must be >= 0")
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.VECTOR_OP
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreTile(Instruction):
+    """DMA from UBUF back to DRAM."""
+
+    num_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.STORE_TILE
+
+
+class InstructionStream:
+    """An ordered instruction list with aggregate accounting.
+
+    The CPU populates the NPU instruction buffer with such streams
+    (Sec II-B); the engine and cycle simulator consume them.
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._instructions: List[Instruction] = []
+
+    def append(self, instruction: Instruction) -> None:
+        self._instructions.append(instruction)
+
+    def extend(self, instructions: List[Instruction]) -> None:
+        self._instructions.extend(instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def count(self, opcode: Opcode) -> int:
+        return sum(1 for i in self._instructions if i.opcode == opcode)
+
+    def loaded_bytes(self, destination: Optional[str] = None) -> int:
+        total = 0
+        for instruction in self._instructions:
+            if isinstance(instruction, LoadTile):
+                if destination is None or instruction.destination == destination:
+                    total += instruction.num_bytes
+        return total
+
+    def stored_bytes(self) -> int:
+        return sum(
+            i.num_bytes for i in self._instructions if isinstance(i, StoreTile)
+        )
+
+    def gemm_tiles(self) -> List[GemmOp]:
+        return [i for i in self._instructions if isinstance(i, GemmOp)]
+
+    def total_macs(self) -> int:
+        return sum(op.tile.macs for op in self.gemm_tiles())

@@ -1,0 +1,34 @@
+"""DNN model substrate: layers, graphs, the benchmark zoo, and sequence
+profiles for the dynamic-length RNN applications.
+"""
+
+from repro.models.graph import Graph, Node
+from repro.models.layers import (
+    Activation,
+    Concat,
+    Conv2D,
+    Embedding,
+    FullyConnected,
+    InputSpec,
+    Layer,
+    LayerKind,
+    LSTMCell,
+    Pool2D,
+    Softmax,
+)
+
+__all__ = [
+    "Graph",
+    "Node",
+    "Layer",
+    "LayerKind",
+    "InputSpec",
+    "Conv2D",
+    "FullyConnected",
+    "LSTMCell",
+    "Activation",
+    "Pool2D",
+    "Softmax",
+    "Concat",
+    "Embedding",
+]

@@ -1,0 +1,151 @@
+"""DNN computation graph: a DAG of layers (Sec II-A).
+
+Inter-layer dependencies are extracted at compile time and encapsulated as
+a directed acyclic graph; inference executes nodes in topological order.
+The graph is shape-checked eagerly at construction so zoo builders fail
+fast on dimension bugs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.models.layers import InputSpec, Layer, LayerKind
+
+
+@dataclasses.dataclass(frozen=True)
+class Node:
+    """A layer instance bound into a graph with resolved shapes."""
+
+    index: int
+    layer: Layer
+    input_names: Sequence[str]
+    input_specs: Sequence[InputSpec]
+    output_spec: InputSpec
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def kind(self) -> LayerKind:
+        return self.layer.kind
+
+
+class Graph:
+    """A shape-checked DAG of layers.
+
+    Nodes are appended in topological order (builders construct networks
+    front-to-back); ``add`` validates that every referenced input already
+    exists, which structurally guarantees acyclicity.
+    """
+
+    def __init__(self, name: str, input_spec: InputSpec) -> None:
+        if not name:
+            raise ValueError("graph name must be non-empty")
+        self.name = name
+        self.input_spec = input_spec
+        self._nodes: List[Node] = []
+        self._by_name: Dict[str, Node] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    INPUT = "__input__"
+
+    def add(self, layer: Layer, inputs: Optional[Sequence[str]] = None) -> Node:
+        """Append ``layer``, wired to ``inputs`` (default: previous node).
+
+        ``inputs`` entries name earlier nodes, or :data:`Graph.INPUT` for
+        the graph input.  Returns the bound node.
+        """
+        if layer.name in self._by_name:
+            raise ValueError(f"duplicate layer name: {layer.name}")
+        if inputs is None:
+            inputs = [self._nodes[-1].name] if self._nodes else [self.INPUT]
+        if not inputs:
+            raise ValueError(f"{layer.name}: needs at least one input")
+        specs = [self._resolve_spec(name, layer.name) for name in inputs]
+        out = layer.infer_shape(list(specs))
+        node = Node(
+            index=len(self._nodes),
+            layer=layer,
+            input_names=tuple(inputs),
+            input_specs=tuple(specs),
+            output_spec=out,
+        )
+        self._nodes.append(node)
+        self._by_name[layer.name] = node
+        return node
+
+    def _resolve_spec(self, name: str, consumer: str) -> InputSpec:
+        if name == self.INPUT:
+            return self.input_spec
+        node = self._by_name.get(name)
+        if node is None:
+            raise KeyError(
+                f"{consumer}: input '{name}' does not name an earlier node"
+            )
+        return node.output_spec
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __getitem__(self, name: str) -> Node:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        return tuple(self._nodes)
+
+    @property
+    def output_spec(self) -> InputSpec:
+        if not self._nodes:
+            return self.input_spec
+        return self._nodes[-1].output_spec
+
+    def nodes_of_kind(self, kind: LayerKind) -> List[Node]:
+        return [n for n in self._nodes if n.kind == kind]
+
+    def total_weight_elems(self) -> int:
+        return sum(n.layer.weight_elems(list(n.input_specs)) for n in self._nodes)
+
+    def total_macs(self, batch: int) -> int:
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        return sum(n.layer.macs(list(n.input_specs), batch) for n in self._nodes)
+
+    def consumers(self, name: str) -> List[Node]:
+        """Nodes that read the named node's output (graph analysis helper)."""
+        return [n for n in self._nodes if name in n.input_names]
+
+    def validate(self) -> None:
+        """Re-run shape inference over the whole graph (defensive check)."""
+        for node in self._nodes:
+            inferred = node.layer.infer_shape(list(node.input_specs))
+            if inferred != node.output_spec:
+                raise AssertionError(
+                    f"{node.name}: cached output spec {node.output_spec} "
+                    f"!= inferred {inferred}"
+                )
+
+    def summary(self) -> str:
+        """Human-readable per-node listing (examples/debugging)."""
+        lines = [f"{self.name} (input {self.input_spec})"]
+        for node in self._nodes:
+            spec = node.output_spec
+            lines.append(
+                f"  [{node.index:3d}] {node.kind.value:8s} {node.name:28s} "
+                f"-> {spec.channels}x{spec.height}x{spec.width}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,358 @@
+"""Layer definitions with shape inference and GEMM lowering metadata.
+
+Each layer knows its output shape, its parameter/activation footprints, and
+-- for the compute layers (CONV/FC/RECR) -- the GEMM it lowers to on the
+NPU (Sec II-A/B).  Convolutions lower via im2col: an output-channels x
+(kh*kw*cin) weight matrix times a (kh*kw*cin) x (oh*ow*batch) activation
+matrix.  Depthwise convolutions lower to ``groups`` tiny GEMMs, which is
+what starves the 128x128 array and produces the off-trend points of the
+paper's Fig 10.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import List, Optional, Tuple
+
+from repro.npu.tiling import GemmShape
+
+
+class LayerKind(enum.Enum):
+    """Layer taxonomy from Sec II-A of the paper."""
+
+    CONV = "conv"
+    FC = "fc"
+    RECR = "recr"
+    ACTV = "actv"
+    POOL = "pool"
+    SOFTMAX = "softmax"
+    CONCAT = "concat"
+    EMBED = "embed"
+
+
+@dataclasses.dataclass(frozen=True)
+class InputSpec:
+    """Shape of a layer input: CNN feature maps or RNN feature vectors.
+
+    ``height``/``width`` are 1 for vector-shaped data.  ``batch`` is kept
+    out of the spec; it is applied at compile time so one graph serves all
+    batch sizes.
+    """
+
+    channels: int
+    height: int = 1
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ValueError(f"InputSpec dims must be positive, got {self}")
+
+    @property
+    def elems(self) -> int:
+        return self.channels * self.height * self.width
+
+    @property
+    def spatial(self) -> int:
+        return self.height * self.width
+
+
+@dataclasses.dataclass(frozen=True)
+class Layer:
+    """Base class: a named operator with shape inference.
+
+    Subclasses implement :meth:`infer_shape` and the footprint accessors.
+    ``gemms(batch)`` returns the list of GEMMs the layer lowers to (empty
+    for vector-unit-only layers such as pooling and activations).
+    """
+
+    name: str
+
+    @property
+    def kind(self) -> LayerKind:
+        raise NotImplementedError
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        raise NotImplementedError
+
+    def weight_elems(self, inputs: List[InputSpec]) -> int:
+        """Parameter count (0 for parameter-free layers)."""
+        return 0
+
+    def macs(self, inputs: List[InputSpec], batch: int) -> int:
+        """Multiply-accumulate count per batch of inferences."""
+        return 0
+
+    def gemms(self, inputs: List[InputSpec], batch: int) -> List[GemmShape]:
+        """GEMMs this layer lowers to (may be several for grouped conv)."""
+        return []
+
+    def vector_elems(self, inputs: List[InputSpec], batch: int) -> int:
+        """Elements the vector unit must touch (ACTV/POOL work)."""
+        return 0
+
+    def _single_input(self, inputs: List[InputSpec]) -> InputSpec:
+        if len(inputs) != 1:
+            raise ValueError(f"{self.name}: expected exactly one input, got {len(inputs)}")
+        return inputs[0]
+
+
+def _conv_out_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output dim not positive: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class Conv2D(Layer):
+    """2D convolution, optionally grouped/depthwise, lowered via im2col."""
+
+    out_channels: int = 1
+    kernel: int = 1
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    #: Fused activation applied by VECTOR_OP after the GEMM (Sec IV-B).
+    fused_activation: Optional[str] = "relu"
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0 or self.kernel <= 0 or self.stride <= 0:
+            raise ValueError(f"{self.name}: conv parameters must be positive")
+        if self.padding < 0:
+            raise ValueError(f"{self.name}: padding must be >= 0")
+        if self.groups <= 0 or self.out_channels % self.groups:
+            raise ValueError(f"{self.name}: groups must divide out_channels")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONV
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        spec = self._single_input(inputs)
+        if spec.channels % self.groups:
+            raise ValueError(
+                f"{self.name}: input channels {spec.channels} not divisible "
+                f"by groups {self.groups}"
+            )
+        oh = _conv_out_dim(spec.height, self.kernel, self.stride, self.padding)
+        ow = _conv_out_dim(spec.width, self.kernel, self.stride, self.padding)
+        return InputSpec(channels=self.out_channels, height=oh, width=ow)
+
+    def weight_elems(self, inputs: List[InputSpec]) -> int:
+        spec = self._single_input(inputs)
+        cin_per_group = spec.channels // self.groups
+        return self.out_channels * cin_per_group * self.kernel * self.kernel
+
+    def gemms(self, inputs: List[InputSpec], batch: int) -> List[GemmShape]:
+        spec = self._single_input(inputs)
+        out = self.infer_shape(inputs)
+        cin_per_group = spec.channels // self.groups
+        cout_per_group = self.out_channels // self.groups
+        shape = GemmShape(
+            m=cout_per_group,
+            k=cin_per_group * self.kernel * self.kernel,
+            n=out.spatial * batch,
+        )
+        return [shape] * self.groups
+
+    def macs(self, inputs: List[InputSpec], batch: int) -> int:
+        return sum(g.macs for g in self.gemms(inputs, batch))
+
+    def vector_elems(self, inputs: List[InputSpec], batch: int) -> int:
+        if self.fused_activation is None:
+            return 0
+        return self.infer_shape(inputs).elems * batch
+
+
+@dataclasses.dataclass(frozen=True)
+class FullyConnected(Layer):
+    """Dense layer: (out x in) weights times (in x batch) activations."""
+
+    out_features: int = 1
+    fused_activation: Optional[str] = "relu"
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ValueError(f"{self.name}: out_features must be positive")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FC
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        self._single_input(inputs)
+        return InputSpec(channels=self.out_features)
+
+    def weight_elems(self, inputs: List[InputSpec]) -> int:
+        return self._single_input(inputs).elems * self.out_features
+
+    def gemms(self, inputs: List[InputSpec], batch: int) -> List[GemmShape]:
+        spec = self._single_input(inputs)
+        return [GemmShape(m=self.out_features, k=spec.elems, n=batch)]
+
+    def macs(self, inputs: List[InputSpec], batch: int) -> int:
+        return self.gemms(inputs, batch)[0].macs
+
+    def vector_elems(self, inputs: List[InputSpec], batch: int) -> int:
+        if self.fused_activation is None:
+            return 0
+        return self.out_features * batch
+
+
+@dataclasses.dataclass(frozen=True)
+class LSTMCell(Layer):
+    """One time step of an LSTM (the RECR layer of Sec II-A).
+
+    The four gates fuse into a single GEMM: (4H x (I+H)) weights times an
+    ((I+H) x batch) activation matrix, followed by element-wise gate math
+    on the vector unit.  Time-unrolling across steps is done by the zoo
+    builders / compiler, one node per step.
+    """
+
+    hidden: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hidden <= 0:
+            raise ValueError(f"{self.name}: hidden must be positive")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.RECR
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        self._single_input(inputs)
+        return InputSpec(channels=self.hidden)
+
+    def weight_elems(self, inputs: List[InputSpec]) -> int:
+        spec = self._single_input(inputs)
+        return 4 * self.hidden * (spec.elems + self.hidden)
+
+    def gemms(self, inputs: List[InputSpec], batch: int) -> List[GemmShape]:
+        spec = self._single_input(inputs)
+        return [GemmShape(m=4 * self.hidden, k=spec.elems + self.hidden, n=batch)]
+
+    def macs(self, inputs: List[InputSpec], batch: int) -> int:
+        return self.gemms(inputs, batch)[0].macs
+
+    def vector_elems(self, inputs: List[InputSpec], batch: int) -> int:
+        # Gate nonlinearities + cell update + output: ~7 elementwise ops on
+        # H-sized vectors, approximated as 7H touches.
+        return 7 * self.hidden * batch
+
+
+@dataclasses.dataclass(frozen=True)
+class Activation(Layer):
+    """Standalone ACTV layer (in-place, vector unit only)."""
+
+    function: str = "relu"
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ACTV
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        return self._single_input(inputs)
+
+    def vector_elems(self, inputs: List[InputSpec], batch: int) -> int:
+        return self._single_input(inputs).elems * batch
+
+
+@dataclasses.dataclass(frozen=True)
+class Pool2D(Layer):
+    """Pooling layer (in-place-style, vector unit only)."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.kernel <= 0 or self.stride <= 0:
+            raise ValueError(f"{self.name}: pool parameters must be positive")
+        if self.padding < 0:
+            raise ValueError(f"{self.name}: padding must be >= 0")
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"{self.name}: mode must be 'max' or 'avg'")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.POOL
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        spec = self._single_input(inputs)
+        oh = _conv_out_dim(spec.height, self.kernel, self.stride, self.padding)
+        ow = _conv_out_dim(spec.width, self.kernel, self.stride, self.padding)
+        return InputSpec(channels=spec.channels, height=oh, width=ow)
+
+    def vector_elems(self, inputs: List[InputSpec], batch: int) -> int:
+        # The vector unit reduces each pooling window with parallel
+        # comparator trees, so throughput is one *output* element per lane
+        # per cycle; window size is hidden in the pipeline.
+        out = self.infer_shape(inputs)
+        return out.elems * batch
+
+
+@dataclasses.dataclass(frozen=True)
+class Softmax(Layer):
+    """Softmax over the channel dimension (vector unit)."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.SOFTMAX
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        return self._single_input(inputs)
+
+    def vector_elems(self, inputs: List[InputSpec], batch: int) -> int:
+        # exp + sum + divide: ~3 passes.
+        return 3 * self._single_input(inputs).elems * batch
+
+
+@dataclasses.dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation (GoogLeNet inception joins)."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONCAT
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        if not inputs:
+            raise ValueError(f"{self.name}: concat needs at least one input")
+        height, width = inputs[0].height, inputs[0].width
+        for spec in inputs[1:]:
+            if (spec.height, spec.width) != (height, width):
+                raise ValueError(f"{self.name}: concat spatial dims mismatch")
+        return InputSpec(
+            channels=sum(s.channels for s in inputs), height=height, width=width
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Embedding(Layer):
+    """Token embedding lookup (RNN front-ends): pure memory traffic."""
+
+    vocab: int = 1
+    dim: int = 1
+
+    def __post_init__(self) -> None:
+        if self.vocab <= 0 or self.dim <= 0:
+            raise ValueError(f"{self.name}: vocab and dim must be positive")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.EMBED
+
+    def infer_shape(self, inputs: List[InputSpec]) -> InputSpec:
+        return InputSpec(channels=self.dim)
+
+    def weight_elems(self, inputs: List[InputSpec]) -> int:
+        return self.vocab * self.dim
+
+    def vector_elems(self, inputs: List[InputSpec], batch: int) -> int:
+        return self.dim * batch

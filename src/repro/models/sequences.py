@@ -1,0 +1,148 @@
+"""Sequence-length profile datasets (the paper's Fig 9 substitute).
+
+The paper profiles Google Translate over WMT-2016 and the Google Speech
+API over LibriSpeech to characterize how a seq2seq model's *output*
+sequence length relates to its (statically known) *input* sequence length.
+Neither service is available offline, so we generate seeded synthetic
+profiles whose ratio and spread match the paper's boxplots:
+
+- En->De: output ~ 1.1x input, tight spread (Fig 9a);
+- En->Ko: output ~ 0.75x input, moderate spread (Fig 9b);
+- En->Zh: output ~ 5x input (character-level), wide spread (Fig 9c);
+- ASR:    transcript ~ 0.45x audio frames, moderate spread (Fig 9d).
+
+PREMA only ever consumes the resulting (input_len -> observed output
+lengths) table -- the regression model of Sec V-B -- so a correlated
+synthetic profile exercises the identical code path as the real services.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class SequenceProfile:
+    """Characterization of one seq2seq application.
+
+    ``samples`` holds (input_len, output_len) observations, the synthetic
+    analogue of the paper's 1500 profiled translations/recognitions.
+    """
+
+    application: str
+    samples: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("profile must contain at least one sample")
+        for input_len, output_len in self.samples:
+            if input_len <= 0 or output_len <= 0:
+                raise ValueError("sequence lengths must be positive")
+
+    @property
+    def input_lengths(self) -> List[int]:
+        return sorted({input_len for input_len, _ in self.samples})
+
+    def outputs_for(self, input_len: int) -> List[int]:
+        """All observed output lengths for a given input length."""
+        outs = [o for i, o in self.samples if i == input_len]
+        if not outs:
+            raise KeyError(f"no profiled samples for input length {input_len}")
+        return outs
+
+    def quartiles_by_input(self) -> Dict[int, Tuple[float, float, float]]:
+        """(q25, median, q75) of output length per input length (Fig 9)."""
+        result = {}
+        for input_len in self.input_lengths:
+            outs = np.asarray(self.outputs_for(input_len), dtype=float)
+            result[input_len] = (
+                float(np.percentile(outs, 25)),
+                float(np.percentile(outs, 50)),
+                float(np.percentile(outs, 75)),
+            )
+        return result
+
+    def correlation(self) -> float:
+        """Pearson correlation between input and output lengths."""
+        arr = np.asarray(self.samples, dtype=float)
+        if len(arr) < 2:
+            return 1.0
+        return float(np.corrcoef(arr[:, 0], arr[:, 1])[0, 1])
+
+
+@dataclasses.dataclass(frozen=True)
+class _ProfileSpec:
+    """Generator parameters for one synthetic application profile."""
+
+    ratio: float
+    sigma: float
+    input_min: int
+    input_max: int
+    input_step: int
+
+
+#: Application name -> generator parameters (ratio/spread per Fig 9).
+PROFILE_SPECS: Dict[str, _ProfileSpec] = {
+    "en-de": _ProfileSpec(ratio=1.10, sigma=0.08, input_min=5, input_max=50, input_step=5),
+    "en-ko": _ProfileSpec(ratio=0.75, sigma=0.10, input_min=5, input_max=50, input_step=5),
+    "en-zh": _ProfileSpec(ratio=5.00, sigma=0.18, input_min=5, input_max=50, input_step=5),
+    "asr": _ProfileSpec(ratio=0.45, sigma=0.12, input_min=20, input_max=100, input_step=5),
+}
+
+#: Which profile backs each RNN benchmark.  RNN-MT1 serves En->De, RNN-MT2
+#: serves En->Ko (fixed for reproducibility; the paper picks randomly among
+#: De/Ko/Zh).  RNN-SA is linear: output length == input length (Fig 8b).
+BENCHMARK_PROFILE = {
+    "RNN-MT1": "en-de",
+    "RNN-MT2": "en-ko",
+    "RNN-ASR": "asr",
+}
+
+
+def generate_profile(
+    application: str, num_samples: int = 1500, seed: int = 2020
+) -> SequenceProfile:
+    """Generate the seeded synthetic profile for ``application``.
+
+    Output lengths are lognormal around ``ratio * input_len`` so they stay
+    positive and right-skewed (long translations happen, absurdly short
+    ones do not), matching the min-max whiskers of the paper's boxplots.
+    """
+    spec = PROFILE_SPECS.get(application)
+    if spec is None:
+        raise KeyError(
+            f"unknown application {application!r}; "
+            f"known: {sorted(PROFILE_SPECS)}"
+        )
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    rng = np.random.default_rng(abs(hash((application, seed))) % (2**32))
+    grid = list(range(spec.input_min, spec.input_max + 1, spec.input_step))
+    samples: List[Tuple[int, int]] = []
+    for index in range(num_samples):
+        input_len = grid[index % len(grid)]
+        noise = rng.lognormal(mean=0.0, sigma=spec.sigma)
+        output_len = max(1, int(round(spec.ratio * input_len * noise)))
+        samples.append((input_len, output_len))
+    return SequenceProfile(application=application, samples=tuple(samples))
+
+
+def linear_profile(
+    input_lengths: Sequence[int], application: str = "linear"
+) -> SequenceProfile:
+    """Profile for linear RNN apps (Fig 8b): output length == input length."""
+    samples = tuple((length, length) for length in input_lengths)
+    return SequenceProfile(application=application, samples=samples)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's lookup-table aggregate, Sec V-B)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))

@@ -1,0 +1,79 @@
+"""The benchmark model zoo (paper Sec III).
+
+Eight cloud-inference DNNs: four CNNs with diverse convolution styles
+(AlexNet, GoogLeNet, VGG-16, MobileNet) and four LSTM RNNs (sentiment
+analysis, two machine-translation instances, and a Listen-Attend-Spell
+speech recognizer).  ResNet-50 is included additionally for the Fig 1
+co-location motivation experiment.
+
+CNNs build to a fixed :class:`~repro.models.graph.Graph`.  RNN builders
+take sequence lengths (the dynamic dimension of Sec V-B) and unroll the
+recurrent layers into one node per time step.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.models.graph import Graph
+from repro.models.zoo.alexnet import build_alexnet
+from repro.models.zoo.googlenet import build_googlenet
+from repro.models.zoo.mobilenet import build_mobilenet
+from repro.models.zoo.resnet import build_resnet50
+from repro.models.zoo.rnn_asr import build_rnn_asr
+from repro.models.zoo.rnn_mt import build_rnn_mt
+from repro.models.zoo.rnn_sa import build_rnn_sa
+from repro.models.zoo.vggnet import build_vggnet
+
+#: Canonical benchmark names used throughout experiments, matching the
+#: paper's x-axis labels.
+CNN_BENCHMARKS = ("CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN")
+RNN_BENCHMARKS = ("RNN-SA", "RNN-MT1", "RNN-MT2", "RNN-ASR")
+BENCHMARKS = CNN_BENCHMARKS + RNN_BENCHMARKS
+
+__all__ = [
+    "BENCHMARKS",
+    "CNN_BENCHMARKS",
+    "RNN_BENCHMARKS",
+    "build_alexnet",
+    "build_googlenet",
+    "build_vggnet",
+    "build_mobilenet",
+    "build_resnet50",
+    "build_rnn_sa",
+    "build_rnn_mt",
+    "build_rnn_asr",
+    "build_benchmark",
+    "is_rnn",
+]
+
+
+def is_rnn(benchmark: str) -> bool:
+    """True when the named benchmark has a dynamic (sequence) dimension."""
+    return benchmark in RNN_BENCHMARKS
+
+
+def build_benchmark(
+    name: str, input_len: int = 20, output_len: int = 20
+) -> Graph:
+    """Build a benchmark graph by its canonical name.
+
+    ``input_len``/``output_len`` apply to the RNN benchmarks only (the
+    time-unrolled sequence lengths); CNNs ignore them.
+    """
+    builders: Dict[str, Callable[[], Graph]] = {
+        "CNN-AN": build_alexnet,
+        "CNN-GN": build_googlenet,
+        "CNN-VN": build_vggnet,
+        "CNN-MN": build_mobilenet,
+        "RESNET": build_resnet50,
+    }
+    if name in builders:
+        return builders[name]()
+    if name == "RNN-SA":
+        return build_rnn_sa(input_len=input_len)
+    if name == "RNN-MT1":
+        return build_rnn_mt(input_len=input_len, output_len=output_len, variant=1)
+    if name == "RNN-MT2":
+        return build_rnn_mt(input_len=input_len, output_len=output_len, variant=2)
+    if name == "RNN-ASR":
+        return build_rnn_asr(input_len=input_len, output_len=output_len)
+    raise KeyError(f"unknown benchmark: {name!r}")

@@ -1,0 +1,29 @@
+"""AlexNet (CNN-AN): 5 conv + 3 FC layers over 224x224x3 inputs.
+
+Large FC layers (~58M parameters) dominate the memory traffic at small
+batch sizes, which is why AlexNet is the short-but-bandwidth-bound point
+in the paper's benchmark mix.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Graph
+from repro.models.layers import Conv2D, FullyConnected, InputSpec, Pool2D, Softmax
+
+
+def build_alexnet() -> Graph:
+    graph = Graph("CNN-AN", InputSpec(channels=3, height=224, width=224))
+    graph.add(Conv2D("conv1", out_channels=64, kernel=11, stride=4, padding=2))
+    graph.add(Pool2D("pool1", kernel=3, stride=2))
+    graph.add(Conv2D("conv2", out_channels=192, kernel=5, stride=1, padding=2))
+    graph.add(Pool2D("pool2", kernel=3, stride=2))
+    graph.add(Conv2D("conv3", out_channels=384, kernel=3, stride=1, padding=1))
+    graph.add(Conv2D("conv4", out_channels=256, kernel=3, stride=1, padding=1))
+    graph.add(Conv2D("conv5", out_channels=256, kernel=3, stride=1, padding=1))
+    graph.add(Pool2D("pool5", kernel=3, stride=2))
+    graph.add(FullyConnected("fc6", out_features=4096))
+    graph.add(FullyConnected("fc7", out_features=4096))
+    graph.add(FullyConnected("fc8", out_features=1000, fused_activation=None))
+    graph.add(Softmax("prob"))
+    graph.validate()
+    return graph

@@ -1,0 +1,103 @@
+"""GoogLeNet (CNN-GN): inception modules with parallel 1x1/3x3/5x5 branches.
+
+The many small 1x1 reduce convolutions underutilize the 128x128 array
+(low k or m relative to the array dims), producing the off-trend points in
+the paper's Fig 10.  GoogLeNet is also the short-running CNN the paper
+uses to motivate letting low-priority short jobs preempt long ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.models.graph import Graph
+from repro.models.layers import Concat, Conv2D, FullyConnected, InputSpec, Pool2D, Softmax
+
+
+@dataclasses.dataclass(frozen=True)
+class InceptionSpec:
+    """Channel plan for one inception module (standard GoogLeNet notation)."""
+
+    name: str
+    c1x1: int
+    c3x3_reduce: int
+    c3x3: int
+    c5x5_reduce: int
+    c5x5: int
+    pool_proj: int
+
+
+#: The nine inception modules of GoogLeNet (3a..3b, 4a..4e, 5a..5b).
+_INCEPTIONS = (
+    InceptionSpec("3a", 64, 96, 128, 16, 32, 32),
+    InceptionSpec("3b", 128, 128, 192, 32, 96, 64),
+    InceptionSpec("4a", 192, 96, 208, 16, 48, 64),
+    InceptionSpec("4b", 160, 112, 224, 24, 64, 64),
+    InceptionSpec("4c", 128, 128, 256, 24, 64, 64),
+    InceptionSpec("4d", 112, 144, 288, 32, 64, 64),
+    InceptionSpec("4e", 256, 160, 320, 32, 128, 128),
+    InceptionSpec("5a", 256, 160, 320, 32, 128, 128),
+    InceptionSpec("5b", 384, 192, 384, 48, 128, 128),
+)
+_POOL_AFTER = frozenset(("3b", "4e"))
+
+
+def _add_inception(graph: Graph, spec: InceptionSpec, input_name: str) -> str:
+    """Wire one inception module; returns the concat output node name."""
+    prefix = f"inc{spec.name}"
+    b1 = graph.add(
+        Conv2D(f"{prefix}_1x1", out_channels=spec.c1x1, kernel=1),
+        inputs=[input_name],
+    )
+    graph.add(
+        Conv2D(f"{prefix}_3x3r", out_channels=spec.c3x3_reduce, kernel=1),
+        inputs=[input_name],
+    )
+    b2 = graph.add(
+        Conv2D(f"{prefix}_3x3", out_channels=spec.c3x3, kernel=3, padding=1),
+        inputs=[f"{prefix}_3x3r"],
+    )
+    graph.add(
+        Conv2D(f"{prefix}_5x5r", out_channels=spec.c5x5_reduce, kernel=1),
+        inputs=[input_name],
+    )
+    b3 = graph.add(
+        Conv2D(f"{prefix}_5x5", out_channels=spec.c5x5, kernel=5, padding=2),
+        inputs=[f"{prefix}_5x5r"],
+    )
+    graph.add(
+        Pool2D(f"{prefix}_pool", kernel=3, stride=1, padding=1),
+        inputs=[input_name],
+    )
+    b4 = graph.add(
+        Conv2D(f"{prefix}_poolp", out_channels=spec.pool_proj, kernel=1),
+        inputs=[f"{prefix}_pool"],
+    )
+    out = graph.add(
+        Concat(f"{prefix}_out"),
+        inputs=[b1.name, b2.name, b3.name, b4.name],
+    )
+    return out.name
+
+
+def build_googlenet() -> Graph:
+    graph = Graph("CNN-GN", InputSpec(channels=3, height=224, width=224))
+    graph.add(Conv2D("conv1", out_channels=64, kernel=7, stride=2, padding=3))
+    graph.add(Pool2D("pool1", kernel=3, stride=2, padding=1))
+    graph.add(Conv2D("conv2_reduce", out_channels=64, kernel=1))
+    graph.add(Conv2D("conv2", out_channels=192, kernel=3, padding=1))
+    graph.add(Pool2D("pool2", kernel=3, stride=2, padding=1))
+    current = "pool2"
+    for spec in _INCEPTIONS:
+        current = _add_inception(graph, spec, current)
+        if spec.name in _POOL_AFTER:
+            pool = graph.add(
+                Pool2D(f"pool_{spec.name}", kernel=3, stride=2, padding=1),
+                inputs=[current],
+            )
+            current = pool.name
+    graph.add(Pool2D("avgpool", kernel=7, stride=1, mode="avg"), inputs=[current])
+    graph.add(FullyConnected("fc", out_features=1000, fused_activation=None))
+    graph.add(Softmax("prob"))
+    graph.validate()
+    return graph

@@ -1,0 +1,53 @@
+"""MobileNet-v1 (CNN-MN): depthwise-separable convolutions.
+
+Each block is a depthwise 3x3 conv (grouped, one filter per channel) that
+lowers to ``channels`` tiny m=1 GEMMs, followed by a 1x1 pointwise conv.
+The depthwise stages starve the 128x128 systolic array, which is exactly
+the low-effective-throughput behaviour circled in the paper's Fig 10.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Graph
+from repro.models.layers import Conv2D, FullyConnected, InputSpec, Pool2D, Softmax
+
+#: (block name, output channels of the pointwise conv, depthwise stride).
+_BLOCK_PLAN = (
+    ("b01", 64, 1),
+    ("b02", 128, 2),
+    ("b03", 128, 1),
+    ("b04", 256, 2),
+    ("b05", 256, 1),
+    ("b06", 512, 2),
+    ("b07", 512, 1),
+    ("b08", 512, 1),
+    ("b09", 512, 1),
+    ("b10", 512, 1),
+    ("b11", 512, 1),
+    ("b12", 1024, 2),
+    ("b13", 1024, 1),
+)
+
+
+def build_mobilenet() -> Graph:
+    graph = Graph("CNN-MN", InputSpec(channels=3, height=224, width=224))
+    graph.add(Conv2D("conv1", out_channels=32, kernel=3, stride=2, padding=1))
+    in_channels = 32
+    for name, out_channels, stride in _BLOCK_PLAN:
+        graph.add(
+            Conv2D(
+                f"{name}_dw",
+                out_channels=in_channels,
+                kernel=3,
+                stride=stride,
+                padding=1,
+                groups=in_channels,
+            )
+        )
+        graph.add(Conv2D(f"{name}_pw", out_channels=out_channels, kernel=1))
+        in_channels = out_channels
+    graph.add(Pool2D("avgpool", kernel=7, stride=1, mode="avg"))
+    graph.add(FullyConnected("fc", out_features=1000, fused_activation=None))
+    graph.add(Softmax("prob"))
+    graph.validate()
+    return graph

@@ -1,0 +1,52 @@
+"""ResNet-50: bottleneck residual blocks (used only for the Fig 1
+co-location motivation experiment, matching the paper's GoogLeNet+ResNet
+pair on the V100).
+
+Residual adds are element-wise vector work; we model them with a
+parameter-free Activation node reading the block output (the skip path's
+traffic is second-order for the timing shape Fig 1 needs).
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Graph
+from repro.models.layers import Activation, Conv2D, FullyConnected, InputSpec, Pool2D, Softmax
+
+#: (stage name, bottleneck width, output channels, block count, first stride)
+_STAGE_PLAN = (
+    ("s2", 64, 256, 3, 1),
+    ("s3", 128, 512, 4, 2),
+    ("s4", 256, 1024, 6, 2),
+    ("s5", 512, 2048, 3, 2),
+)
+
+
+def _add_bottleneck(
+    graph: Graph, name: str, width: int, out_channels: int, stride: int, input_name: str
+) -> str:
+    graph.add(
+        Conv2D(f"{name}_a", out_channels=width, kernel=1, stride=stride),
+        inputs=[input_name],
+    )
+    graph.add(Conv2D(f"{name}_b", out_channels=width, kernel=3, padding=1))
+    graph.add(Conv2D(f"{name}_c", out_channels=out_channels, kernel=1, fused_activation=None))
+    node = graph.add(Activation(f"{name}_add", function="relu"))
+    return node.name
+
+
+def build_resnet50() -> Graph:
+    graph = Graph("RESNET", InputSpec(channels=3, height=224, width=224))
+    graph.add(Conv2D("conv1", out_channels=64, kernel=7, stride=2, padding=3))
+    graph.add(Pool2D("pool1", kernel=3, stride=2, padding=1))
+    current = "pool1"
+    for stage, width, out_channels, blocks, first_stride in _STAGE_PLAN:
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            current = _add_bottleneck(
+                graph, f"{stage}_b{block}", width, out_channels, stride, current
+            )
+    graph.add(Pool2D("avgpool", kernel=7, stride=1, mode="avg"), inputs=[current])
+    graph.add(FullyConnected("fc", out_features=1000, fused_activation=None))
+    graph.add(Softmax("prob"))
+    graph.validate()
+    return graph

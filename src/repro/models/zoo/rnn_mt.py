@@ -1,0 +1,70 @@
+"""RNN-MT: seq2seq machine translation (non-linear input->output lengths).
+
+Encoder-decoder LSTM stacks (Fig 8c of the paper): the encoder unrolls
+over the *input* sequence length, the decoder over the *output* sequence
+length, and each decoder step projects through a vocabulary-sized softmax
+FC -- the memory-bound GEMM that dominates MT latency at batch 1.
+
+Two instances are deployed as different translation services (Sec III):
+variant 1 is English->German (output ~= input length), variant 2 is
+English->Korean (output shorter than input).  The output length is the
+input-data-dependent quantity PREMA's regression model predicts.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Graph
+from repro.models.layers import Embedding, FullyConnected, InputSpec, LSTMCell, Softmax
+
+EMBED_DIM = 512
+HIDDEN = 1024
+NUM_LAYERS = 2
+#: Per-variant target vocabulary size (German word-level vs Korean subword).
+VOCAB = {1: 32000, 2: 24000}
+
+
+def build_rnn_mt(input_len: int = 20, output_len: int = 20, variant: int = 1) -> Graph:
+    """Build the seq2seq model unrolled for one (input, output) pair."""
+    if input_len <= 0 or output_len <= 0:
+        raise ValueError("sequence lengths must be positive")
+    if variant not in VOCAB:
+        raise ValueError(f"variant must be one of {sorted(VOCAB)}")
+    vocab = VOCAB[variant]
+    graph = Graph(f"RNN-MT{variant}", InputSpec(channels=EMBED_DIM))
+    prev = Graph.INPUT
+    # Encoder: unrolled over the source sentence.
+    for step in range(input_len):
+        emb = graph.add(
+            Embedding(f"enc_embed_t{step}", vocab=vocab, dim=EMBED_DIM),
+            inputs=[prev],
+        )
+        current = emb.name
+        for layer in range(NUM_LAYERS):
+            cell = graph.add(
+                LSTMCell(f"enc_lstm{layer}_t{step}", hidden=HIDDEN),
+                inputs=[current],
+            )
+            current = cell.name
+        prev = current
+    # Decoder: unrolled over the generated sentence, one vocab projection
+    # (the expensive part) per emitted token.
+    for step in range(output_len):
+        emb = graph.add(
+            Embedding(f"dec_embed_t{step}", vocab=vocab, dim=EMBED_DIM),
+            inputs=[prev],
+        )
+        current = emb.name
+        for layer in range(NUM_LAYERS):
+            cell = graph.add(
+                LSTMCell(f"dec_lstm{layer}_t{step}", hidden=HIDDEN),
+                inputs=[current],
+            )
+            current = cell.name
+        proj = graph.add(
+            FullyConnected(f"dec_proj_t{step}", out_features=vocab, fused_activation=None),
+            inputs=[current],
+        )
+        soft = graph.add(Softmax(f"dec_softmax_t{step}"), inputs=[proj.name])
+        prev = soft.name
+    graph.validate()
+    return graph

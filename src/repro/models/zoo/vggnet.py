@@ -1,0 +1,45 @@
+"""VGG-16 (CNN-VN): 13 uniform 3x3 conv layers + 3 FC layers.
+
+The compute-heaviest CNN in the mix (~15.5 GMACs at batch 1); its long
+isolated latency makes it the canonical "long-running low-priority task"
+in the paper's preemption scenarios.  The c01..c13/fc1..fc3 names match
+the x-axis labels of the paper's Fig 7.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Graph
+from repro.models.layers import Conv2D, FullyConnected, InputSpec, Pool2D, Softmax
+
+#: (layer name, output channels) for the 13 conv layers; pools follow the
+#: standard VGG-16 placement after c02, c04, c07, c10, c13.
+_CONV_PLAN = (
+    ("c01", 64),
+    ("c02", 64),
+    ("c03", 128),
+    ("c04", 128),
+    ("c05", 256),
+    ("c06", 256),
+    ("c07", 256),
+    ("c08", 512),
+    ("c09", 512),
+    ("c10", 512),
+    ("c11", 512),
+    ("c12", 512),
+    ("c13", 512),
+)
+_POOL_AFTER = frozenset(("c02", "c04", "c07", "c10", "c13"))
+
+
+def build_vggnet() -> Graph:
+    graph = Graph("CNN-VN", InputSpec(channels=3, height=224, width=224))
+    for name, channels in _CONV_PLAN:
+        graph.add(Conv2D(name, out_channels=channels, kernel=3, stride=1, padding=1))
+        if name in _POOL_AFTER:
+            graph.add(Pool2D(f"pool_{name}", kernel=2, stride=2))
+    graph.add(FullyConnected("fc1", out_features=4096))
+    graph.add(FullyConnected("fc2", out_features=4096))
+    graph.add(FullyConnected("fc3", out_features=1000, fused_activation=None))
+    graph.add(Softmax("prob"))
+    graph.validate()
+    return graph

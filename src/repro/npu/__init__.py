@@ -1,0 +1,25 @@
+"""NPU substrate: a TPU-like systolic-array performance model.
+
+This subpackage implements the hardware the paper's scheduler runs on:
+
+- :mod:`repro.npu.config` -- Table I configuration parameters.
+- :mod:`repro.npu.tiling` -- inner/outer GEMM tile decomposition (Fig 3c).
+- :mod:`repro.npu.systolic` -- weight-stationary GEMM timing (Fig 3b).
+- :mod:`repro.npu.memory` -- fixed bandwidth/latency memory + DMA model.
+- :mod:`repro.npu.buffers` -- UBUF/ACCQ/weight-buffer occupancy tracking.
+- :mod:`repro.npu.engine` -- double-buffered layer/network execution model.
+- :mod:`repro.npu.cycle_sim` -- cycle-stepping reference simulator used to
+  cross-validate the closed-form engine (the SCALE-Sim role in the paper).
+- :mod:`repro.npu.preemption` -- KILL / CHECKPOINT / DRAIN mechanisms.
+- :mod:`repro.npu.sparse` -- SCNN-style sparsity-aware latency model.
+
+Only the leaf modules (config, memory) are re-exported here: the engine
+and preemption modules depend on :mod:`repro.isa`, which itself builds on
+the NPU leaf modules, so re-exporting them from this package would create
+an import cycle.  Import them from their own modules.
+"""
+
+from repro.npu.config import NPUConfig
+from repro.npu.memory import MemorySystem
+
+__all__ = ["NPUConfig", "MemorySystem"]

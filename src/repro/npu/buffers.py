@@ -1,0 +1,159 @@
+"""On-chip buffer occupancy model: UBUF, ACCQ, weight buffer (Sec II-B/IV-B).
+
+The preemption mechanisms need to know, for any point within a layer's
+execution, how many bytes of *distinct context state* must be checkpointed
+to resume later.  Per Sec IV-B:
+
+- weights never change during inference -> never checkpointed;
+- CONV/FC/RECR are out-of-place -> the checkpointable state is the newly
+  derived output activations resident in UBUF plus the in-flight partial
+  output tile in ACCQ;
+- fused ACTV/POOL are in-place -> they add no extra state.
+
+Output activations of the running layer stay in UBUF (they feed the next
+layer without a DRAM round-trip), so the resident output footprint grows
+with layer progress and is capped by the UBUF capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.npu.config import NPUConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointProfile:
+    """Checkpoint-size model of a single layer.
+
+    ``bytes_at(tiles_done)`` returns the checkpointable state size when the
+    layer has committed ``tiles_done`` of its ``total_tiles`` output tiles.
+    """
+
+    #: Bytes of output activations committed per completed tile.
+    out_bytes_per_tile: float
+    #: Total output tiles in the layer.
+    total_tiles: int
+    #: Cap on resident output bytes (UBUF capacity).
+    ubuf_cap_bytes: int
+    #: In-flight partial-tile bytes held in the accumulator queue.
+    accq_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.out_bytes_per_tile < 0:
+            raise ValueError("out_bytes_per_tile must be >= 0")
+        if self.total_tiles < 0:
+            raise ValueError("total_tiles must be >= 0")
+        if self.ubuf_cap_bytes < 0 or self.accq_bytes < 0:
+            raise ValueError("capacities must be >= 0")
+
+    def bytes_at(self, tiles_done: int) -> float:
+        """Checkpointable bytes after ``tiles_done`` committed tiles."""
+        if tiles_done < 0:
+            raise ValueError("tiles_done must be >= 0")
+        tiles_done = min(tiles_done, self.total_tiles)
+        resident = min(tiles_done * self.out_bytes_per_tile, self.ubuf_cap_bytes)
+        # A partial output tile sits in ACCQ only while the layer is running.
+        in_flight = self.accq_bytes if tiles_done < self.total_tiles else 0
+        return resident + in_flight
+
+    @property
+    def max_bytes(self) -> float:
+        """Worst-case checkpoint size for this layer."""
+        if self.total_tiles == 0:
+            return 0.0
+        full = min(
+            self.total_tiles * self.out_bytes_per_tile, float(self.ubuf_cap_bytes)
+        )
+        # Worst case is just before the final tile commits: near-full UBUF
+        # plus the in-flight ACCQ tile.
+        near_full = min(
+            (self.total_tiles - 1) * self.out_bytes_per_tile,
+            float(self.ubuf_cap_bytes),
+        )
+        return max(full, near_full + self.accq_bytes)
+
+
+def layer_checkpoint_profile(
+    config: NPUConfig,
+    out_elems_per_tile: float,
+    total_tiles: int,
+) -> CheckpointProfile:
+    """Build a :class:`CheckpointProfile` for a layer.
+
+    ``out_elems_per_tile`` is the average number of output elements a tile
+    commits (output tiles are SW x ACC at most; reduction (k) tiles commit
+    only on the last k step -- callers fold that in).
+    """
+    accq = min(
+        config.output_tile_elems * config.accum_bytes,
+        config.accq_bytes,
+    )
+    return CheckpointProfile(
+        out_bytes_per_tile=out_elems_per_tile * config.data_bytes,
+        total_tiles=total_tiles,
+        ubuf_cap_bytes=config.ubuf_bytes,
+        accq_bytes=accq,
+    )
+
+
+@dataclasses.dataclass
+class BufferTracker:
+    """Mutable occupancy tracker for tests and the cycle simulator.
+
+    Tracks bytes resident in each on-chip structure and raises when a
+    producer would overflow a buffer -- the compiler sizes tiles so this
+    never happens on the shipped models, and tests assert that.
+    """
+
+    config: NPUConfig
+    ubuf_used: int = 0
+    wbuf_used: int = 0
+    accq_used: int = 0
+
+    def allocate_ubuf(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if self.ubuf_used + num_bytes > self.config.ubuf_bytes:
+            raise OverflowError(
+                f"UBUF overflow: {self.ubuf_used} + {num_bytes} "
+                f"> {self.config.ubuf_bytes}"
+            )
+        self.ubuf_used += num_bytes
+
+    def free_ubuf(self, num_bytes: int) -> None:
+        if num_bytes < 0 or num_bytes > self.ubuf_used:
+            raise ValueError("invalid UBUF free")
+        self.ubuf_used -= num_bytes
+
+    def allocate_wbuf(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if self.wbuf_used + num_bytes > self.config.wbuf_bytes:
+            raise OverflowError(
+                f"weight buffer overflow: {self.wbuf_used} + {num_bytes} "
+                f"> {self.config.wbuf_bytes}"
+            )
+        self.wbuf_used += num_bytes
+
+    def free_wbuf(self, num_bytes: int) -> None:
+        if num_bytes < 0 or num_bytes > self.wbuf_used:
+            raise ValueError("invalid weight buffer free")
+        self.wbuf_used -= num_bytes
+
+    def fill_accq(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if self.accq_used + num_bytes > self.config.accq_bytes:
+            raise OverflowError("ACCQ overflow")
+        self.accq_used += num_bytes
+
+    def drain_accq(self) -> int:
+        drained = self.accq_used
+        self.accq_used = 0
+        return drained
+
+    def reset(self) -> None:
+        self.ubuf_used = 0
+        self.wbuf_used = 0
+        self.accq_used = 0

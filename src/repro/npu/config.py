@@ -1,0 +1,130 @@
+"""NPU configuration (paper Table I).
+
+All simulation code measures durations in *cycles* of the PE clock and data
+in *bytes*.  The configuration owns every unit conversion so the rest of the
+code base never hard-codes frequencies or data widths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class NPUConfig:
+    """Parameters of the baseline systolic-array NPU.
+
+    Defaults reproduce Table I of the paper.  ``acc_depth`` (the accumulator
+    queue depth, i.e. how many output columns a single ``GEMM_OP`` produces
+    per weight tile) is not listed in Table I; we default to a TPU-v1-like
+    2048 entries (see DESIGN.md, deviation #5).
+    """
+
+    #: Systolic array width (SW): number of PE columns = output rows per tile.
+    array_width: int = 128
+    #: Systolic array height (SH): number of PE rows = reduction depth per tile.
+    array_height: int = 128
+    #: Accumulator queue depth (ACC): output columns produced per GEMM_OP.
+    acc_depth: int = 2048
+    #: PE clock frequency in Hz.
+    frequency_hz: float = 700e6
+    #: On-chip SRAM for activations (UBUF), bytes.
+    ubuf_bytes: int = 8 * 1024 * 1024
+    #: On-chip SRAM for weights (weight buffer), bytes.
+    wbuf_bytes: int = 4 * 1024 * 1024
+    #: Number of DRAM channels.
+    memory_channels: int = 8
+    #: Aggregate off-chip memory bandwidth, bytes/second.
+    memory_bandwidth_bytes_per_sec: float = 358e9
+    #: DRAM access latency, cycles.
+    memory_latency_cycles: int = 100
+    #: Data width of weights/activations, bytes (16-bit).
+    data_bytes: int = 2
+    #: Data width of partial sums in the accumulator queue, bytes (32-bit).
+    accum_bytes: int = 4
+    #: Vector unit lanes (elements processed per cycle by VECTOR_OP).
+    vector_lanes: int = 128
+    #: Fixed cycles for the preemption trap routine (drain pipeline, vector
+    #: state, bookkeeping) before the checkpoint DMA starts.
+    preemption_trap_cycles: int = 1000
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "array_width",
+            "array_height",
+            "acc_depth",
+            "frequency_hz",
+            "ubuf_bytes",
+            "wbuf_bytes",
+            "memory_channels",
+            "memory_bandwidth_bytes_per_sec",
+            "data_bytes",
+            "accum_bytes",
+            "vector_lanes",
+        )
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"NPUConfig.{name} must be positive")
+        if self.memory_latency_cycles < 0:
+            raise ValueError("NPUConfig.memory_latency_cycles must be >= 0")
+        if self.preemption_trap_cycles < 0:
+            raise ValueError("NPUConfig.preemption_trap_cycles must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth_bytes_per_cycle(self) -> float:
+        """Off-chip bandwidth expressed in bytes per PE clock cycle."""
+        return self.memory_bandwidth_bytes_per_sec / self.frequency_hz
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """MAC throughput of the fully-utilized systolic array."""
+        return self.array_width * self.array_height
+
+    @property
+    def accq_bytes(self) -> int:
+        """Accumulator queue capacity in bytes (one output tile of partials)."""
+        return self.array_width * self.acc_depth * self.accum_bytes
+
+    @property
+    def weight_tile_elems(self) -> int:
+        """Elements in one full weight tile (SH x SW)."""
+        return self.array_height * self.array_width
+
+    @property
+    def activation_tile_elems(self) -> int:
+        """Elements in one full input-activation tile (SH x ACC)."""
+        return self.array_height * self.acc_depth
+
+    @property
+    def output_tile_elems(self) -> int:
+        """Elements in one full output-activation tile (SW x ACC)."""
+        return self.array_width * self.acc_depth
+
+    # ------------------------------------------------------------------
+    # Unit conversions
+    # ------------------------------------------------------------------
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles / self.frequency_hz * 1e6
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / self.frequency_hz * 1e3
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.frequency_hz
+
+    def us_to_cycles(self, us: float) -> float:
+        return us * 1e-6 * self.frequency_hz
+
+    def ms_to_cycles(self, ms: float) -> float:
+        return ms * 1e-3 * self.frequency_hz
+
+
+#: The paper's Table I configuration, shared as a module-level default so
+#: experiments and tests agree on one instance.
+DEFAULT_CONFIG = NPUConfig()

@@ -1,0 +1,55 @@
+"""Memory subsystem model: fixed bandwidth, fixed latency, DMA transfers.
+
+Following the paper's methodology (Sec III), the memory system is modeled
+with a fixed aggregate bandwidth and a fixed access latency rather than a
+cycle-level DRAM simulator: DNN dataflow is deterministic and exhibits high
+locality, so row/bank dynamics are second-order for this study.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.npu.config import NPUConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class MemorySystem:
+    """Fixed bandwidth/latency DRAM + DMA engine.
+
+    One instance is shared by the execution engine (LOAD_TILE/STORE_TILE
+    streams) and the preemption module (checkpoint/restore DMA).
+    """
+
+    config: NPUConfig
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.config.bandwidth_bytes_per_cycle
+
+    @property
+    def bytes_per_channel_per_cycle(self) -> float:
+        return self.bytes_per_cycle / self.config.memory_channels
+
+    def transfer_cycles(self, num_bytes: float) -> float:
+        """Cycles to move ``num_bytes`` over the full-width DMA engine.
+
+        Zero-byte transfers cost nothing (no latency) so callers can pass
+        checkpoint sizes of mechanisms that do not checkpoint (e.g. KILL)
+        without special-casing.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if num_bytes == 0:
+            return 0.0
+        return num_bytes / self.bytes_per_cycle + self.config.memory_latency_cycles
+
+    def transfer_us(self, num_bytes: float) -> float:
+        """Transfer time in microseconds (reporting convenience)."""
+        return self.config.cycles_to_us(self.transfer_cycles(num_bytes))
+
+    def streaming_cycles(self, num_bytes: float) -> float:
+        """Cycles for a steady-state stream (latency already hidden)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        return num_bytes / self.bytes_per_cycle

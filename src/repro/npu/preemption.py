@@ -1,0 +1,138 @@
+"""Preemption mechanisms: KILL, CHECKPOINT, DRAIN (paper Sec IV).
+
+Each mechanism answers three questions for a preemption request arriving
+while a task is ``offset`` cycles into its execution profile:
+
+- *boundary*: at which network offset can the switch actually happen
+  (GEMM_OP instructions are atomic, so the request rounds up to the next
+  tile boundary);
+- *preemption latency*: cycles between the boundary and the preempting
+  task being able to start (checkpoint DMA for CHECKPOINT, zero for KILL,
+  undefined for DRAIN which never switches early);
+- *what the preempted task keeps*: its progress (CHECKPOINT), nothing
+  (KILL), or everything (DRAIN runs to completion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.npu.config import NPUConfig
+from repro.npu.engine import ExecutionProfile
+from repro.npu.memory import MemorySystem
+
+
+@dataclasses.dataclass(frozen=True)
+class PreemptionOutcome:
+    """Result of applying a mechanism to a running task at some offset."""
+
+    #: Network offset (cycles from task start) where the switch happens.
+    boundary_offset: float
+    #: Cycles from the boundary until the NPU is free for the preemptor.
+    preemption_latency: float
+    #: Progress (cycles of the profile) the preempted task retains.
+    retained_offset: float
+    #: Bytes checkpointed to DRAM (0 for KILL/DRAIN).
+    checkpoint_bytes: float
+    #: Cycles the preempted task must spend restoring state when resumed.
+    restore_latency: float
+    #: True when the mechanism refuses to switch before task completion.
+    drains_to_completion: bool = False
+
+
+class PreemptionMechanism:
+    """Interface shared by the three mechanisms."""
+
+    name: str = "abstract"
+
+    def __init__(self, config: NPUConfig) -> None:
+        self.config = config
+        self.memory = MemorySystem(config)
+
+    def preempt(self, profile: ExecutionProfile, offset: float) -> PreemptionOutcome:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class KillMechanism(PreemptionMechanism):
+    """Immediately terminate: zero latency, all progress wasted (Sec IV-C).
+
+    The preempted inference restarts from scratch when rescheduled.
+    """
+
+    name = "KILL"
+
+    def preempt(self, profile: ExecutionProfile, offset: float) -> PreemptionOutcome:
+        boundary = profile.next_preemption_point(offset)
+        return PreemptionOutcome(
+            boundary_offset=boundary,
+            preemption_latency=0.0,
+            retained_offset=0.0,
+            checkpoint_bytes=0.0,
+            restore_latency=0.0,
+        )
+
+
+class CheckpointMechanism(PreemptionMechanism):
+    """Checkpoint the live context to DRAM via the trap routine (Sec IV-C).
+
+    Latency = trap overhead + DMA of the distinct context state (output
+    activations resident in UBUF plus the in-flight ACCQ tile).  Resuming
+    later pays the symmetric restore DMA.
+    """
+
+    name = "CHECKPOINT"
+
+    def checkpoint_bytes(self, profile: ExecutionProfile, boundary: float) -> float:
+        return profile.checkpoint_bytes_at(boundary)
+
+    def preempt(self, profile: ExecutionProfile, offset: float) -> PreemptionOutcome:
+        boundary = profile.next_preemption_point(offset)
+        num_bytes = self.checkpoint_bytes(profile, boundary)
+        dma = self.memory.transfer_cycles(num_bytes)
+        latency = self.config.preemption_trap_cycles + dma
+        return PreemptionOutcome(
+            boundary_offset=boundary,
+            preemption_latency=latency,
+            retained_offset=boundary,
+            checkpoint_bytes=num_bytes,
+            restore_latency=self.memory.transfer_cycles(num_bytes),
+        )
+
+
+class DrainMechanism(PreemptionMechanism):
+    """Let the running task finish the whole network first (Sec IV-C).
+
+    Zero preemption latency and zero wasted work, but the preemptor waits
+    for the remaining network-wide computation.
+    """
+
+    name = "DRAIN"
+
+    def preempt(self, profile: ExecutionProfile, offset: float) -> PreemptionOutcome:
+        return PreemptionOutcome(
+            boundary_offset=profile.total_cycles,
+            preemption_latency=0.0,
+            retained_offset=profile.total_cycles,
+            checkpoint_bytes=0.0,
+            restore_latency=0.0,
+            drains_to_completion=True,
+        )
+
+
+_MECHANISMS = {
+    "KILL": KillMechanism,
+    "CHECKPOINT": CheckpointMechanism,
+    "DRAIN": DrainMechanism,
+}
+
+
+def mechanism_by_name(name: str, config: NPUConfig) -> PreemptionMechanism:
+    """Instantiate a mechanism from its paper name (case-insensitive)."""
+    cls = _MECHANISMS.get(name.upper())
+    if cls is None:
+        raise KeyError(f"unknown mechanism {name!r}; known: {sorted(_MECHANISMS)}")
+    return cls(config)

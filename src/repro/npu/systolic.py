@@ -1,0 +1,160 @@
+"""Weight-stationary systolic-array GEMM timing (paper Fig 3b, Algorithm 1).
+
+Two timing views live here:
+
+``predicted_*``
+    The coarse closed forms the *predictor* (Algorithm 1) uses: every m/k
+    tile costs a full inner-tile time; only the partial n tile is shortened.
+
+``engine_*``
+    The slightly finer forms the *engine* (ground truth) uses: pipeline
+    fill/drain shrink with the actual tile extents, so small layers run a
+    bit faster than the predictor believes.  The gap is the paper's
+    (small) CNN prediction error.
+
+Both views model the double-buffered overlap of the paper: the compute
+phase of tile *i* hides the memory phase that fetches tile *i+1*, so each
+tile contributes ``max(compute, memory)`` cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.npu.config import NPUConfig
+from repro.npu.tiling import GemmShape, Tile, TilePlan
+
+
+# ----------------------------------------------------------------------
+# Per-tile phase models
+# ----------------------------------------------------------------------
+def compute_cycles_full(config: NPUConfig) -> int:
+    """C1 in Algorithm 1: cycles for one full inner tile's GEMM_OP.
+
+    ACC cycles of streaming plus SH cycles of pipeline fill plus 2*SW of
+    weight staging / result drain through the array columns.
+    """
+    return config.acc_depth + config.array_height + 2 * config.array_width
+
+
+def compute_cycles_partial_n(config: NPUConfig, n_remainder: int) -> int:
+    """C2 in Algorithm 1: compute cycles for the partial-n outer tile."""
+    return n_remainder + config.array_height + 2 * config.array_width
+
+
+def memory_cycles_full(config: NPUConfig) -> float:
+    """M1 in Algorithm 1: cycles to fetch one weight + one activation tile."""
+    elems = config.weight_tile_elems + config.activation_tile_elems
+    return elems * config.data_bytes / config.bandwidth_bytes_per_cycle
+
+
+def memory_cycles_partial_n(config: NPUConfig, n_remainder: int) -> float:
+    """M2 in Algorithm 1: fetch cycles when the activation tile is partial."""
+    elems = config.weight_tile_elems + config.array_height * n_remainder
+    return elems * config.data_bytes / config.bandwidth_bytes_per_cycle
+
+
+def tile_compute_cycles(config: NPUConfig, tile: Tile) -> int:
+    """Engine view: compute cycles for one tile.
+
+    Streaming length follows the tile's actual ``acc`` extent, but the
+    pipeline fill/drain terms use the *physical* array dimensions: data
+    pulsates through all SH rows and SW columns regardless of how much of
+    the array holds useful weights (partial tiles waste the idle PEs --
+    the under-utilization behaviour of the paper's Fig 10).
+    """
+    return tile.acc + config.array_height + 2 * config.array_width
+
+
+def tile_memory_cycles(config: NPUConfig, tile: Tile) -> float:
+    """Engine view: fetch cycles using the tile's true extents."""
+    elems = tile.sh * tile.sw + tile.sh * tile.acc
+    return elems * config.data_bytes / config.bandwidth_bytes_per_cycle
+
+
+def tile_cycles(config: NPUConfig, tile: Tile) -> float:
+    """Engine view: double-buffered cost of one tile."""
+    return max(tile_compute_cycles(config, tile), tile_memory_cycles(config, tile))
+
+
+# ----------------------------------------------------------------------
+# Whole-GEMM timing
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class GemmTiming:
+    """Timing summary for one tiled GEMM."""
+
+    shape: GemmShape
+    total_cycles: float
+    tile_count: int
+    #: Average cycles per tile; the simulator snaps preemption points to
+    #: multiples of this (tile-boundary preemption, Sec IV-C footnote 2).
+    mean_tile_cycles: float
+
+    @property
+    def macs(self) -> int:
+        return self.shape.macs
+
+    def effective_macs_per_cycle(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.shape.macs / self.total_cycles
+
+
+def predicted_gemm_cycles(shape: GemmShape, config: NPUConfig) -> float:
+    """Algorithm 1's per-layer estimate (with ceil m/k counts, DESIGN.md #1)."""
+    plan = TilePlan(shape=shape, config=config)
+    c1 = compute_cycles_full(config)
+    m1 = memory_cycles_full(config)
+    inner = max(c1, m1)
+    total = plan.n_inner_tiles * inner
+    if plan.n_outer_tiles:
+        c2 = compute_cycles_partial_n(config, plan.n_remainder)
+        m2 = memory_cycles_partial_n(config, plan.n_remainder)
+        total += plan.n_outer_tiles * max(c2, m2)
+    return total
+
+
+def engine_gemm_timing(shape: GemmShape, config: NPUConfig) -> GemmTiming:
+    """Ground-truth timing: per-tile extents, double-buffered overlap.
+
+    The first tile has no previous compute phase to hide behind, so the
+    engine adds one un-hidden memory phase up front (cold start), matching
+    the cycle-stepping reference simulator.
+    """
+    plan = TilePlan(shape=shape, config=config)
+    total = 0.0
+    count = 0
+    first_tile_memory = 0.0
+    for tile in plan.tiles():
+        if count == 0:
+            first_tile_memory = tile_memory_cycles(config, tile)
+        total += tile_cycles(config, tile)
+        count += 1
+    total += first_tile_memory + config.memory_latency_cycles
+    mean = total / count if count else 0.0
+    return GemmTiming(
+        shape=shape,
+        total_cycles=total,
+        tile_count=count,
+        mean_tile_cycles=mean,
+    )
+
+
+def vector_op_cycles(config: NPUConfig, elems: int) -> float:
+    """Cycles for an element-wise VECTOR_OP over ``elems`` elements.
+
+    The vector pipeline runs concurrently with the GEMM unit; the engine
+    charges only the un-overlapped tail of the final output tile per layer
+    (see engine.py), but standalone ACTV/POOL layers pay this in full.
+    """
+    if elems < 0:
+        raise ValueError("elems must be >= 0")
+    return elems / config.vector_lanes
+
+
+def store_cycles(config: NPUConfig, out_bytes: int) -> float:
+    """Cycles for a STORE_TILE DMA of ``out_bytes`` back to DRAM."""
+    if out_bytes < 0:
+        raise ValueError("out_bytes must be >= 0")
+    return out_bytes / config.bandwidth_bytes_per_cycle + config.memory_latency_cycles

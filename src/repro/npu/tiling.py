@@ -1,0 +1,207 @@
+"""GEMM tile decomposition for the systolic array (paper Fig 3c).
+
+A ``GEMM_OP`` between an (m x k) weight matrix and a (k x n) input
+activation matrix is tiled so each step fits the array: weight tiles are at
+most (SH x SW), activation tiles at most (SH x ACC).  Tiles whose every
+dimension is full-sized are *inner* tiles; tiles on the right/bottom edges
+with a partial dimension are *outer* tiles.
+
+The paper's Algorithm 1 only shortens partial tiles along the ``n``
+(accumulator) direction; partial ``m``/``k`` tiles are counted as full inner
+tiles by the *predictor*, whereas the *engine* uses the true per-tile
+dimensions (see DESIGN.md deviation #1).  This module provides the exact
+enumeration both consumers share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterator, Tuple
+
+from repro.npu.config import NPUConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmShape:
+    """Dimensions of a single GEMM: (m x k) weights times (k x n) inputs."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.k <= 0 or self.n <= 0:
+            raise ValueError(f"GEMM dimensions must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations performed by this GEMM."""
+        return self.m * self.k * self.n
+
+    @property
+    def weight_elems(self) -> int:
+        return self.m * self.k
+
+    @property
+    def input_elems(self) -> int:
+        return self.k * self.n
+
+    @property
+    def output_elems(self) -> int:
+        return self.m * self.n
+
+
+@dataclasses.dataclass(frozen=True)
+class Tile:
+    """One (sw x sh x acc) step of a tiled GEMM.
+
+    ``sw``/``sh``/``acc`` are the *actual* (possibly partial) extents of the
+    tile along the m/k/n dimensions respectively.
+    """
+
+    m_index: int
+    k_index: int
+    n_index: int
+    sw: int
+    sh: int
+    acc: int
+
+    @property
+    def is_inner(self) -> bool:
+        """True when no dimension is partial (full inner tile)."""
+        return self.full_sw and self.full_sh and self.full_acc
+
+    # The three "full" flags are filled in by TilePlan when iterating.
+    full_sw: bool = True
+    full_sh: bool = True
+    full_acc: bool = True
+
+    @property
+    def macs(self) -> int:
+        return self.sw * self.sh * self.acc
+
+    @property
+    def output_elems(self) -> int:
+        return self.sw * self.acc
+
+
+@dataclasses.dataclass(frozen=True)
+class TilePlan:
+    """Static decomposition of one GEMM onto the array.
+
+    The plan is purely geometric -- no timing.  Timing layers on top in
+    :mod:`repro.npu.systolic`.
+    """
+
+    shape: GemmShape
+    config: NPUConfig
+
+    # ------------------------------------------------------------------
+    # Tile counts
+    # ------------------------------------------------------------------
+    @property
+    def m_tiles(self) -> int:
+        return math.ceil(self.shape.m / self.config.array_width)
+
+    @property
+    def k_tiles(self) -> int:
+        return math.ceil(self.shape.k / self.config.array_height)
+
+    @property
+    def n_tiles(self) -> int:
+        return math.ceil(self.shape.n / self.config.acc_depth)
+
+    @property
+    def total_tiles(self) -> int:
+        return self.m_tiles * self.k_tiles * self.n_tiles
+
+    @property
+    def n_inner_tiles(self) -> int:
+        """Tiles that are full along the n direction (paper's inner tiles)."""
+        return self.m_tiles * self.k_tiles * (self.shape.n // self.config.acc_depth)
+
+    @property
+    def n_outer_tiles(self) -> int:
+        """Tiles partial along n (the paper's phi term, once per m/k tile)."""
+        phi = 1 if self.shape.n % self.config.acc_depth else 0
+        return self.m_tiles * self.k_tiles * phi
+
+    @property
+    def n_remainder(self) -> int:
+        """Output columns in the partial n tile (0 when n divides evenly)."""
+        return self.shape.n % self.config.acc_depth
+
+    # ------------------------------------------------------------------
+    # Per-tile extents
+    # ------------------------------------------------------------------
+    def _extent(self, index: int, total: int, full: int, size: int) -> int:
+        if index < total - 1:
+            return full
+        remainder = size % full
+        return remainder if remainder else full
+
+    def tile_at(self, m_index: int, k_index: int, n_index: int) -> Tile:
+        """Materialize the tile at the given (m, k, n) tile coordinates."""
+        cfg = self.config
+        if not (0 <= m_index < self.m_tiles):
+            raise IndexError(f"m_index {m_index} out of range")
+        if not (0 <= k_index < self.k_tiles):
+            raise IndexError(f"k_index {k_index} out of range")
+        if not (0 <= n_index < self.n_tiles):
+            raise IndexError(f"n_index {n_index} out of range")
+        sw = self._extent(m_index, self.m_tiles, cfg.array_width, self.shape.m)
+        sh = self._extent(k_index, self.k_tiles, cfg.array_height, self.shape.k)
+        acc = self._extent(n_index, self.n_tiles, cfg.acc_depth, self.shape.n)
+        return Tile(
+            m_index=m_index,
+            k_index=k_index,
+            n_index=n_index,
+            sw=sw,
+            sh=sh,
+            acc=acc,
+            full_sw=sw == cfg.array_width,
+            full_sh=sh == cfg.array_height,
+            full_acc=acc == cfg.acc_depth,
+        )
+
+    def tiles(self) -> Iterator[Tile]:
+        """Iterate tiles in execution order: weight-stationary means we keep
+        a weight tile latched while streaming all its n tiles, and iterate
+        k (reduction) innermost across weight tiles so ACCQ accumulates.
+
+        Order: for each m tile -> for each n tile -> for each k tile.
+        """
+        for m_index in range(self.m_tiles):
+            for n_index in range(self.n_tiles):
+                for k_index in range(self.k_tiles):
+                    yield self.tile_at(m_index, k_index, n_index)
+
+    # ------------------------------------------------------------------
+    # Aggregate sanity properties (used heavily by tests)
+    # ------------------------------------------------------------------
+    def total_macs(self) -> int:
+        return sum(t.macs for t in self.tiles())
+
+    def utilization(self) -> float:
+        """Fraction of the array's MAC slots doing useful work, geometry only.
+
+        A partial tile occupies the array for as long as a full one would in
+        the worst case, so utilization is useful MACs over the MAC capacity
+        of ``total_tiles`` full tiles.
+        """
+        cfg = self.config
+        capacity = self.total_tiles * cfg.array_width * cfg.array_height * cfg.acc_depth
+        return self.shape.macs / capacity
+
+
+def tile_plan(shape: GemmShape, config: NPUConfig) -> TilePlan:
+    """Convenience constructor mirroring the rest of the API's style."""
+    return TilePlan(shape=shape, config=config)
+
+
+def split_counts(size: int, tile: int) -> Tuple[int, int]:
+    """Return ``(full_tiles, remainder)`` for splitting ``size`` by ``tile``."""
+    if size <= 0 or tile <= 0:
+        raise ValueError("size and tile must be positive")
+    return size // tile, size % tile

@@ -1,0 +1,24 @@
+"""Multi-task scheduling on the preemptible NPU.
+
+- :mod:`repro.sched.task` -- per-task runtime state (progress, restores).
+- :mod:`repro.sched.policies` -- FCFS/RRB/HPF/TOKEN/SJF/PREMA policies.
+- :mod:`repro.sched.simulator` -- the event-driven multi-task simulator.
+- :mod:`repro.sched.metrics` -- ANTT/STP/fairness/SLA/tail-latency metrics.
+- :mod:`repro.sched.timeline` -- execution trace records (Fig 2 style).
+"""
+
+from repro.sched.metrics import WorkloadMetrics, compute_metrics
+from repro.sched.policies import POLICY_NAMES, make_policy
+from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.sched.task import TaskRuntime
+
+__all__ = [
+    "TaskRuntime",
+    "POLICY_NAMES",
+    "make_policy",
+    "NPUSimulator",
+    "SimulationConfig",
+    "PreemptionMode",
+    "WorkloadMetrics",
+    "compute_metrics",
+]

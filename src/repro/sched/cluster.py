@@ -1,0 +1,158 @@
+"""Multi-NPU node-level scheduling (the paper's Sec II-C future work).
+
+The paper scopes itself to scheduling *after* Kubernetes routes requests
+to one NPU and explicitly leaves node-level policy over multiple
+preemptible NPUs as future work.  This module implements that layer: a
+router dispatches each arriving request to one of N NPUs, each running its
+own (policy, preemption-mode) scheduler.
+
+Routing policies:
+
+``ROUND_ROBIN``
+    Kubernetes-default rotation, blind to task sizes.
+``LEAST_LOADED``
+    Predictive routing: the router tracks each device's *estimated*
+    backlog using the same Algorithm-1 estimates PREMA uses, and sends
+    the request to the device that can start it earliest.  This extends
+    the paper's thesis -- the predictor is useful above the device too.
+``RANDOM``
+    Seeded uniform choice (the load-balancer strawman).
+
+Routing happens in arrival order using only scheduler-visible information
+(arrival time + ``Time_estimated``); devices then execute their partitions
+independently on the single-NPU simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sched.policies import make_policy
+from repro.sched.simulator import (
+    NPUSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.sched.task import TaskRuntime
+
+
+class RoutingPolicy(enum.Enum):
+    ROUND_ROBIN = "round-robin"
+    LEAST_LOADED = "least-loaded"
+    RANDOM = "random"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one cluster run."""
+
+    tasks: Tuple[TaskRuntime, ...]
+    device_results: Tuple[Optional[SimulationResult], ...]
+    assignments: Dict[int, int]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.device_results)
+
+    @property
+    def makespan_cycles(self) -> float:
+        return max(
+            result.makespan_cycles
+            for result in self.device_results
+            if result is not None
+        )
+
+    def device_utilization(self) -> List[float]:
+        """Busy fraction of each device over the cluster makespan."""
+        span = self.makespan_cycles
+        utilization = []
+        for result in self.device_results:
+            if result is None or span == 0:
+                utilization.append(0.0)
+            else:
+                utilization.append(result.timeline.busy_cycles() / span)
+        return utilization
+
+
+class ClusterScheduler:
+    """Route requests across N preemptible NPUs, then simulate each."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        simulation_config: SimulationConfig,
+        policy_name: str = "PREMA",
+        routing: RoutingPolicy = RoutingPolicy.LEAST_LOADED,
+        seed: int = 0,
+    ) -> None:
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        self.num_devices = num_devices
+        self.simulation_config = simulation_config
+        self.policy_name = policy_name
+        self.routing = routing
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, tasks: Sequence[TaskRuntime]) -> Dict[int, int]:
+        """Assign each task to a device, in arrival order.
+
+        Uses only scheduler-visible state: arrival times and the
+        Algorithm-1 estimates carried in each task's context row.
+        """
+        ordered = sorted(tasks, key=lambda t: (t.spec.arrival_cycles, t.task_id))
+        assignments: Dict[int, int] = {}
+        rng = random.Random(self._seed)
+        cursor = 0
+        backlog_free_at = [0.0] * self.num_devices
+        for task in ordered:
+            if self.routing == RoutingPolicy.ROUND_ROBIN:
+                device = cursor % self.num_devices
+                cursor += 1
+            elif self.routing == RoutingPolicy.RANDOM:
+                device = rng.randrange(self.num_devices)
+            else:
+                arrival = task.spec.arrival_cycles
+                device = min(
+                    range(self.num_devices),
+                    key=lambda d: (max(backlog_free_at[d], arrival), d),
+                )
+            arrival = task.spec.arrival_cycles
+            backlog_free_at[device] = (
+                max(backlog_free_at[device], arrival)
+                + task.context.estimated_cycles
+            )
+            assignments[task.task_id] = device
+        return assignments
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[TaskRuntime]) -> ClusterResult:
+        if not tasks:
+            raise ValueError("need at least one task")
+        assignments = self.route(tasks)
+        partitions: List[List[TaskRuntime]] = [
+            [] for _ in range(self.num_devices)
+        ]
+        for task in tasks:
+            partitions[assignments[task.task_id]].append(task)
+        device_results: List[Optional[SimulationResult]] = []
+        for partition in partitions:
+            if not partition:
+                device_results.append(None)
+                continue
+            simulator = NPUSimulator(
+                self.simulation_config, make_policy(self.policy_name)
+            )
+            device_results.append(simulator.run(partition))
+        return ClusterResult(
+            tasks=tuple(tasks),
+            device_results=tuple(device_results),
+            assignments=assignments,
+        )

@@ -1,0 +1,163 @@
+"""Multi-program scheduling metrics (paper Sec III "Metrics", Eq 1-2).
+
+Implements Eyerman & Eeckhout's system-level metrics plus the paper's
+QoS measures:
+
+- NTT_i   = C_multi_i / C_single_i           (per-task slowdown)
+- ANTT    = (1/n) * sum_i NTT_i              (lower is better)
+- STP     = sum_i C_single_i / C_multi_i     (higher is better)
+- Fairness = min_{i,j} PP_i / PP_j, with priority-weighted progress
+  PP_i = (C_single_i / C_multi_i) / (Priority_i / sum_j Priority_j)
+- SLA violation rate at target N: fraction of tasks whose turnaround
+  exceeds N x C_single (Sec VI-C)
+- percentile tail latency of (high-priority) tasks (Fig 14)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tokens import PRIORITY_TOKENS, Priority
+from repro.sched.task import TaskRuntime
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadMetrics:
+    """Aggregate metrics of one completed multi-tasked workload."""
+
+    antt: float
+    stp: float
+    fairness: float
+    ntt_by_task: Dict[int, float]
+    turnaround_by_task: Dict[int, float]
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.ntt_by_task)
+
+
+def _require_completed(tasks: Sequence[TaskRuntime]) -> None:
+    for task in tasks:
+        if not task.is_done:
+            raise ValueError(f"task {task.task_id} has not completed")
+
+
+def priority_weight(priority: Priority) -> int:
+    """Priority_i in Eq 2: the user-defined token value (1/3/9)."""
+    return PRIORITY_TOKENS[priority]
+
+
+def compute_metrics(tasks: Sequence[TaskRuntime]) -> WorkloadMetrics:
+    """ANTT / STP / fairness for one completed workload (Eq 1-2)."""
+    _require_completed(tasks)
+    if not tasks:
+        raise ValueError("need at least one task")
+    ntts = {task.task_id: task.normalized_turnaround for task in tasks}
+    turnarounds = {task.task_id: task.turnaround_cycles for task in tasks}
+    antt = sum(ntts.values()) / len(ntts)
+    stp = sum(1.0 / ntt for ntt in ntts.values())
+    total_weight = sum(priority_weight(task.spec.priority) for task in tasks)
+    progress = []
+    for task in tasks:
+        speedup = task.isolated_cycles / task.turnaround_cycles
+        share = priority_weight(task.spec.priority) / total_weight
+        progress.append(speedup / share)
+    fairness = min(progress) / max(progress) if len(progress) > 1 else 1.0
+    return WorkloadMetrics(
+        antt=antt,
+        stp=stp,
+        fairness=fairness,
+        ntt_by_task=ntts,
+        turnaround_by_task=turnarounds,
+    )
+
+
+def sla_violation_rate(
+    tasks: Sequence[TaskRuntime], sla_multiplier: float
+) -> float:
+    """Fraction of tasks violating SLA target N x C_single (Sec VI-C)."""
+    _require_completed(tasks)
+    if sla_multiplier <= 0:
+        raise ValueError("sla_multiplier must be positive")
+    if not tasks:
+        raise ValueError("need at least one task")
+    violations = sum(
+        1
+        for task in tasks
+        if task.turnaround_cycles > sla_multiplier * task.isolated_cycles
+    )
+    return violations / len(tasks)
+
+
+def tail_latency_cycles(
+    tasks: Sequence[TaskRuntime],
+    percentile: float = 95.0,
+    priority: Optional[Priority] = Priority.HIGH,
+    benchmark: Optional[str] = None,
+) -> float:
+    """Percentile turnaround of the selected tasks (Fig 14's 95%-ile).
+
+    ``priority``/``benchmark`` filter the population; pass None to keep
+    all.  Raises when the filter selects nothing.
+    """
+    _require_completed(tasks)
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    selected = [
+        task.turnaround_cycles
+        for task in tasks
+        if (priority is None or task.spec.priority == priority)
+        and (benchmark is None or task.spec.benchmark == benchmark)
+    ]
+    if not selected:
+        raise ValueError("no tasks match the tail-latency filter")
+    return float(np.percentile(np.asarray(selected), percentile))
+
+
+@dataclasses.dataclass(frozen=True)
+class EnsembleMetrics:
+    """Metrics averaged over an ensemble of workloads (25 runs, Sec VI)."""
+
+    mean_antt: float
+    mean_stp: float
+    mean_fairness: float
+    per_workload: Tuple[WorkloadMetrics, ...]
+
+    @property
+    def num_workloads(self) -> int:
+        return len(self.per_workload)
+
+
+def aggregate_metrics(
+    workload_results: Iterable[Sequence[TaskRuntime]],
+) -> EnsembleMetrics:
+    """Average metrics across independently simulated workloads."""
+    per_workload: List[WorkloadMetrics] = [
+        compute_metrics(tasks) for tasks in workload_results
+    ]
+    if not per_workload:
+        raise ValueError("need at least one workload")
+    return EnsembleMetrics(
+        mean_antt=float(np.mean([m.antt for m in per_workload])),
+        mean_stp=float(np.mean([m.stp for m in per_workload])),
+        mean_fairness=float(np.mean([m.fairness for m in per_workload])),
+        per_workload=tuple(per_workload),
+    )
+
+
+def improvement_over_baseline(
+    metrics: EnsembleMetrics, baseline: EnsembleMetrics
+) -> Dict[str, float]:
+    """Normalized improvements the paper's Figs 11/12/15 report.
+
+    ANTT improves when it *drops*, so its improvement is baseline/policy;
+    STP and fairness improve when they *rise*, so policy/baseline.
+    """
+    return {
+        "antt": baseline.mean_antt / metrics.mean_antt,
+        "stp": metrics.mean_stp / baseline.mean_stp,
+        "fairness": metrics.mean_fairness / baseline.mean_fairness,
+    }

@@ -1,0 +1,249 @@
+"""Scheduling policies (paper Sec VI-A).
+
+Six policies, matching the evaluation's x-axes:
+
+=======  ==========  ===============================================
+Name     Predictor?  Selection rule
+=======  ==========  ===============================================
+FCFS     no          earliest arrival first (TensorRT-server baseline)
+RRB      no          round-robin across ready tasks
+HPF      no          highest priority first, FCFS among equals
+TOKEN    yes         token candidate group, FCFS among candidates
+SJF      yes         shortest estimated remaining job first
+PREMA    yes         token candidate group + shortest estimated job
+=======  ==========  ===============================================
+
+Each policy also defines ``outranks`` -- whether a would-be candidate
+should preempt the running task under a preemptive scheduler.  FCFS and
+RRB have no urgency ordering, so they never preempt (they exist as
+non-preemptive baselines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.context import ContextTable, TaskContext
+from repro.core.scheduler import PremaPolicyCore, SchedulerConfig
+from repro.core.tokens import candidate_threshold
+
+
+class Policy:
+    """Interface consumed by the simulator."""
+
+    name: str = "abstract"
+    #: Does the policy read Time_estimated (Algorithm 1 output)?
+    uses_predictor: bool = False
+    #: Does the policy maintain tokens on period ticks?
+    uses_tokens: bool = False
+
+    def on_period(self, table: ContextTable) -> None:
+        """Hook invoked at each scheduling-period tick."""
+
+    def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
+        """Pick the next task among the ready queue (None when empty)."""
+        raise NotImplementedError
+
+    def outranks(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        ready: Sequence[TaskContext] = (),
+    ) -> bool:
+        """Should ``candidate`` preempt ``running``?
+
+        ``ready`` is the full ready queue (the candidate included), needed
+        by token-threshold policies whose preemption intent depends on the
+        whole queue's token state.
+        """
+        return False
+
+    def reset(self) -> None:
+        """Clear any cross-run state (round-robin cursors and the like)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FcfsPolicy(Policy):
+    """Non-preemptive first-come first-serve (the NP-FCFS baseline)."""
+
+    name = "FCFS"
+
+    def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
+        if not ready:
+            return None
+        return min(ready, key=lambda row: row.task_id)
+
+
+class RoundRobinPolicy(Policy):
+    """Round-robin among the DNN *models* (Sec VI-A).
+
+    Run-to-completion round-robin over tasks degenerates to FCFS, so the
+    rotation is over benchmark names: each pick serves the next model in
+    alphabetical rotation that has a ready task (FCFS within a model).
+    """
+
+    name = "RRB"
+
+    def __init__(self) -> None:
+        self._last_model: str = ""
+
+    def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
+        if not ready:
+            return None
+        models = sorted({row.benchmark for row in ready})
+        chosen_model = next(
+            (m for m in models if m > self._last_model), models[0]
+        )
+        self._last_model = chosen_model
+        return min(
+            (row for row in ready if row.benchmark == chosen_model),
+            key=lambda row: row.task_id,
+        )
+
+    def reset(self) -> None:
+        self._last_model = ""
+
+
+class HpfPolicy(Policy):
+    """High-priority first; FCFS among equal priorities."""
+
+    name = "HPF"
+
+    def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
+        if not ready:
+            return None
+        return min(ready, key=lambda row: (-int(row.priority), row.task_id))
+
+    def outranks(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        ready: Sequence[TaskContext] = (),
+    ) -> bool:
+        return int(candidate.priority) > int(running.priority)
+
+
+class TokenPolicy(Policy):
+    """Token-based candidate group, naive FCFS among candidates (Sec VI-A)."""
+
+    name = "TOKEN"
+    uses_predictor = True
+    uses_tokens = True
+
+    def __init__(self, core: Optional[PremaPolicyCore] = None) -> None:
+        self._core = core or PremaPolicyCore()
+
+    def on_period(self, table: ContextTable) -> None:
+        self._core.grant_periodic_tokens(table)
+
+    def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
+        if not ready:
+            return None
+        threshold = candidate_threshold(max(row.tokens for row in ready))
+        candidates = [row for row in ready if row.tokens > threshold]
+        if not candidates:
+            candidates = list(ready)
+        return min(candidates, key=lambda row: row.task_id)
+
+    def outranks(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        ready: Sequence[TaskContext] = (),
+    ) -> bool:
+        # The running task competes in the candidate group: preemption
+        # fires only when it falls below the dynamic token threshold while
+        # a waiting task clears it.
+        pool = list(ready) + [running]
+        threshold = candidate_threshold(max(row.tokens for row in pool))
+        return running.tokens <= threshold < candidate.tokens
+
+
+class SjfPolicy(Policy):
+    """Shortest estimated job first: latency-optimal, priority-blind."""
+
+    name = "SJF"
+    uses_predictor = True
+
+    def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
+        if not ready:
+            return None
+        return min(
+            ready, key=lambda row: (row.estimated_remaining_cycles, row.task_id)
+        )
+
+    def outranks(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        ready: Sequence[TaskContext] = (),
+    ) -> bool:
+        return (
+            candidate.estimated_remaining_cycles
+            < running.estimated_remaining_cycles
+        )
+
+
+class PremaPolicy(Policy):
+    """The full PREMA policy (Algorithm 2) via the core implementation."""
+
+    name = "PREMA"
+    uses_predictor = True
+    uses_tokens = True
+
+    def __init__(self, core: Optional[PremaPolicyCore] = None) -> None:
+        self.core = core or PremaPolicyCore()
+
+    def on_period(self, table: ContextTable) -> None:
+        self.core.grant_periodic_tokens(table)
+
+    def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
+        if not ready:
+            return None
+        table_like = _ReadyView(ready)
+        return self.core.select_candidate(table_like)
+
+    def outranks(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        ready: Sequence[TaskContext] = (),
+    ) -> bool:
+        return self.core.should_preempt(candidate, running, ready)
+
+
+class _ReadyView:
+    """Adapter presenting a ready list through the ContextTable interface."""
+
+    def __init__(self, ready: Sequence[TaskContext]) -> None:
+        self._ready = list(ready)
+
+    def ready(self) -> List[TaskContext]:
+        return sorted(self._ready, key=lambda row: row.task_id)
+
+
+POLICY_NAMES = ("FCFS", "RRB", "HPF", "TOKEN", "SJF", "PREMA")
+
+_FACTORIES: Dict[str, type] = {
+    "FCFS": FcfsPolicy,
+    "RRB": RoundRobinPolicy,
+    "HPF": HpfPolicy,
+    "TOKEN": TokenPolicy,
+    "SJF": SjfPolicy,
+    "PREMA": PremaPolicy,
+}
+
+
+def make_policy(
+    name: str, scheduler_config: Optional[SchedulerConfig] = None
+) -> Policy:
+    """Instantiate a policy by its paper name (case-insensitive)."""
+    cls = _FACTORIES.get(name.upper())
+    if cls is None:
+        raise KeyError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
+    if cls in (TokenPolicy, PremaPolicy):
+        core = PremaPolicyCore(scheduler_config)
+        return cls(core)
+    return cls()

@@ -1,0 +1,308 @@
+"""Event-driven multi-task NPU simulator (paper Secs III-V).
+
+One NPU executes a multi-tasked workload under a (policy, preemption mode)
+pair.  The scheduler wakes on the paper's three conditions -- task
+dispatch, task completion, and scheduling-period expiry (Sec V-C) -- plus
+the internal completion of a checkpoint trap.  Between wakes, the running
+task advances analytically along its ground-truth execution profile.
+
+Preemption modes:
+
+``NP``
+    Non-preemptive: the policy is consulted only when the NPU idles.
+``STATIC``
+    Preempt whenever the policy's candidate outranks the running task,
+    always via the configured static mechanism (CHECKPOINT or KILL).
+``DYNAMIC``
+    PREMA's Algorithm 3: per preemption intent, choose CHECKPOINT or
+    DRAIN from the predicted remaining times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.context import ContextTable, TaskContext, TaskState
+from repro.core.mechanism import MechanismChoice, select_mechanism
+from repro.core.scheduler import SchedulerConfig
+from repro.npu.config import NPUConfig
+from repro.npu.preemption import (
+    CheckpointMechanism,
+    KillMechanism,
+    PreemptionMechanism,
+)
+from repro.sched.policies import Policy
+from repro.sched.task import TaskRuntime
+from repro.sched.timeline import SegmentKind, Timeline
+
+
+class PreemptionMode(enum.Enum):
+    NP = "np"
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one simulation run needs besides the workload itself."""
+
+    npu: NPUConfig
+    mode: PreemptionMode = PreemptionMode.NP
+    #: Preemption mechanism: "CHECKPOINT" or "KILL".  STATIC mode always
+    #: uses it; DYNAMIC mode lets Algorithm 3 pick between it and DRAIN
+    #: (the paper's Fig 15 sensitivity swaps CHECKPOINT for KILL here).
+    mechanism: str = "CHECKPOINT"
+    scheduler: SchedulerConfig = dataclasses.field(default_factory=SchedulerConfig)
+
+    def __post_init__(self) -> None:
+        if self.mechanism.upper() not in ("CHECKPOINT", "KILL"):
+            raise ValueError("mechanism must be CHECKPOINT or KILL")
+
+
+class _EventKind(enum.IntEnum):
+    # Deterministic tie-break order at equal timestamps: finish work before
+    # admitting new tasks, and let period ticks observe a settled state.
+    COMPLETE = 0
+    ARRIVAL = 1
+    PERIOD = 2
+    DISPATCH = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one run: completed task runtimes + the NPU timeline."""
+
+    tasks: Tuple[TaskRuntime, ...]
+    timeline: Timeline
+    makespan_cycles: float
+    preemption_count: int
+    drain_decisions: int
+
+    def task_by_id(self, task_id: int) -> TaskRuntime:
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(f"no task {task_id}")
+
+
+class NPUSimulator:
+    """Simulate one workload on one NPU under one scheduling configuration."""
+
+    def __init__(self, config: SimulationConfig, policy: Policy) -> None:
+        self.config = config
+        self.policy = policy
+        self._checkpoint = CheckpointMechanism(config.npu)
+        self._kill = KillMechanism(config.npu)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[TaskRuntime]) -> SimulationResult:
+        """Execute the workload to completion and return the result."""
+        if not tasks:
+            raise ValueError("need at least one task")
+        self.policy.reset()
+        table = ContextTable()
+        runtimes: Dict[int, TaskRuntime] = {}
+        events: List[Tuple[float, int, int, _EventKind, object]] = []
+        counter = itertools.count()
+        timeline = Timeline()
+
+        def push(time: float, kind: _EventKind, payload: object) -> None:
+            heapq.heappush(events, (time, int(kind), next(counter), kind, payload))
+
+        for task in tasks:
+            if task.task_id in runtimes:
+                raise ValueError(f"duplicate task id {task.task_id}")
+            runtimes[task.task_id] = task
+            push(task.spec.arrival_cycles, _EventKind.ARRIVAL, task.task_id)
+
+        running_id: Optional[int] = None
+        #: Wall-clock cycle until which the NPU is busy checkpointing.
+        npu_reserved_until = 0.0
+        preemption_count = 0
+        drain_decisions = 0
+        period = self.config.scheduler.period_cycles
+        first_arrival = min(task.spec.arrival_cycles for task in tasks)
+        push(first_arrival + period, _EventKind.PERIOD, None)
+        completed = 0
+        now = 0.0
+
+        while events and completed < len(tasks):
+            now, _, _, kind, payload = heapq.heappop(events)
+
+            if kind == _EventKind.ARRIVAL:
+                task = runtimes[payload]  # type: ignore[index]
+                task.context.last_update_cycles = now
+                table.add(task.context)
+                running_id, did_preempt, did_drain = self._wake(
+                    now, table, runtimes, running_id, npu_reserved_until,
+                    push, timeline,
+                )
+                preemption_count += did_preempt
+                drain_decisions += did_drain
+                if did_preempt:
+                    npu_reserved_until = self._reserved_until
+
+            elif kind == _EventKind.COMPLETE:
+                task_id, epoch = payload  # type: ignore[misc]
+                task = runtimes[task_id]
+                if task.epoch != epoch or task.context.state != TaskState.RUNNING:
+                    continue  # stale completion from a preempted dispatch
+                self._record_run_segments(timeline, task, now)
+                task.complete(now)
+                completed += 1
+                if task_id == running_id:
+                    running_id = None
+                running_id, did_preempt, did_drain = self._wake(
+                    now, table, runtimes, running_id, npu_reserved_until,
+                    push, timeline,
+                )
+                preemption_count += did_preempt
+                drain_decisions += did_drain
+                if did_preempt:
+                    npu_reserved_until = self._reserved_until
+
+            elif kind == _EventKind.PERIOD:
+                if completed < len(tasks):
+                    push(now + period, _EventKind.PERIOD, None)
+                self._accrue_ready(table, now)
+                if self.policy.uses_tokens:
+                    self.policy.on_period(table)
+                running_id, did_preempt, did_drain = self._wake(
+                    now, table, runtimes, running_id, npu_reserved_until,
+                    push, timeline, accounting_done=True,
+                )
+                preemption_count += did_preempt
+                drain_decisions += did_drain
+                if did_preempt:
+                    npu_reserved_until = self._reserved_until
+
+            elif kind == _EventKind.DISPATCH:
+                task_id = payload  # type: ignore[assignment]
+                task = runtimes[task_id]
+                if task.is_done or task.context.state == TaskState.RUNNING:
+                    continue
+                running_id = self._dispatch(now, task, push, timeline)
+
+        makespan = max(
+            task.completion_time for task in tasks if task.completion_time
+        )
+        return SimulationResult(
+            tasks=tuple(tasks),
+            timeline=timeline,
+            makespan_cycles=makespan,
+            preemption_count=preemption_count,
+            drain_decisions=drain_decisions,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    _reserved_until: float = 0.0
+
+    @staticmethod
+    def _accrue_ready(table: ContextTable, now: float) -> None:
+        for row in table.ready():
+            row.accrue_wait(now)
+
+    def _dispatch(self, now, task: TaskRuntime, push, timeline) -> int:
+        completion = task.dispatch(now)
+        push(completion, _EventKind.COMPLETE, (task.task_id, task.epoch))
+        return task.task_id
+
+    def _record_run_segments(
+        self, timeline: Timeline, task: TaskRuntime, end: float
+    ) -> None:
+        """Record the restore + run spans of the dispatch ending at ``end``."""
+        start = task.dispatch_time
+        if start is None:
+            return
+        restore_end = start + task.dispatch_restore
+        timeline.record(task.task_id, SegmentKind.RESTORE, start, restore_end)
+        timeline.record(task.task_id, SegmentKind.RUN, restore_end, end)
+
+    def _wake(
+        self,
+        now: float,
+        table: ContextTable,
+        runtimes: Dict[int, TaskRuntime],
+        running_id: Optional[int],
+        npu_reserved_until: float,
+        push,
+        timeline: Timeline,
+        accounting_done: bool = False,
+    ) -> Tuple[Optional[int], int, int]:
+        """Run the scheduler; returns (running_id, preempted?, drained?)."""
+        if not accounting_done:
+            self._accrue_ready(table, now)
+        ready = table.ready()
+        if running_id is None:
+            if now < npu_reserved_until:
+                # A checkpoint trap is in flight; the reserved DISPATCH
+                # event will start the chosen candidate.
+                return None, 0, 0
+            candidate_ctx = self.policy.select(ready)
+            if candidate_ctx is None:
+                return None, 0, 0
+            return (
+                self._dispatch(now, runtimes[candidate_ctx.task_id], push, timeline),
+                0,
+                0,
+            )
+
+        if self.config.mode == PreemptionMode.NP:
+            return running_id, 0, 0
+
+        candidate_ctx = self.policy.select(ready)
+        if candidate_ctx is None:
+            return running_id, 0, 0
+        running = runtimes[running_id]
+        # Token-driven policies re-rank on every period tick as waiting
+        # tasks earn tokens; the scheduling-period time-quota (Table II)
+        # guarantees the running task at least one quota of service so
+        # token drift cannot ping-pong the NPU between two tasks.
+        if self.policy.uses_tokens and running.dispatch_time is not None:
+            if now - running.dispatch_time < self.config.scheduler.period_cycles:
+                return running_id, 0, 0
+        # Refresh the running task's accounted progress for ranking.
+        running.context.executed_cycles = running.progress_at(now)
+        if not self.policy.outranks(candidate_ctx, running.context, ready):
+            return running_id, 0, 0
+
+        mechanism: PreemptionMechanism = (
+            self._kill
+            if self.config.mechanism.upper() == "KILL"
+            else self._checkpoint
+        )
+        if self.config.mode == PreemptionMode.DYNAMIC:
+            choice = select_mechanism(running.context, candidate_ctx)
+            if choice == MechanismChoice.DRAIN:
+                return running_id, 0, 1
+
+        # Apply the mechanism at the running task's current progress.
+        progress = running.progress_at(now)
+        outcome = mechanism.preempt(running.profile, progress)
+        # Wall-clock when the in-flight tile commits (boundary), then trap.
+        # A request arriving during the restore phase waits for it.
+        boundary_wall = running.wall_time_at_offset(outcome.boundary_offset)
+        free_at = boundary_wall + outcome.preemption_latency
+        self._record_run_segments(timeline, running, boundary_wall)
+        if outcome.preemption_latency > 0:
+            timeline.record(
+                running.task_id, SegmentKind.CHECKPOINT, boundary_wall, free_at
+            )
+        running.record_preemption(
+            now=boundary_wall,
+            retained_offset=outcome.retained_offset,
+            restore_latency=outcome.restore_latency,
+            checkpoint_bytes=outcome.checkpoint_bytes,
+            killed=isinstance(mechanism, KillMechanism),
+        )
+        self._reserved_until = free_at
+        push(free_at, _EventKind.DISPATCH, candidate_ctx.task_id)
+        return None, 1, 0

@@ -1,0 +1,113 @@
+"""Execution timeline recording (the paper's Fig 2-style traces).
+
+The simulator records one :class:`Segment` per contiguous span of NPU
+activity.  Timelines back the scheduling-invariant tests (no overlapping
+busy spans; per-task run time conservation) and the example scripts'
+Gantt-style ASCII rendering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+
+class SegmentKind(enum.Enum):
+    RUN = "run"
+    RESTORE = "restore"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """One contiguous span of NPU occupancy attributed to a task."""
+
+    task_id: int
+    kind: SegmentKind
+    start_cycles: float
+    end_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.end_cycles < self.start_cycles:
+            raise ValueError("segment ends before it starts")
+
+    @property
+    def duration_cycles(self) -> float:
+        return self.end_cycles - self.start_cycles
+
+
+class Timeline:
+    """Ordered record of NPU occupancy over one simulation run."""
+
+    def __init__(self) -> None:
+        self._segments: List[Segment] = []
+
+    def record(
+        self, task_id: int, kind: SegmentKind, start: float, end: float
+    ) -> None:
+        if end < start:
+            raise ValueError("segment ends before it starts")
+        if end > start:
+            self._segments.append(Segment(task_id, kind, start, end))
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def busy_cycles(self) -> float:
+        return sum(segment.duration_cycles for segment in self._segments)
+
+    def run_cycles_by_task(self) -> Dict[int, float]:
+        totals: Dict[int, float] = {}
+        for segment in self._segments:
+            if segment.kind == SegmentKind.RUN:
+                totals[segment.task_id] = (
+                    totals.get(segment.task_id, 0.0) + segment.duration_cycles
+                )
+        return totals
+
+    def verify_no_overlap(self, tolerance: float = 1e-6) -> None:
+        """Raise if any two busy segments overlap (core simulator invariant)."""
+        ordered = sorted(self._segments, key=lambda s: s.start_cycles)
+        for previous, current in zip(ordered, ordered[1:]):
+            if current.start_cycles < previous.end_cycles - tolerance:
+                raise AssertionError(
+                    f"overlapping segments: {previous} then {current}"
+                )
+
+    def render_ascii(
+        self,
+        width: int = 80,
+        label_by_task: Optional[Dict[int, str]] = None,
+    ) -> str:
+        """A Fig 2-style one-line-per-task Gantt chart."""
+        if not self._segments:
+            return "(empty timeline)"
+        start = min(s.start_cycles for s in self._segments)
+        end = max(s.end_cycles for s in self._segments)
+        span = max(end - start, 1.0)
+        task_ids = sorted({s.task_id for s in self._segments})
+        lines = []
+        for task_id in task_ids:
+            row = [" "] * width
+            for segment in self._segments:
+                if segment.task_id != task_id:
+                    continue
+                lo = int((segment.start_cycles - start) / span * (width - 1))
+                hi = max(lo + 1, int((segment.end_cycles - start) / span * (width - 1)))
+                char = {"run": "#", "restore": "r", "checkpoint": "c"}[
+                    segment.kind.value
+                ]
+                for position in range(lo, min(hi, width)):
+                    row[position] = char
+            label = (
+                label_by_task.get(task_id, f"T{task_id}")
+                if label_by_task
+                else f"T{task_id}"
+            )
+            lines.append(f"{label:>12s} |{''.join(row)}|")
+        return "\n".join(lines)

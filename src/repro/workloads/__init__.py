@@ -1,0 +1,6 @@
+"""Multi-tasked DNN workload construction (paper Sec III)."""
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.specs import TaskSpec, WorkloadSpec
+
+__all__ = ["TaskSpec", "WorkloadSpec", "WorkloadGenerator"]

@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+The Table-I config and the task factory are session-scoped: the factory's
+compilation caches make the scheduling tests cheap, and the config is
+immutable so sharing is safe.
+"""
+
+import pytest
+
+from repro.npu.config import NPUConfig
+from repro.sched.prepare import TaskFactory
+
+
+@pytest.fixture(scope="session")
+def config() -> NPUConfig:
+    return NPUConfig()
+
+
+@pytest.fixture(scope="session")
+def factory(config: NPUConfig) -> TaskFactory:
+    return TaskFactory(config)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> NPUConfig:
+    """A tiny NPU for brute-force-verifiable tile math."""
+    return NPUConfig(
+        array_width=4,
+        array_height=4,
+        acc_depth=8,
+        ubuf_bytes=64 * 1024,
+        wbuf_bytes=32 * 1024,
+        memory_bandwidth_bytes_per_sec=8 * 700e6,  # 8 bytes/cycle
+    )

@@ -1,0 +1,55 @@
+"""Ablation harnesses: predictor noise and trap-cost sweeps."""
+
+import pytest
+
+from repro.analysis.experiments.ablations import (
+    format_noise_ablation,
+    format_trap_ablation,
+    run_noise_ablation,
+    run_trap_ablation,
+)
+
+
+class TestNoiseAblation:
+    @pytest.fixture(scope="class")
+    def rows(self, config, factory):
+        return run_noise_ablation(
+            config=config, factory=factory, num_workloads=4,
+            sigmas=(0.0, 0.3, 1.5),
+        )
+
+    def test_noiseless_prema_beats_fcfs(self, rows):
+        assert rows[0].antt_vs_fcfs > 1.5
+
+    def test_degradation_is_graceful(self, rows):
+        # Even with sigma=1.5 (multiplicative noise routinely 3-4x off),
+        # PREMA should not collapse below the NP-FCFS baseline: relative
+        # ordering of jobs survives moderate multiplicative noise.
+        assert rows[-1].antt_vs_fcfs > 0.9
+
+    def test_noise_never_helps_much(self, rows):
+        # The noiseless predictor is (near-)optimal among the levels.
+        best = max(row.antt_vs_fcfs for row in rows)
+        assert rows[0].antt_vs_fcfs >= 0.85 * best
+
+    def test_format(self, rows):
+        assert "predictor noise" in format_noise_ablation(rows)
+
+
+class TestTrapAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_trap_ablation(
+            num_workloads=3, trap_cycles=(1_000, 1_000_000)
+        )
+
+    def test_cheap_trap_wins(self, rows):
+        assert rows[0].antt_vs_fcfs > 1.5
+
+    def test_expensive_trap_reduces_benefit(self, rows):
+        # A ~1.4 ms trap makes each preemption cost as much as a short
+        # inference; the advantage over NP-FCFS must shrink.
+        assert rows[-1].antt_vs_fcfs <= rows[0].antt_vs_fcfs
+
+    def test_format(self, rows):
+        assert "trap cost" in format_trap_ablation(rows)

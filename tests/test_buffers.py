@@ -1,0 +1,142 @@
+"""On-chip buffer occupancy + checkpoint-size profiles (Sec IV-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npu.buffers import (
+    BufferTracker,
+    CheckpointProfile,
+    layer_checkpoint_profile,
+)
+from repro.npu.config import NPUConfig
+
+
+class TestCheckpointProfile:
+    def test_zero_progress_only_accq(self):
+        profile = CheckpointProfile(
+            out_bytes_per_tile=100, total_tiles=10, ubuf_cap_bytes=10_000,
+            accq_bytes=50,
+        )
+        assert profile.bytes_at(0) == 50
+
+    def test_grows_with_progress(self):
+        profile = CheckpointProfile(
+            out_bytes_per_tile=100, total_tiles=10, ubuf_cap_bytes=10_000,
+            accq_bytes=50,
+        )
+        assert profile.bytes_at(5) == 5 * 100 + 50
+
+    def test_capped_by_ubuf(self):
+        profile = CheckpointProfile(
+            out_bytes_per_tile=100, total_tiles=100, ubuf_cap_bytes=1_000,
+            accq_bytes=50,
+        )
+        assert profile.bytes_at(99) == 1_000 + 50
+
+    def test_completed_layer_has_no_accq_state(self):
+        profile = CheckpointProfile(
+            out_bytes_per_tile=100, total_tiles=10, ubuf_cap_bytes=10_000,
+            accq_bytes=50,
+        )
+        assert profile.bytes_at(10) == 1_000
+
+    def test_beyond_total_clamps(self):
+        profile = CheckpointProfile(
+            out_bytes_per_tile=100, total_tiles=10, ubuf_cap_bytes=10_000,
+            accq_bytes=50,
+        )
+        assert profile.bytes_at(200) == profile.bytes_at(10)
+
+    def test_max_bytes_is_worst_case(self):
+        profile = CheckpointProfile(
+            out_bytes_per_tile=100, total_tiles=10, ubuf_cap_bytes=10_000,
+            accq_bytes=50,
+        )
+        worst = max(profile.bytes_at(t) for t in range(11))
+        assert profile.max_bytes == worst
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            CheckpointProfile(-1, 10, 100, 10)
+        with pytest.raises(ValueError):
+            CheckpointProfile(1, -10, 100, 10)
+        with pytest.raises(ValueError):
+            CheckpointProfile(1, 10, -100, 10)
+
+    def test_rejects_negative_progress(self):
+        profile = CheckpointProfile(100, 10, 10_000, 50)
+        with pytest.raises(ValueError):
+            profile.bytes_at(-1)
+
+    @given(
+        per_tile=st.floats(min_value=0, max_value=1e6),
+        tiles=st.integers(min_value=0, max_value=500),
+        done=st.integers(min_value=0, max_value=600),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bytes_never_exceed_capacity(self, per_tile, tiles, done):
+        cap, accq = 8 << 20, 1 << 20
+        profile = CheckpointProfile(per_tile, tiles, cap, accq)
+        assert profile.bytes_at(done) <= cap + accq
+
+
+class TestLayerCheckpointProfile:
+    def test_accq_capped_by_config(self, config):
+        profile = layer_checkpoint_profile(config, 1000.0, 10)
+        assert profile.accq_bytes <= config.accq_bytes
+
+    def test_ubuf_cap_from_config(self, config):
+        profile = layer_checkpoint_profile(config, 1e9, 10)
+        assert profile.ubuf_cap_bytes == config.ubuf_bytes
+        assert profile.bytes_at(10) == config.ubuf_bytes
+
+    def test_data_bytes_applied(self, config):
+        profile = layer_checkpoint_profile(config, 500.0, 4)
+        assert profile.out_bytes_per_tile == 500.0 * config.data_bytes
+
+
+class TestBufferTracker:
+    def test_allocate_and_free(self, config):
+        tracker = BufferTracker(config)
+        tracker.allocate_ubuf(1024)
+        assert tracker.ubuf_used == 1024
+        tracker.free_ubuf(1024)
+        assert tracker.ubuf_used == 0
+
+    def test_ubuf_overflow_raises(self, config):
+        tracker = BufferTracker(config)
+        with pytest.raises(OverflowError):
+            tracker.allocate_ubuf(config.ubuf_bytes + 1)
+
+    def test_wbuf_overflow_raises(self, config):
+        tracker = BufferTracker(config)
+        with pytest.raises(OverflowError):
+            tracker.allocate_wbuf(config.wbuf_bytes + 1)
+
+    def test_invalid_free_raises(self, config):
+        tracker = BufferTracker(config)
+        with pytest.raises(ValueError):
+            tracker.free_ubuf(1)
+        with pytest.raises(ValueError):
+            tracker.free_wbuf(1)
+
+    def test_accq_fill_and_drain(self, config):
+        tracker = BufferTracker(config)
+        tracker.fill_accq(100)
+        tracker.fill_accq(200)
+        assert tracker.drain_accq() == 300
+        assert tracker.accq_used == 0
+
+    def test_accq_overflow_raises(self, config):
+        tracker = BufferTracker(config)
+        with pytest.raises(OverflowError):
+            tracker.fill_accq(config.accq_bytes + 1)
+
+    def test_reset(self, config):
+        tracker = BufferTracker(config)
+        tracker.allocate_ubuf(10)
+        tracker.allocate_wbuf(10)
+        tracker.fill_accq(10)
+        tracker.reset()
+        assert (tracker.ubuf_used, tracker.wbuf_used, tracker.accq_used) == (0, 0, 0)

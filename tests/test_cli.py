@@ -1,0 +1,56 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestSimulateCommand:
+    def test_default_prema_run(self, capsys):
+        assert main(["simulate", "--tasks", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PREMA" in out
+        assert "ANTT=" in out
+
+    def test_policy_and_mode_flags(self, capsys):
+        code = main([
+            "simulate", "--policy", "SJF", "--mode", "static",
+            "--mechanism", "KILL", "--tasks", "3", "--seed", "1",
+        ])
+        assert code == 0
+        assert "SJF (static/KILL)" in capsys.readouterr().out
+
+    def test_timeline_flag(self, capsys):
+        main(["simulate", "--tasks", "3", "--seed", "2", "--timeline"])
+        assert "#" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "EDF"])
+
+
+class TestPredictCommand:
+    def test_cnn_prediction(self, capsys):
+        assert main(["predict", "CNN-AN"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+        assert "Algorithm 1" in out
+
+    def test_rnn_prediction_uses_lengths(self, capsys):
+        assert main([
+            "predict", "RNN-MT1", "--input-len", "20", "--output-len", "25",
+        ]) == 0
+        assert "in=20 out=25" in capsys.readouterr().out
+
+    def test_unknown_benchmark_errors(self, capsys):
+        assert main(["predict", "CNN-XX"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestZooCommand:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN",
+                     "RNN-SA", "RNN-MT1", "RNN-MT2", "RNN-ASR"):
+            assert name in out

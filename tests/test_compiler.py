@@ -1,0 +1,138 @@
+"""Layer-to-instruction compiler: lowering correctness + accounting."""
+
+import pytest
+
+from repro.isa.compiler import compile_layer, compile_model
+from repro.isa.instructions import Opcode
+from repro.models.graph import Graph
+from repro.models.layers import (
+    Conv2D,
+    FullyConnected,
+    InputSpec,
+    LSTMCell,
+    Pool2D,
+    Softmax,
+)
+from repro.npu.tiling import GemmShape, TilePlan
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    graph = Graph("tiny", InputSpec(channels=3, height=16, width=16))
+    graph.add(Conv2D("conv", out_channels=8, kernel=3, padding=1))
+    graph.add(Pool2D("pool", kernel=2, stride=2))
+    graph.add(FullyConnected("fc", out_features=10, fused_activation=None))
+    graph.add(Softmax("prob"))
+    return graph
+
+
+class TestGemmLowering:
+    def test_conv_uses_conv_op(self, tiny_graph, config):
+        layer = compile_layer(tiny_graph["conv"], config, batch=1)
+        assert layer.stream is not None
+        assert layer.stream.count(Opcode.CONV_OP) == layer.total_tiles
+        assert layer.stream.count(Opcode.GEMM_OP) == 0
+
+    def test_fc_uses_gemm_op(self, tiny_graph, config):
+        layer = compile_layer(tiny_graph["fc"], config, batch=1)
+        assert layer.stream.count(Opcode.GEMM_OP) == layer.total_tiles
+        assert layer.stream.count(Opcode.CONV_OP) == 0
+
+    def test_lstm_uses_gemm_op(self, config):
+        graph = Graph("rnn", InputSpec(channels=64))
+        graph.add(LSTMCell("cell", hidden=64))
+        layer = compile_layer(graph["cell"], config, batch=1)
+        assert layer.stream.count(Opcode.GEMM_OP) == layer.total_tiles
+
+    def test_one_store_per_output_tile(self, config):
+        graph = Graph("g", InputSpec(channels=300))
+        graph.add(FullyConnected("fc", out_features=300, fused_activation=None))
+        layer = compile_layer(graph["fc"], config, batch=1)
+        plan = TilePlan(layer.gemm_shapes[0], config)
+        assert layer.stream.count(Opcode.STORE_TILE) == plan.m_tiles * plan.n_tiles
+
+    def test_commit_flags_on_final_k_step(self, config):
+        graph = Graph("g", InputSpec(channels=300))
+        graph.add(FullyConnected("fc", out_features=100, fused_activation=None))
+        layer = compile_layer(graph["fc"], config, batch=1)
+        gemms = layer.stream.gemm_tiles()
+        plan = TilePlan(layer.gemm_shapes[0], config)
+        commits = [op for op in gemms if op.commits_output]
+        assert len(commits) == plan.m_tiles * plan.n_tiles
+
+    def test_loaded_weight_bytes_cover_all_weights(self, tiny_graph, config):
+        layer = compile_layer(tiny_graph["conv"], config, batch=1)
+        # Weight tiles re-stream per n tile in weight-stationary order, so
+        # loaded bytes are at least the raw weight footprint.
+        assert layer.stream.loaded_bytes("wbuf") >= layer.weight_elems * 2
+
+    def test_stream_macs_match_layer_macs(self, tiny_graph, config):
+        layer = compile_layer(tiny_graph["conv"], config, batch=1)
+        assert layer.stream.total_macs() == layer.macs
+
+
+class TestDepthwiseLowering:
+    def test_one_gemm_per_group(self, config):
+        graph = Graph("dw", InputSpec(channels=32, height=28, width=28))
+        graph.add(
+            Conv2D("dw", out_channels=32, kernel=3, padding=1, groups=32)
+        )
+        layer = compile_layer(graph["dw"], config, batch=1)
+        assert len(layer.gemm_shapes) == 32
+        assert all(s == GemmShape(m=1, k=9, n=784) for s in layer.gemm_shapes)
+
+
+class TestVectorLowering:
+    def test_pool_layer_only_vector(self, tiny_graph, config):
+        layer = compile_layer(tiny_graph["pool"], config, batch=1)
+        assert layer.total_tiles == 0
+        assert layer.stream.count(Opcode.VECTOR_OP) == 1
+        assert layer.macs == 0
+
+    def test_softmax_layer_vector_elems(self, tiny_graph, config):
+        layer = compile_layer(tiny_graph["prob"], config, batch=2)
+        assert layer.vector_elems == 3 * 10 * 2
+
+
+class TestCompileModel:
+    def test_layer_count_matches_graph(self, tiny_graph, config):
+        model = compile_model(tiny_graph, config, batch=1)
+        assert len(model.layers) == len(tiny_graph)
+
+    def test_total_macs_match_graph(self, tiny_graph, config):
+        model = compile_model(tiny_graph, config, batch=4)
+        assert model.total_macs == tiny_graph.total_macs(4)
+
+    def test_batch_scales_gemm_n(self, tiny_graph, config):
+        b1 = compile_model(tiny_graph, config, batch=1)
+        b4 = compile_model(tiny_graph, config, batch=4)
+        conv1, conv4 = b1.layers[0], b4.layers[0]
+        assert conv4.gemm_shapes[0].n == 4 * conv1.gemm_shapes[0].n
+
+    def test_materialize_streams_toggle(self, tiny_graph, config):
+        without = compile_model(tiny_graph, config, batch=1)
+        with_streams = compile_model(
+            tiny_graph, config, batch=1, materialize_streams=True
+        )
+        assert all(layer.stream is None for layer in without.layers)
+        assert all(layer.stream is not None for layer in with_streams.layers)
+        # Geometry identical either way.
+        assert without.total_tiles == with_streams.total_tiles
+        assert without.total_macs == with_streams.total_macs
+
+    def test_stream_tile_counts_match_plan_counts(self, tiny_graph, config):
+        model = compile_model(tiny_graph, config, batch=1, materialize_streams=True)
+        for layer in model.layers:
+            if layer.is_gemm_layer:
+                gemm_count = layer.stream.count(Opcode.GEMM_OP) + layer.stream.count(
+                    Opcode.CONV_OP
+                )
+                assert gemm_count == layer.total_tiles
+
+    def test_rejects_bad_batch(self, tiny_graph, config):
+        with pytest.raises(ValueError):
+            compile_model(tiny_graph, config, batch=0)
+
+    def test_instruction_count_positive_when_materialized(self, tiny_graph, config):
+        model = compile_model(tiny_graph, config, batch=1, materialize_streams=True)
+        assert model.instruction_count() > 0

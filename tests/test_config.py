@@ -1,0 +1,101 @@
+"""NPUConfig (paper Table I) construction, validation, and conversions."""
+
+import pytest
+
+from repro.npu.config import DEFAULT_CONFIG, NPUConfig
+
+
+class TestTableIDefaults:
+    def test_array_dimensions(self, config):
+        assert config.array_width == 128
+        assert config.array_height == 128
+
+    def test_frequency(self, config):
+        assert config.frequency_hz == pytest.approx(700e6)
+
+    def test_sram_sizes(self, config):
+        assert config.ubuf_bytes == 8 * 1024 * 1024
+        assert config.wbuf_bytes == 4 * 1024 * 1024
+
+    def test_memory_subsystem(self, config):
+        assert config.memory_channels == 8
+        assert config.memory_bandwidth_bytes_per_sec == pytest.approx(358e9)
+        assert config.memory_latency_cycles == 100
+
+    def test_data_widths(self, config):
+        assert config.data_bytes == 2
+        assert config.accum_bytes == 4
+
+    def test_default_config_is_table_one(self, config):
+        assert DEFAULT_CONFIG == config
+
+
+class TestDerivedQuantities:
+    def test_bandwidth_bytes_per_cycle(self, config):
+        assert config.bandwidth_bytes_per_cycle == pytest.approx(358e9 / 700e6)
+
+    def test_peak_macs_per_cycle(self, config):
+        assert config.peak_macs_per_cycle == 128 * 128
+
+    def test_accq_bytes(self, config):
+        assert config.accq_bytes == 128 * config.acc_depth * 4
+
+    def test_tile_element_counts(self, config):
+        assert config.weight_tile_elems == 128 * 128
+        assert config.activation_tile_elems == 128 * config.acc_depth
+        assert config.output_tile_elems == 128 * config.acc_depth
+
+
+class TestConversions:
+    def test_cycles_to_us_roundtrip(self, config):
+        assert config.us_to_cycles(config.cycles_to_us(700.0)) == pytest.approx(700.0)
+
+    def test_one_ms_is_700k_cycles(self, config):
+        assert config.ms_to_cycles(1.0) == pytest.approx(700e3)
+
+    def test_cycles_to_seconds(self, config):
+        assert config.cycles_to_seconds(700e6) == pytest.approx(1.0)
+
+    def test_cycles_to_ms(self, config):
+        assert config.cycles_to_ms(350e3) == pytest.approx(0.5)
+
+    def test_seconds_to_cycles(self, config):
+        assert config.seconds_to_cycles(2.0) == pytest.approx(1.4e9)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "array_width",
+            "array_height",
+            "acc_depth",
+            "frequency_hz",
+            "ubuf_bytes",
+            "wbuf_bytes",
+            "memory_channels",
+            "memory_bandwidth_bytes_per_sec",
+            "data_bytes",
+            "accum_bytes",
+            "vector_lanes",
+        ],
+    )
+    def test_positive_fields_rejected_at_zero(self, field):
+        with pytest.raises(ValueError):
+            NPUConfig(**{field: 0})
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NPUConfig(memory_latency_cycles=-1)
+
+    def test_negative_trap_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            NPUConfig(preemption_trap_cycles=-1)
+
+    def test_config_is_frozen(self, config):
+        with pytest.raises(Exception):
+            config.array_width = 64  # type: ignore[misc]
+
+    def test_custom_config_accepted(self):
+        custom = NPUConfig(array_width=64, array_height=64, acc_depth=512)
+        assert custom.peak_macs_per_cycle == 64 * 64

@@ -1,0 +1,73 @@
+"""Cycle-stepping simulator vs the closed-form engine (our SCALE-Sim
+cross-validation, paper Sec III)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npu.config import NPUConfig
+from repro.npu.cycle_sim import simulate_gemm, validate_against_closed_form
+from repro.npu.tiling import GemmShape, TilePlan
+
+
+class TestCycleSimBasics:
+    def test_single_tile_makespan(self, config):
+        shape = GemmShape(m=128, k=128, n=config.acc_depth)
+        result = simulate_gemm(shape, config)
+        assert result.tile_count == 1
+        # fetch (after latency) then compute, nothing overlaps.
+        assert result.total_cycles > config.memory_latency_cycles
+
+    def test_tile_count_matches_plan(self, config):
+        shape = GemmShape(m=300, k=200, n=4100)
+        result = simulate_gemm(shape, config)
+        assert result.tile_count == TilePlan(shape, config).total_tiles
+
+    def test_busy_cycles_below_total(self, config):
+        shape = GemmShape(m=256, k=256, n=4096)
+        result = simulate_gemm(shape, config)
+        assert 0 < result.busy_cycles <= result.total_cycles
+        assert 0 < result.compute_utilization <= 1.0
+
+    def test_jobs_are_causally_ordered(self, config):
+        shape = GemmShape(m=256, k=256, n=4096)
+        result = simulate_gemm(shape, config)
+        for prev, cur in zip(result.jobs, result.jobs[1:]):
+            assert cur.compute_start >= prev.compute_done or \
+                cur.compute_start >= prev.compute_start
+            assert cur.compute_start >= cur.fetch_done
+
+    def test_double_buffering_hides_memory(self, config):
+        # Steady-state: makespan is far below fetch+compute serialized.
+        shape = GemmShape(m=128, k=128, n=20 * config.acc_depth)
+        result = simulate_gemm(shape, config)
+        serialized = sum(j.fetch_cycles + j.compute_cycles for j in result.jobs)
+        assert result.total_cycles < 0.8 * serialized
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            GemmShape(m=128, k=128, n=2048),      # one inner tile
+            GemmShape(m=64, k=27, n=12544),       # conv-like, small m/k
+            GemmShape(m=512, k=512, n=12544),     # large conv
+            GemmShape(m=4096, k=4096, n=1),       # FC at batch 1
+            GemmShape(m=4096, k=1024, n=16),      # LSTM gates at batch 16
+            GemmShape(m=1, k=9, n=3136),          # depthwise slice
+            GemmShape(m=1000, k=2048, n=4),       # classifier
+        ],
+    )
+    def test_closed_form_within_two_percent(self, config, shape):
+        assert validate_against_closed_form(shape, config) < 0.02
+
+    @given(
+        m=st.integers(min_value=1, max_value=1024),
+        k=st.integers(min_value=1, max_value=1024),
+        n=st.integers(min_value=1, max_value=8192),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_closed_form_within_five_percent_randomized(self, m, k, n):
+        config = NPUConfig()
+        gap = validate_against_closed_form(GemmShape(m=m, k=k, n=n), config)
+        assert gap < 0.05

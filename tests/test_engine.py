@@ -1,0 +1,145 @@
+"""Execution engine: layer timings, profiles, preemption-point queries."""
+
+import pytest
+
+from repro.isa.compiler import compile_model
+from repro.models.graph import Graph
+from repro.models.layers import Conv2D, FullyConnected, InputSpec, Pool2D
+from repro.models.zoo import build_benchmark
+from repro.npu.engine import (
+    ExecutionProfile,
+    gemm_cycles_by_category,
+    profile_model,
+)
+from repro.npu.systolic import tile_cycles
+from repro.npu.tiling import GemmShape, TilePlan
+
+
+@pytest.fixture(scope="module")
+def simple_profile(config):
+    # 64x64 spatial -> n = 4096 = 2 accumulator tiles for conv1.
+    graph = Graph("simple", InputSpec(channels=3, height=64, width=64))
+    graph.add(Conv2D("conv1", out_channels=32, kernel=3, padding=1))
+    graph.add(Pool2D("pool1", kernel=2, stride=2))
+    graph.add(FullyConnected("fc", out_features=10, fused_activation=None))
+    model = compile_model(graph, config, batch=1)
+    return profile_model(model, config)
+
+
+class TestCategoryCounting:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            GemmShape(m=128, k=128, n=2048),
+            GemmShape(m=300, k=200, n=4100),
+            GemmShape(m=1, k=9, n=100),
+            GemmShape(m=4096, k=4096, n=1),
+        ],
+    )
+    def test_matches_per_tile_iteration(self, config, shape):
+        steady, tiles, _cold = gemm_cycles_by_category(shape, config)
+        plan = TilePlan(shape, config)
+        reference = sum(tile_cycles(config, t) for t in plan.tiles())
+        assert tiles == plan.total_tiles
+        assert steady == pytest.approx(reference, rel=1e-9)
+
+
+class TestExecutionProfile:
+    def test_layer_starts_are_prefix_sums(self, simple_profile):
+        clock = 0.0
+        for start, layer in zip(simple_profile.layer_starts, simple_profile.layers):
+            assert start == pytest.approx(clock)
+            clock += layer.cycles
+        assert simple_profile.total_cycles == pytest.approx(clock)
+
+    def test_locate_start_and_end(self, simple_profile):
+        assert simple_profile.locate(0.0) == (0, 0.0)
+        index, intra = simple_profile.locate(simple_profile.total_cycles + 5)
+        assert index == simple_profile.num_layers - 1
+        assert intra == pytest.approx(simple_profile.layers[-1].cycles)
+
+    def test_locate_interior(self, simple_profile):
+        target = simple_profile.layer_starts[1] + 1.0
+        index, intra = simple_profile.locate(target)
+        assert index == 1
+        assert intra == pytest.approx(1.0)
+
+    def test_preemption_point_monotone(self, simple_profile):
+        prev = 0.0
+        total = simple_profile.total_cycles
+        for frac in (0.0, 0.1, 0.33, 0.5, 0.77, 0.99):
+            point = simple_profile.next_preemption_point(frac * total)
+            assert point >= frac * total
+            assert point >= prev
+            assert point <= total
+            prev = point
+
+    def test_checkpoint_bytes_zero_after_completion(self, simple_profile):
+        assert simple_profile.checkpoint_bytes_at(simple_profile.total_cycles) == 0.0
+
+    def test_checkpoint_bytes_bounded(self, simple_profile, config):
+        for frac in (0.1, 0.4, 0.9):
+            offset = simple_profile.next_preemption_point(
+                frac * simple_profile.total_cycles
+            )
+            size = simple_profile.checkpoint_bytes_at(offset)
+            assert 0 <= size <= config.ubuf_bytes + config.accq_bytes
+
+    def test_max_checkpoint_bytes_positive(self, simple_profile):
+        assert simple_profile.max_checkpoint_bytes() > 0
+
+
+class TestLayerTiming:
+    def test_pool_layer_has_no_tiles_or_checkpoint(self, simple_profile):
+        pool = simple_profile.layers[1]
+        assert pool.total_tiles == 0
+        assert pool.checkpoint is None
+        assert pool.macs == 0
+
+    def test_conv_layer_has_tiles_and_checkpoint(self, simple_profile):
+        conv = simple_profile.layers[0]
+        assert conv.total_tiles > 0
+        assert conv.checkpoint is not None
+        assert conv.macs > 0
+
+    def test_tile_boundary_snapping(self, simple_profile):
+        conv = simple_profile.layers[0]
+        mid = conv.tile_cycles * 1.5
+        boundary = conv.next_tile_boundary(mid)
+        assert boundary == pytest.approx(conv.tile_cycles * 2)
+
+    def test_tiles_done_monotone(self, simple_profile):
+        conv = simple_profile.layers[0]
+        done = [conv.tiles_done_at(f * conv.cycles) for f in (0, 0.25, 0.5, 1.0)]
+        assert done == sorted(done)
+        assert done[-1] == conv.total_tiles
+
+
+class TestRealModelProfiles:
+    def test_isolated_times_span_paper_range(self, factory, config):
+        # Sec IV-D: isolated network latency spans ~0.5 to ~45 ms at the
+        # canonical batch-1 settings; allow slack for the seq2seq models.
+        times = []
+        for benchmark, lengths in [
+            ("CNN-AN", (None, None)), ("CNN-GN", (None, None)),
+            ("CNN-VN", (None, None)), ("CNN-MN", (None, None)),
+            ("RNN-SA", (20, 20)), ("RNN-MT1", (20, 22)),
+            ("RNN-MT2", (20, 15)), ("RNN-ASR", (60, 27)),
+        ]:
+            profile = factory.execution_profile(benchmark, 1, *lengths)
+            times.append(config.cycles_to_ms(profile.total_cycles))
+        assert min(times) > 0.2
+        assert max(times) < 120.0
+        assert max(times) / min(times) > 10  # wide size spread
+
+    def test_batch_increases_latency(self, factory):
+        b1 = factory.execution_profile("CNN-AN", 1).total_cycles
+        b16 = factory.execution_profile("CNN-AN", 16).total_cycles
+        assert b16 > b1
+        # Batching amortizes: less than 16x the batch-1 latency.
+        assert b16 < 16 * b1
+
+    def test_profile_deterministic(self, factory):
+        first = factory.execution_profile("CNN-GN", 1)
+        second = factory.execution_profile("CNN-GN", 1)
+        assert first.total_cycles == second.total_cycles

@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example runs clean and prints its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "7")
+        assert result.returncode == 0, result.stderr
+        for token in ("Workload", "NP-FCFS", "PREMA", "ANTT"):
+            assert token in result.stdout
+
+    def test_cloud_serving(self):
+        result = run_example("cloud_serving.py")
+        assert result.returncode == 0, result.stderr
+        assert "online" in result.stdout
+        assert "SLA met" in result.stdout
+        assert "PREMA (preemptible NPU)" in result.stdout
+
+    def test_preemption_lab(self):
+        result = run_example("preemption_lab.py", "0.5")
+        assert result.returncode == 0, result.stderr
+        for token in ("KILL", "CHECKPOINT", "DRAIN", "high-pri NTT"):
+            assert token in result.stdout
+
+    def test_preemption_lab_rejects_bad_fraction(self):
+        result = run_example("preemption_lab.py", "1.5")
+        assert result.returncode != 0
+
+    def test_latency_prediction(self):
+        result = run_example("latency_prediction.py")
+        assert result.returncode == 0, result.stderr
+        assert "Algorithm 1" in result.stdout
+        assert "Regression lookup table" in result.stdout
+
+    def test_cluster_serving(self):
+        result = run_example("cluster_serving.py", "2")
+        assert result.returncode == 0, result.stderr
+        assert "least-loaded + PREMA" in result.stdout

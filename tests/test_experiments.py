@@ -1,0 +1,266 @@
+"""End-to-end experiment harnesses on small ensembles.
+
+Each figure module runs on a reduced configuration and its output shape is
+checked against the paper's qualitative claims.  The full-scale versions
+live in benchmarks/.
+"""
+
+import pytest
+
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workloads(config):
+    return WorkloadGenerator(seed=42).generate_many(4, num_tasks=6)
+
+
+class TestFig01:
+    def test_colocation_tradeoff(self, config, factory):
+        from repro.analysis.experiments.fig01_colocation import (
+            format_fig01,
+            improvement_summary,
+            run_fig01,
+        )
+
+        results = run_fig01(config=config, num_requests=12, factory=factory)
+        summary = improvement_summary(results)
+        # The Fig 1 shape: throughput up, latency worse.
+        assert summary["throughput_gain"] > 1.0
+        assert summary["latency_degradation"] > 1.0
+        assert "co-located" in format_fig01(results)
+
+    def test_utilization_validated(self, config, factory):
+        from repro.analysis.experiments.fig01_colocation import run_fig01
+
+        with pytest.raises(ValueError):
+            run_fig01(config=config, utilization=1.5, factory=factory)
+
+
+class TestFig05:
+    def test_mechanism_ordering(self, config, factory):
+        from repro.analysis.experiments.fig05_preemption import (
+            format_fig05,
+            run_fig05,
+            summarize,
+        )
+
+        rows = run_fig05(
+            config=config, factory=factory, samples=6,
+            benchmarks=("CNN-AN", "CNN-GN"), batches=(1, 4),
+        )
+        summary = summarize(rows)
+        # KILL/DRAIN have zero preemption latency; CHECKPOINT pays DMA.
+        assert summary["KILL"]["preemption_latency_us"] == 0.0
+        assert summary["DRAIN"]["preemption_latency_us"] == 0.0
+        assert summary["CHECKPOINT"]["preemption_latency_us"] > 0.0
+        # DRAIN's wait dwarfs both preempting mechanisms (Fig 5b).
+        assert summary["DRAIN"]["wait_time_us"] > 10 * \
+            summary["CHECKPOINT"]["wait_time_us"]
+        assert "Fig 5" in format_fig05(rows)
+
+    def test_checkpoint_wait_grows_with_batch(self, config, factory):
+        from repro.analysis.experiments.fig05_preemption import run_fig05
+
+        rows = run_fig05(
+            config=config, factory=factory, samples=6,
+            benchmarks=("CNN-VN",), batches=(1, 16),
+        )
+        by_batch = {
+            row.batch: row.preemption_latency_us
+            for row in rows if row.mechanism == "CHECKPOINT"
+        }
+        assert by_batch[16] > by_batch[1]
+
+
+class TestFig06:
+    def test_ntt_and_stp_shape(self, config, factory):
+        from repro.analysis.experiments.fig06_mechanism_impact import (
+            format_fig06,
+            run_fig06,
+            summarize,
+        )
+
+        rows = run_fig06(
+            config=config, factory=factory, samples=3,
+            benchmarks=("CNN-GN", "CNN-VN"), batches=(1,),
+        )
+        summary = summarize(rows)
+        # Preempting mechanisms beat DRAIN (== NP-FCFS) on the
+        # preemptor's NTT; KILL >= CHECKPOINT >= DRAIN (Fig 6b).
+        assert summary["KILL"]["ntt_improvement"] >= \
+            summary["CHECKPOINT"]["ntt_improvement"] * 0.999
+        assert summary["CHECKPOINT"]["ntt_improvement"] > \
+            summary["DRAIN"]["ntt_improvement"]
+        # CHECKPOINT keeps more system throughput than KILL (Fig 6a).
+        assert summary["CHECKPOINT"]["stp_improvement"] >= \
+            summary["KILL"]["stp_improvement"]
+        assert "Fig 6" in format_fig06(rows)
+
+
+class TestFig07:
+    def test_density_and_scnn(self, config):
+        from repro.analysis.experiments.fig07_density import (
+            format_fig07,
+            run_fig07_density,
+            run_fig07_scnn,
+        )
+
+        density = run_fig07_density(num_inputs=100)
+        assert len(density) == 13 + 3  # c01..c13 + fc1..fc3
+        scnn = run_fig07_scnn(config=config, num_inputs=50)
+        assert all(r.max_relative_deviation <= 0.14 for r in scnn)
+        assert "Fig 7" in format_fig07(density, scnn)
+
+
+class TestFig09:
+    def test_characterization_and_fit(self):
+        from repro.analysis.experiments.fig09_seqlen import format_fig09, run_fig09
+
+        rows, quality = run_fig09(num_samples=300)
+        assert {q.application for q in quality} == {"en-de", "en-ko", "en-zh", "asr"}
+        assert all(q.correlation > 0.8 for q in quality)
+        for row in rows:
+            assert row.q25 <= row.median <= row.q75
+        assert "Fig 9" in format_fig09(rows, quality)
+
+
+class TestFig10:
+    def test_underutilized_outliers_exist(self, config, factory):
+        from repro.analysis.experiments.fig10_macs_vs_time import (
+            format_fig10,
+            run_fig10,
+            underutilized_points,
+        )
+
+        points = run_fig10(
+            config=config, factory=factory, benchmarks=("CNN-GN", "CNN-MN")
+        )
+        assert points
+        outliers = underutilized_points(points, config)
+        # Depthwise and small 1x1 layers must appear off-trend.
+        assert any("dw" in p.layer for p in outliers)
+        assert "Fig 10" in format_fig10(points)
+
+
+class TestFig11:
+    def test_predictor_policies_win(self, config, factory, workloads):
+        from repro.analysis.experiments.fig11_nonpreemptive import (
+            format_fig11,
+            run_fig11,
+        )
+
+        rows = run_fig11(workloads, config=config, factory=factory)
+        by_policy = {row.policy: row for row in rows}
+        assert by_policy["FCFS"].antt_improvement == pytest.approx(1.0)
+        # Predictor-based policies beat the naive baselines on ANTT.
+        assert by_policy["SJF"].antt_improvement > 1.2
+        assert by_policy["PREMA"].antt_improvement > 1.2
+        # PREMA is the fairness leader (priority-aware + predictive).
+        assert by_policy["PREMA"].fairness_improvement >= max(
+            by_policy[p].fairness_improvement for p in ("FCFS", "RRB", "HPF")
+        )
+        assert "Fig 11" in format_fig11(rows)
+
+
+class TestFig12:
+    def test_preemption_shape(self, config, factory, workloads):
+        from repro.analysis.experiments.fig12_preemptive import (
+            format_fig12,
+            headline,
+            run_fig12,
+        )
+
+        rows = run_fig12(workloads, config=config, factory=factory)
+        by_key = {(r.variant, r.policy): r for r in rows}
+        top = headline(rows)
+        # Preemptive PREMA delivers multi-x ANTT and fairness gains.
+        assert top["antt_improvement"] > 2.0
+        assert top["fairness_improvement"] > 1.5
+        assert top["stp_improvement"] > 1.0
+        # Dynamic PREMA >= static PREMA on ANTT (Algorithm 3's payoff).
+        assert by_key[("Dynamic", "PREMA")].antt_improvement >= \
+            by_key[("Static", "PREMA")].antt_improvement * 0.999
+        # Dynamic PREMA's drain decisions actually fire.
+        assert by_key[("Dynamic", "PREMA")].drains > 0
+        assert "Fig 12" in format_fig12(rows)
+
+
+class TestFig13:
+    def test_sla_curves(self, config, factory, workloads):
+        from repro.analysis.experiments.fig13_sla import format_fig13, run_fig13
+
+        curves = run_fig13(
+            workloads, config=config, factory=factory, targets=(2, 6, 10, 20)
+        )
+        by_label = {c.label: c for c in curves}
+        assert len(curves) == 9
+        for curve in curves:
+            # Monotone non-increasing in the SLA target (Fig 13).
+            assert list(curve.violation_rates) == sorted(
+                curve.violation_rates, reverse=True
+            )
+        # PREMA dominates NP-FCFS at moderate targets.
+        assert by_label["Dynamic-PREMA"].rate_at(6) <= by_label["NP-FCFS"].rate_at(6)
+        assert "Fig 13" in format_fig13(curves)
+
+
+class TestFig14:
+    def test_tail_latency_shape(self, config, factory):
+        # A bigger ensemble so every benchmark draws high-priority tasks.
+        workloads = WorkloadGenerator(seed=14).generate_many(6, num_tasks=8)
+        from repro.analysis.experiments.fig14_tail_latency import (
+            average_slowdowns,
+            format_fig14,
+            run_fig14,
+        )
+
+        rows = run_fig14(workloads, config=config, factory=factory)
+        assert rows
+        slowdowns = average_slowdowns(rows)
+        # NP-FCFS inflates the high-priority tail far more than PREMA.
+        assert slowdowns["NP-FCFS"] > slowdowns["PREMA"]
+        assert "Fig 14" in format_fig14(rows)
+
+
+class TestFig15:
+    def test_checkpoint_beats_kill_on_stp(self, config, factory, workloads):
+        from repro.analysis.experiments.fig15_kill_vs_checkpoint import (
+            checkpoint_advantage,
+            format_fig15,
+            run_fig15,
+        )
+
+        rows = run_fig15(workloads, config=config, factory=factory)
+        advantage = checkpoint_advantage(rows)
+        assert advantage["stp"] > 0.99
+        assert "Fig 15" in format_fig15(rows)
+
+
+class TestAccuracyAndSensitivity:
+    def test_prediction_accuracy_report(self, config, factory, workloads):
+        from repro.analysis.experiments.prediction_accuracy import (
+            format_accuracy,
+            run_prediction_accuracy,
+        )
+
+        report = run_prediction_accuracy(workloads, config=config, factory=factory)
+        # Sec VI-D: ~98% correlation, small relative error.
+        assert report.correlation > 0.95
+        assert report.mean_relative_error < 0.10
+        assert report.stp_vs_oracle > 0.9
+        assert "correlation" in format_accuracy(report)
+
+    def test_overhead_report(self, config, factory):
+        from repro.analysis.experiments.overhead_analysis import (
+            format_overhead,
+            run_overhead,
+        )
+
+        report = run_overhead(
+            config=config, factory=factory, batch=4,
+            benchmarks=("CNN-AN", "RNN-SA"),
+        )
+        assert report.bits_per_task == 448
+        assert report.checkpoint_bytes_by_model["TOTAL"] > 0
+        assert "Sec VI-F" in format_overhead(report)

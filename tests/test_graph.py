@@ -1,0 +1,104 @@
+"""Computation graph: wiring, shape propagation, queries."""
+
+import pytest
+
+from repro.models.graph import Graph
+from repro.models.layers import (
+    Activation,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    InputSpec,
+    LayerKind,
+)
+
+
+@pytest.fixture()
+def graph():
+    g = Graph("g", InputSpec(channels=3, height=8, width=8))
+    g.add(Conv2D("conv1", out_channels=4, kernel=3, padding=1))
+    g.add(Conv2D("conv2", out_channels=4, kernel=1), inputs=["conv1"])
+    g.add(Concat("cat"), inputs=["conv1", "conv2"])
+    g.add(FullyConnected("fc", out_features=2, fused_activation=None))
+    return g
+
+
+class TestConstruction:
+    def test_default_input_is_previous_node(self, graph):
+        assert graph["fc"].input_names == ("cat",)
+
+    def test_explicit_graph_input(self):
+        g = Graph("g", InputSpec(channels=3))
+        node = g.add(Activation("a"), inputs=[Graph.INPUT])
+        assert node.input_specs[0] == g.input_spec
+
+    def test_first_node_defaults_to_graph_input(self):
+        g = Graph("g", InputSpec(channels=3))
+        node = g.add(Activation("a"))
+        assert node.input_names == (Graph.INPUT,)
+
+    def test_duplicate_names_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add(Activation("conv1"))
+
+    def test_unknown_input_rejected(self, graph):
+        with pytest.raises(KeyError):
+            graph.add(Activation("bad"), inputs=["nonexistent"])
+
+    def test_forward_reference_impossible(self):
+        # Nodes reference only earlier nodes => structurally acyclic.
+        g = Graph("g", InputSpec(channels=3))
+        with pytest.raises(KeyError):
+            g.add(Activation("a"), inputs=["b"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Graph("", InputSpec(channels=1))
+
+    def test_empty_inputs_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add(Activation("x"), inputs=[])
+
+
+class TestShapePropagation:
+    def test_concat_shape(self, graph):
+        assert graph["cat"].output_spec.channels == 8
+
+    def test_output_spec_is_last_node(self, graph):
+        assert graph.output_spec == graph["fc"].output_spec
+
+    def test_validate_passes(self, graph):
+        graph.validate()
+
+
+class TestQueries:
+    def test_len_and_iter(self, graph):
+        assert len(graph) == 4
+        assert [n.name for n in graph] == ["conv1", "conv2", "cat", "fc"]
+
+    def test_contains(self, graph):
+        assert "conv1" in graph
+        assert "nope" not in graph
+
+    def test_nodes_of_kind(self, graph):
+        assert len(graph.nodes_of_kind(LayerKind.CONV)) == 2
+        assert len(graph.nodes_of_kind(LayerKind.FC)) == 1
+
+    def test_consumers(self, graph):
+        consumers = [n.name for n in graph.consumers("conv1")]
+        assert consumers == ["conv2", "cat"]
+
+    def test_total_weight_elems_positive(self, graph):
+        assert graph.total_weight_elems() > 0
+
+    def test_total_macs_scales_with_batch(self, graph):
+        assert graph.total_macs(2) == 2 * graph.total_macs(1)
+
+    def test_total_macs_rejects_bad_batch(self, graph):
+        with pytest.raises(ValueError):
+            graph.total_macs(0)
+
+    def test_summary_mentions_every_node(self, graph):
+        summary = graph.summary()
+        for node in graph:
+            assert node.name in summary

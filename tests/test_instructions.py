@@ -1,0 +1,88 @@
+"""ISA instruction objects and stream accounting."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ConvOp,
+    GemmOp,
+    InstructionStream,
+    LoadTile,
+    Opcode,
+    StoreTile,
+    VectorOp,
+)
+from repro.npu.tiling import GemmShape, TilePlan
+
+
+@pytest.fixture()
+def tile(config):
+    return TilePlan(GemmShape(m=128, k=128, n=2048), config).tile_at(0, 0, 0)
+
+
+class TestInstructionKinds:
+    def test_opcodes(self, tile):
+        assert LoadTile(num_bytes=8).opcode == Opcode.LOAD_TILE
+        assert GemmOp(tile=tile).opcode == Opcode.GEMM_OP
+        assert ConvOp(tile=tile).opcode == Opcode.CONV_OP
+        assert VectorOp(num_elems=4).opcode == Opcode.VECTOR_OP
+        assert StoreTile(num_bytes=8).opcode == Opcode.STORE_TILE
+
+    def test_conv_op_is_gemm_op(self, tile):
+        # CONV_OP lowers onto the same GEMM timing path (Sec II-B).
+        assert isinstance(ConvOp(tile=tile), GemmOp)
+
+    def test_load_destination_validated(self):
+        with pytest.raises(ValueError):
+            LoadTile(num_bytes=8, destination="dram")
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            LoadTile(num_bytes=-1)
+        with pytest.raises(ValueError):
+            StoreTile(num_bytes=-1)
+        with pytest.raises(ValueError):
+            VectorOp(num_elems=-1)
+
+
+class TestInstructionStream:
+    def test_append_iterate_index(self, tile):
+        stream = InstructionStream("test")
+        stream.append(LoadTile(num_bytes=10, destination="wbuf"))
+        stream.append(GemmOp(tile=tile))
+        assert len(stream) == 2
+        assert stream[0].opcode == Opcode.LOAD_TILE
+        assert [i.opcode for i in stream] == [Opcode.LOAD_TILE, Opcode.GEMM_OP]
+
+    def test_count_by_opcode(self, tile):
+        stream = InstructionStream()
+        stream.extend([GemmOp(tile=tile), GemmOp(tile=tile), VectorOp(num_elems=1)])
+        assert stream.count(Opcode.GEMM_OP) == 2
+        assert stream.count(Opcode.VECTOR_OP) == 1
+        assert stream.count(Opcode.STORE_TILE) == 0
+
+    def test_loaded_bytes_by_destination(self):
+        stream = InstructionStream()
+        stream.append(LoadTile(num_bytes=10, destination="wbuf"))
+        stream.append(LoadTile(num_bytes=30, destination="ubuf"))
+        assert stream.loaded_bytes() == 40
+        assert stream.loaded_bytes("wbuf") == 10
+        assert stream.loaded_bytes("ubuf") == 30
+
+    def test_stored_bytes(self):
+        stream = InstructionStream()
+        stream.append(StoreTile(num_bytes=25))
+        stream.append(StoreTile(num_bytes=15))
+        assert stream.stored_bytes() == 40
+
+    def test_total_macs(self, tile):
+        stream = InstructionStream()
+        stream.append(GemmOp(tile=tile))
+        stream.append(ConvOp(tile=tile))
+        assert stream.total_macs() == 2 * tile.macs
+
+    def test_gemm_tiles_returns_both_kinds(self, tile):
+        stream = InstructionStream()
+        stream.append(GemmOp(tile=tile))
+        stream.append(ConvOp(tile=tile))
+        stream.append(VectorOp(num_elems=1))
+        assert len(stream.gemm_tiles()) == 2

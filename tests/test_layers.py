@@ -1,0 +1,206 @@
+"""Layer shape inference, footprints, and GEMM lowering metadata."""
+
+import pytest
+
+from repro.models.layers import (
+    Activation,
+    Concat,
+    Conv2D,
+    Embedding,
+    FullyConnected,
+    InputSpec,
+    LayerKind,
+    LSTMCell,
+    Pool2D,
+    Softmax,
+)
+
+
+class TestInputSpec:
+    def test_elems_and_spatial(self):
+        spec = InputSpec(channels=3, height=4, width=5)
+        assert spec.elems == 60
+        assert spec.spatial == 20
+
+    def test_vector_shaped_default(self):
+        assert InputSpec(channels=7).elems == 7
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            InputSpec(channels=0)
+        with pytest.raises(ValueError):
+            InputSpec(channels=1, height=0)
+
+
+class TestConv2D:
+    def test_same_padding_shape(self):
+        conv = Conv2D("c", out_channels=16, kernel=3, padding=1)
+        out = conv.infer_shape([InputSpec(channels=3, height=32, width=32)])
+        assert (out.channels, out.height, out.width) == (16, 32, 32)
+
+    def test_stride_halves(self):
+        conv = Conv2D("c", out_channels=8, kernel=3, stride=2, padding=1)
+        out = conv.infer_shape([InputSpec(channels=3, height=32, width=32)])
+        assert (out.height, out.width) == (16, 16)
+
+    def test_alexnet_conv1_shape(self):
+        conv = Conv2D("c", out_channels=64, kernel=11, stride=4, padding=2)
+        out = conv.infer_shape([InputSpec(channels=3, height=224, width=224)])
+        assert (out.height, out.width) == (55, 55)
+
+    def test_im2col_gemm_shape(self):
+        conv = Conv2D("c", out_channels=16, kernel=3, padding=1)
+        gemms = conv.gemms([InputSpec(channels=3, height=32, width=32)], batch=2)
+        assert len(gemms) == 1
+        assert gemms[0].m == 16
+        assert gemms[0].k == 27
+        assert gemms[0].n == 32 * 32 * 2
+
+    def test_depthwise_groups(self):
+        conv = Conv2D("c", out_channels=32, kernel=3, padding=1, groups=32)
+        inputs = [InputSpec(channels=32, height=14, width=14)]
+        gemms = conv.gemms(inputs, batch=1)
+        assert len(gemms) == 32
+        assert all(g.m == 1 and g.k == 9 for g in gemms)
+
+    def test_weight_elems(self):
+        conv = Conv2D("c", out_channels=16, kernel=3)
+        assert conv.weight_elems([InputSpec(channels=4, height=8, width=8)]) == (
+            16 * 4 * 3 * 3
+        )
+
+    def test_macs_equal_gemm_macs(self):
+        conv = Conv2D("c", out_channels=16, kernel=3, padding=1)
+        inputs = [InputSpec(channels=3, height=32, width=32)]
+        assert conv.macs(inputs, 2) == sum(g.macs for g in conv.gemms(inputs, 2))
+
+    def test_fused_activation_vector_work(self):
+        conv = Conv2D("c", out_channels=8, kernel=1)
+        inputs = [InputSpec(channels=4, height=4, width=4)]
+        assert conv.vector_elems(inputs, 3) == 8 * 4 * 4 * 3
+        no_fuse = Conv2D("c2", out_channels=8, kernel=1, fused_activation=None)
+        assert no_fuse.vector_elems(inputs, 3) == 0
+
+    def test_invalid_geometry_raises(self):
+        conv = Conv2D("c", out_channels=8, kernel=7)
+        with pytest.raises(ValueError):
+            conv.infer_shape([InputSpec(channels=3, height=4, width=4)])
+
+    def test_groups_must_divide_channels(self):
+        conv = Conv2D("c", out_channels=8, kernel=1, groups=4)
+        with pytest.raises(ValueError):
+            conv.infer_shape([InputSpec(channels=6, height=4, width=4)])
+
+    def test_kind(self):
+        assert Conv2D("c", out_channels=1).kind == LayerKind.CONV
+
+
+class TestFullyConnected:
+    def test_flattens_input(self):
+        fc = FullyConnected("fc", out_features=10)
+        out = fc.infer_shape([InputSpec(channels=4, height=3, width=3)])
+        assert out.channels == 10
+        assert out.spatial == 1
+
+    def test_gemm_shape(self):
+        fc = FullyConnected("fc", out_features=100)
+        gemms = fc.gemms([InputSpec(channels=50)], batch=8)
+        assert gemms[0].m == 100 and gemms[0].k == 50 and gemms[0].n == 8
+
+    def test_weight_elems(self):
+        fc = FullyConnected("fc", out_features=10)
+        assert fc.weight_elems([InputSpec(channels=4, height=2, width=2)]) == 160
+
+    def test_kind(self):
+        assert FullyConnected("fc", out_features=1).kind == LayerKind.FC
+
+
+class TestLSTMCell:
+    def test_gemm_fuses_four_gates(self):
+        cell = LSTMCell("l", hidden=64)
+        gemms = cell.gemms([InputSpec(channels=32)], batch=2)
+        assert gemms[0].m == 4 * 64
+        assert gemms[0].k == 32 + 64
+        assert gemms[0].n == 2
+
+    def test_weight_elems(self):
+        cell = LSTMCell("l", hidden=64)
+        assert cell.weight_elems([InputSpec(channels=32)]) == 4 * 64 * 96
+
+    def test_output_is_hidden_size(self):
+        cell = LSTMCell("l", hidden=64)
+        assert cell.infer_shape([InputSpec(channels=32)]).channels == 64
+
+    def test_gate_math_vector_work(self):
+        cell = LSTMCell("l", hidden=64)
+        assert cell.vector_elems([InputSpec(channels=32)], 2) == 7 * 64 * 2
+
+    def test_kind_is_recr(self):
+        assert LSTMCell("l", hidden=1).kind == LayerKind.RECR
+
+
+class TestPool2D:
+    def test_shape(self):
+        pool = Pool2D("p", kernel=2, stride=2)
+        out = pool.infer_shape([InputSpec(channels=16, height=8, width=8)])
+        assert (out.channels, out.height, out.width) == (16, 4, 4)
+
+    def test_vector_work_is_output_elems(self):
+        pool = Pool2D("p", kernel=3, stride=2)
+        inputs = [InputSpec(channels=4, height=9, width=9)]
+        out = pool.infer_shape(inputs)
+        assert pool.vector_elems(inputs, 2) == out.elems * 2
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            Pool2D("p", mode="median")
+
+    def test_no_weights_no_macs(self):
+        pool = Pool2D("p")
+        inputs = [InputSpec(channels=4, height=8, width=8)]
+        assert pool.weight_elems(inputs) == 0
+        assert pool.macs(inputs, 1) == 0
+        assert pool.gemms(inputs, 1) == []
+
+
+class TestOtherLayers:
+    def test_activation_in_place(self):
+        act = Activation("a", function="relu")
+        spec = InputSpec(channels=8, height=2, width=2)
+        assert act.infer_shape([spec]) == spec
+        assert act.vector_elems([spec], 2) == spec.elems * 2
+
+    def test_softmax_three_passes(self):
+        soft = Softmax("s")
+        assert soft.vector_elems([InputSpec(channels=10)], 2) == 60
+
+    def test_concat_sums_channels(self):
+        concat = Concat("cat")
+        out = concat.infer_shape(
+            [
+                InputSpec(channels=3, height=4, width=4),
+                InputSpec(channels=5, height=4, width=4),
+            ]
+        )
+        assert out.channels == 8
+
+    def test_concat_rejects_spatial_mismatch(self):
+        concat = Concat("cat")
+        with pytest.raises(ValueError):
+            concat.infer_shape(
+                [
+                    InputSpec(channels=3, height=4, width=4),
+                    InputSpec(channels=5, height=2, width=2),
+                ]
+            )
+
+    def test_embedding_outputs_dim(self):
+        embed = Embedding("e", vocab=1000, dim=64)
+        assert embed.infer_shape([InputSpec(channels=1)]).channels == 64
+        assert embed.weight_elems([InputSpec(channels=1)]) == 64000
+
+    def test_single_input_layers_reject_multiple(self):
+        act = Activation("a")
+        specs = [InputSpec(channels=2), InputSpec(channels=2)]
+        with pytest.raises(ValueError):
+            act.infer_shape(specs)

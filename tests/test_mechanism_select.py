@@ -1,0 +1,66 @@
+"""Dynamic preemption mechanism selection, Algorithm 3."""
+
+import pytest
+
+from repro.core.context import TaskContext
+from repro.core.mechanism import (
+    MechanismChoice,
+    relative_degradations,
+    select_mechanism,
+)
+from repro.core.tokens import Priority
+
+
+def make_task(task_id, estimated, executed=0.0):
+    row = TaskContext(
+        task_id=task_id, priority=Priority.MEDIUM, estimated_cycles=estimated
+    )
+    row.executed_cycles = executed
+    return row
+
+
+class TestDegradations:
+    def test_formula(self):
+        current = make_task(1, estimated=1000.0, executed=900.0)
+        candidate = make_task(2, estimated=400.0, executed=0.0)
+        deg_current, deg_candidate = relative_degradations(current, candidate)
+        assert deg_current == pytest.approx(400.0 / 1000.0)
+        assert deg_candidate == pytest.approx(100.0 / 400.0)
+
+    def test_zero_estimates_degrade_to_infinity(self):
+        current = make_task(1, estimated=0.0)
+        candidate = make_task(2, estimated=100.0)
+        deg_current, _ = relative_degradations(current, candidate)
+        assert deg_current == float("inf")
+
+
+class TestSelectMechanism:
+    def test_drain_when_current_nearly_done_and_candidate_long(self):
+        # The paper's motivating case: finishing the near-complete task
+        # first optimizes ANTT.
+        current = make_task(1, estimated=1000.0, executed=990.0)
+        candidate = make_task(2, estimated=2000.0, executed=0.0)
+        assert select_mechanism(current, candidate) == MechanismChoice.DRAIN
+
+    def test_checkpoint_when_candidate_short(self):
+        current = make_task(1, estimated=10000.0, executed=100.0)
+        candidate = make_task(2, estimated=200.0, executed=0.0)
+        assert select_mechanism(current, candidate) == MechanismChoice.CHECKPOINT
+
+    def test_checkpoint_on_tie(self):
+        current = make_task(1, estimated=1000.0, executed=0.0)
+        candidate = make_task(2, estimated=1000.0, executed=0.0)
+        # Equal degradations: Algorithm 3's strict > favours CHECKPOINT.
+        assert select_mechanism(current, candidate) == MechanismChoice.CHECKPOINT
+
+    def test_fresh_long_current_vs_fresh_short_candidate(self):
+        current = make_task(1, estimated=5000.0)
+        candidate = make_task(2, estimated=100.0)
+        # Degradation_current = 100/5000, Degradation_candidate = 5000/100.
+        assert select_mechanism(current, candidate) == MechanismChoice.CHECKPOINT
+
+    def test_symmetric_swap_flips_decision(self):
+        near_done = make_task(1, estimated=1000.0, executed=950.0)
+        long_fresh = make_task(2, estimated=3000.0)
+        assert select_mechanism(near_done, long_fresh) == MechanismChoice.DRAIN
+        assert select_mechanism(long_fresh, near_done) == MechanismChoice.CHECKPOINT

@@ -1,0 +1,55 @@
+"""Memory subsystem model: transfer times and edge cases."""
+
+import pytest
+
+from repro.npu.config import NPUConfig
+from repro.npu.memory import MemorySystem
+
+
+@pytest.fixture(scope="module")
+def memory(config):
+    return MemorySystem(config)
+
+
+class TestTransferCycles:
+    def test_zero_bytes_free(self, memory):
+        assert memory.transfer_cycles(0) == 0.0
+
+    def test_includes_access_latency(self, memory, config):
+        assert memory.transfer_cycles(1) == pytest.approx(
+            1 / config.bandwidth_bytes_per_cycle + config.memory_latency_cycles
+        )
+
+    def test_linear_in_bytes(self, memory, config):
+        one_mb = memory.transfer_cycles(1 << 20)
+        two_mb = memory.transfer_cycles(2 << 20)
+        lat = config.memory_latency_cycles
+        assert (two_mb - lat) == pytest.approx(2 * (one_mb - lat))
+
+    def test_rejects_negative(self, memory):
+        with pytest.raises(ValueError):
+            memory.transfer_cycles(-1)
+
+    def test_eight_mb_checkpoint_tens_of_us(self, memory):
+        # Sanity anchor for Fig 5: a whole-UBUF checkpoint lands in the
+        # tens-of-microseconds regime the paper reports.
+        us = memory.transfer_us(8 * 1024 * 1024)
+        assert 15.0 < us < 60.0
+
+
+class TestStreaming:
+    def test_streaming_has_no_latency(self, memory, config):
+        assert memory.streaming_cycles(1024) == pytest.approx(
+            1024 / config.bandwidth_bytes_per_cycle
+        )
+
+    def test_streaming_rejects_negative(self, memory):
+        with pytest.raises(ValueError):
+            memory.streaming_cycles(-5)
+
+
+class TestChannelView:
+    def test_per_channel_bandwidth(self, memory, config):
+        assert memory.bytes_per_channel_per_cycle == pytest.approx(
+            memory.bytes_per_cycle / config.memory_channels
+        )

@@ -1,0 +1,187 @@
+"""Eq 1-2 metrics, SLA accounting, and tail latency."""
+
+import pytest
+
+from repro.core.context import TaskContext
+from repro.core.tokens import Priority
+from repro.sched.metrics import (
+    aggregate_metrics,
+    compute_metrics,
+    improvement_over_baseline,
+    priority_weight,
+    sla_violation_rate,
+    tail_latency_cycles,
+)
+from repro.sched.task import TaskRuntime
+from repro.workloads.specs import TaskSpec
+
+
+class FakeProfile:
+    """Minimal stand-in so metric math can be hand-checked."""
+
+    def __init__(self, total_cycles):
+        self.total_cycles = total_cycles
+
+
+def make_done_task(task_id, isolated, turnaround, priority=Priority.MEDIUM,
+                   benchmark="CNN-AN"):
+    spec = TaskSpec(
+        task_id=task_id, benchmark=benchmark, batch=1, priority=priority,
+        arrival_cycles=0.0,
+    )
+    task = TaskRuntime(
+        spec=spec,
+        profile=FakeProfile(isolated),  # type: ignore[arg-type]
+        context=TaskContext(task_id=task_id, priority=priority),
+    )
+    task.completion_time = turnaround
+    return task
+
+
+class TestEquationOne:
+    def test_ntt_and_antt(self):
+        tasks = [
+            make_done_task(0, isolated=100.0, turnaround=200.0),
+            make_done_task(1, isolated=100.0, turnaround=400.0),
+        ]
+        metrics = compute_metrics(tasks)
+        assert metrics.ntt_by_task[0] == pytest.approx(2.0)
+        assert metrics.ntt_by_task[1] == pytest.approx(4.0)
+        assert metrics.antt == pytest.approx(3.0)
+
+    def test_stp(self):
+        tasks = [
+            make_done_task(0, isolated=100.0, turnaround=200.0),
+            make_done_task(1, isolated=100.0, turnaround=400.0),
+        ]
+        assert compute_metrics(tasks).stp == pytest.approx(0.5 + 0.25)
+
+    def test_stp_bounded_by_task_count(self):
+        tasks = [
+            make_done_task(i, isolated=100.0, turnaround=100.0 + 10 * i)
+            for i in range(4)
+        ]
+        assert compute_metrics(tasks).stp <= 4.0
+
+    def test_isolated_run_is_perfect(self):
+        tasks = [make_done_task(0, isolated=100.0, turnaround=100.0)]
+        metrics = compute_metrics(tasks)
+        assert metrics.antt == pytest.approx(1.0)
+        assert metrics.stp == pytest.approx(1.0)
+        assert metrics.fairness == pytest.approx(1.0)
+
+    def test_incomplete_task_rejected(self):
+        task = make_done_task(0, 100.0, 200.0)
+        task.completion_time = None
+        with pytest.raises(ValueError):
+            compute_metrics([task])
+
+
+class TestEquationTwo:
+    def test_fairness_equal_progress_equal_weights(self):
+        tasks = [
+            make_done_task(0, isolated=100.0, turnaround=200.0),
+            make_done_task(1, isolated=300.0, turnaround=600.0),
+        ]
+        assert compute_metrics(tasks).fairness == pytest.approx(1.0)
+
+    def test_fairness_penalizes_unequal_progress(self):
+        tasks = [
+            make_done_task(0, isolated=100.0, turnaround=100.0),
+            make_done_task(1, isolated=100.0, turnaround=400.0),
+        ]
+        assert compute_metrics(tasks).fairness == pytest.approx(0.25)
+
+    def test_priority_weights_change_expected_share(self):
+        # A high-priority task is *expected* to progress more; equal
+        # speedups therefore count as unfair to the high-priority task.
+        tasks = [
+            make_done_task(0, 100.0, 200.0, priority=Priority.HIGH),
+            make_done_task(1, 100.0, 200.0, priority=Priority.LOW),
+        ]
+        metrics = compute_metrics(tasks)
+        assert metrics.fairness == pytest.approx(1.0 / 9.0)
+
+    def test_priority_weight_values(self):
+        assert priority_weight(Priority.LOW) == 1
+        assert priority_weight(Priority.MEDIUM) == 3
+        assert priority_weight(Priority.HIGH) == 9
+
+    def test_fairness_in_unit_interval(self):
+        tasks = [
+            make_done_task(0, 50.0, 70.0, priority=Priority.LOW),
+            make_done_task(1, 100.0, 900.0, priority=Priority.HIGH),
+            make_done_task(2, 10.0, 15.0, priority=Priority.MEDIUM),
+        ]
+        assert 0.0 < compute_metrics(tasks).fairness <= 1.0
+
+
+class TestSla:
+    def test_violation_rate(self):
+        tasks = [
+            make_done_task(0, isolated=100.0, turnaround=150.0),
+            make_done_task(1, isolated=100.0, turnaround=500.0),
+        ]
+        assert sla_violation_rate(tasks, 2.0) == pytest.approx(0.5)
+        assert sla_violation_rate(tasks, 10.0) == 0.0
+
+    def test_rate_monotone_in_target(self):
+        tasks = [
+            make_done_task(i, isolated=100.0, turnaround=100.0 * (i + 1))
+            for i in range(6)
+        ]
+        rates = [sla_violation_rate(tasks, float(n)) for n in range(1, 8)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            sla_violation_rate([make_done_task(0, 1.0, 1.0)], 0.0)
+
+
+class TestTailLatency:
+    def test_percentile_of_filtered_population(self):
+        tasks = [
+            make_done_task(i, 100.0, 100.0 * (i + 1), priority=Priority.HIGH)
+            for i in range(10)
+        ]
+        tail = tail_latency_cycles(tasks, percentile=95.0)
+        assert tail >= 900.0
+
+    def test_benchmark_filter(self):
+        tasks = [
+            make_done_task(0, 100.0, 150.0, priority=Priority.HIGH,
+                           benchmark="CNN-AN"),
+            make_done_task(1, 100.0, 950.0, priority=Priority.HIGH,
+                           benchmark="CNN-VN"),
+        ]
+        assert tail_latency_cycles(tasks, benchmark="CNN-AN") == pytest.approx(150.0)
+
+    def test_empty_filter_raises(self):
+        tasks = [make_done_task(0, 100.0, 150.0, priority=Priority.LOW)]
+        with pytest.raises(ValueError):
+            tail_latency_cycles(tasks, priority=Priority.HIGH)
+
+    def test_bad_percentile_raises(self):
+        tasks = [make_done_task(0, 100.0, 150.0, priority=Priority.HIGH)]
+        with pytest.raises(ValueError):
+            tail_latency_cycles(tasks, percentile=0.0)
+
+
+class TestAggregation:
+    def test_means_across_workloads(self):
+        w1 = [make_done_task(0, 100.0, 200.0)]
+        w2 = [make_done_task(0, 100.0, 400.0)]
+        ensemble = aggregate_metrics([w1, w2])
+        assert ensemble.num_workloads == 2
+        assert ensemble.mean_antt == pytest.approx(3.0)
+
+    def test_improvement_directions(self):
+        better = aggregate_metrics([[make_done_task(0, 100.0, 150.0)]])
+        worse = aggregate_metrics([[make_done_task(0, 100.0, 300.0)]])
+        improvement = improvement_over_baseline(better, worse)
+        assert improvement["antt"] == pytest.approx(2.0)
+        assert improvement["stp"] == pytest.approx(2.0)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([])

@@ -1,0 +1,68 @@
+"""Hardware-overhead calculators (Secs VI-F/G)."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    CONTEXT_TABLE_FIELDS,
+    ContextTableOverhead,
+    checkpoint_storage_bytes,
+    oversubscription_migration_us,
+)
+
+
+class TestContextTableOverhead:
+    def test_paper_numbers(self):
+        # Sec VI-F: 448 bits/task; 16 tasks -> 7168 bits -> ~0.01 mm^2.
+        overhead = ContextTableOverhead(num_tasks=16)
+        assert overhead.bits_per_task == 448
+        assert overhead.total_bits == 448 * 16
+        assert overhead.area_mm2_32nm == pytest.approx(0.01)
+
+    def test_seven_fields(self):
+        assert len(CONTEXT_TABLE_FIELDS) == 7
+
+    def test_scales_linearly(self):
+        assert ContextTableOverhead(num_tasks=32).total_bits == 2 * \
+            ContextTableOverhead(num_tasks=16).total_bits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContextTableOverhead(num_tasks=0)
+        with pytest.raises(ValueError):
+            ContextTableOverhead(num_tasks=1, bits_per_field=0)
+
+
+class TestCheckpointStorage:
+    def test_per_model_and_total(self, factory):
+        profiles = [
+            factory.execution_profile("CNN-AN", 16),
+            factory.execution_profile("CNN-GN", 16),
+        ]
+        storage = checkpoint_storage_bytes(profiles)
+        assert set(storage) == {"CNN-AN", "CNN-GN", "TOTAL"}
+        assert storage["TOTAL"] == pytest.approx(
+            storage["CNN-AN"] + storage["CNN-GN"]
+        )
+
+    def test_batch16_worst_case_mbs(self, factory, config):
+        # Sec VI-G regime: worst-case checkpoints are MB-scale, bounded by
+        # on-chip buffering (UBUF + ACCQ).
+        profile = factory.execution_profile("CNN-VN", 16)
+        worst = checkpoint_storage_bytes([profile])["CNN-VN"]
+        assert 1e6 < worst <= config.ubuf_bytes + config.accq_bytes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            checkpoint_storage_bytes([])
+
+
+class TestMigration:
+    def test_spill_time_scales(self, config):
+        assert oversubscription_migration_us(32e9, config) == pytest.approx(1e6)
+        assert oversubscription_migration_us(0, config) == 0.0
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            oversubscription_migration_us(-1, config)
+        with pytest.raises(ValueError):
+            oversubscription_migration_us(1, config, cpu_link_bytes_per_sec=0)

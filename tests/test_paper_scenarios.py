@@ -1,0 +1,88 @@
+"""The paper's Fig 2 scenario: three tasks under four schedulers.
+
+I1: long, low priority, arrives first.
+I2: short, low priority, arrives second.
+I3: short, high priority, arrives third.
+
+Fig 2's qualitative orderings:
+(a) NP-FCFS serves I1, I2, I3 in arrival order -- I3 waits longest.
+(b) NP-HPF lets I3 jump I2 but still waits for I1.
+(c) P-HPF preempts I1 for I3; I2 is served last (starvation risk).
+(d) PREMA additionally lets the short I2 run before I1's remainder.
+"""
+
+import pytest
+
+from repro.core.tokens import Priority
+from repro.sched.policies import make_policy
+from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.workloads.specs import TaskSpec
+
+
+@pytest.fixture(scope="module")
+def scenario(config):
+    # I1 = VGG (long), I2 = GoogLeNet (short), I3 = AlexNet (short, high).
+    return [
+        TaskSpec(0, "CNN-VN", 1, Priority.LOW, 0.0),
+        TaskSpec(1, "CNN-GN", 1, Priority.LOW, config.ms_to_cycles(0.5)),
+        TaskSpec(2, "CNN-AN", 1, Priority.HIGH, config.ms_to_cycles(1.0)),
+    ]
+
+
+def run(config, factory, scenario, policy, mode):
+    simulator = NPUSimulator(
+        SimulationConfig(npu=config, mode=mode), make_policy(policy)
+    )
+    tasks = factory.build_workload_like(scenario) if hasattr(
+        factory, "build_workload_like") else [factory.build_task(s) for s in scenario]
+    return simulator.run(tasks)
+
+
+class TestFig2Orderings:
+    def test_np_fcfs_arrival_order(self, config, factory, scenario):
+        result = run(config, factory, scenario, "FCFS", PreemptionMode.NP)
+        completions = [result.task_by_id(i).completion_time for i in range(3)]
+        assert completions[0] < completions[1] < completions[2]
+
+    def test_np_hpf_i3_jumps_i2(self, config, factory, scenario):
+        result = run(config, factory, scenario, "HPF", PreemptionMode.NP)
+        i1, i2, i3 = (result.task_by_id(i) for i in range(3))
+        assert i3.completion_time < i2.completion_time
+        # ... but I3 still waited behind the long I1 (non-preemptive).
+        assert i3.completion_time > i1.completion_time
+
+    def test_p_hpf_preempts_i1_for_i3(self, config, factory, scenario):
+        result = run(config, factory, scenario, "HPF", PreemptionMode.STATIC)
+        i1, i2, i3 = (result.task_by_id(i) for i in range(3))
+        assert i1.preemption_count >= 1
+        assert i3.completion_time < i1.completion_time
+        assert i3.completion_time < i2.completion_time
+        # I3's latency is near-isolated (the Fig 2c payoff).
+        assert i3.normalized_turnaround < 1.5
+
+    def test_prema_serves_short_i2_before_i1_remainder(
+        self, config, factory, scenario
+    ):
+        result = run(config, factory, scenario, "PREMA", PreemptionMode.DYNAMIC)
+        i1, i2, i3 = (result.task_by_id(i) for i in range(3))
+        # The Fig 2d ordering: both short tasks finish before the long I1.
+        assert i3.completion_time < i1.completion_time
+        assert i2.completion_time < i1.completion_time
+
+    def test_prema_beats_fcfs_on_average_latency(self, config, factory, scenario):
+        from repro.sched.metrics import compute_metrics
+
+        fcfs = run(config, factory, scenario, "FCFS", PreemptionMode.NP)
+        prema = run(config, factory, scenario, "PREMA", PreemptionMode.DYNAMIC)
+        assert compute_metrics(prema.tasks).antt < compute_metrics(fcfs.tasks).antt
+
+    def test_i3_latency_ordering_across_schedulers(self, config, factory, scenario):
+        # The high-priority task's latency improves monotonically:
+        # NP-FCFS >= NP-HPF >= P-HPF (Fig 2a -> 2b -> 2c).
+        fcfs = run(config, factory, scenario, "FCFS", PreemptionMode.NP)
+        np_hpf = run(config, factory, scenario, "HPF", PreemptionMode.NP)
+        p_hpf = run(config, factory, scenario, "HPF", PreemptionMode.STATIC)
+        t_fcfs = fcfs.task_by_id(2).turnaround_cycles
+        t_np = np_hpf.task_by_id(2).turnaround_cycles
+        t_p = p_hpf.task_by_id(2).turnaround_cycles
+        assert t_p < t_np <= t_fcfs

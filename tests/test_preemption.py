@@ -1,0 +1,121 @@
+"""Preemption mechanisms KILL / CHECKPOINT / DRAIN (paper Sec IV)."""
+
+import pytest
+
+from repro.npu.preemption import (
+    CheckpointMechanism,
+    DrainMechanism,
+    KillMechanism,
+    mechanism_by_name,
+)
+
+
+@pytest.fixture(scope="module")
+def vgg_profile(factory):
+    return factory.execution_profile("CNN-VN", 1)
+
+
+@pytest.fixture(scope="module")
+def vgg_b16_profile(factory):
+    return factory.execution_profile("CNN-VN", 16)
+
+
+class TestKill:
+    def test_zero_latency(self, config, vgg_profile):
+        outcome = KillMechanism(config).preempt(vgg_profile, 0.4 * vgg_profile.total_cycles)
+        assert outcome.preemption_latency == 0.0
+        assert outcome.checkpoint_bytes == 0.0
+
+    def test_all_progress_lost(self, config, vgg_profile):
+        outcome = KillMechanism(config).preempt(vgg_profile, 0.4 * vgg_profile.total_cycles)
+        assert outcome.retained_offset == 0.0
+        assert outcome.restore_latency == 0.0
+        assert not outcome.drains_to_completion
+
+    def test_boundary_snaps_up(self, config, vgg_profile):
+        offset = 0.4 * vgg_profile.total_cycles
+        outcome = KillMechanism(config).preempt(vgg_profile, offset)
+        assert outcome.boundary_offset >= offset
+
+
+class TestCheckpoint:
+    def test_latency_has_trap_plus_dma(self, config, vgg_profile):
+        mech = CheckpointMechanism(config)
+        outcome = mech.preempt(vgg_profile, 0.5 * vgg_profile.total_cycles)
+        assert outcome.preemption_latency >= config.preemption_trap_cycles
+        assert outcome.checkpoint_bytes > 0
+
+    def test_progress_retained_at_boundary(self, config, vgg_profile):
+        offset = 0.5 * vgg_profile.total_cycles
+        outcome = CheckpointMechanism(config).preempt(vgg_profile, offset)
+        assert outcome.retained_offset == outcome.boundary_offset
+        assert outcome.retained_offset >= offset
+
+    def test_restore_symmetric_to_checkpoint(self, config, vgg_profile):
+        mech = CheckpointMechanism(config)
+        outcome = mech.preempt(vgg_profile, 0.5 * vgg_profile.total_cycles)
+        assert outcome.restore_latency == pytest.approx(
+            mech.memory.transfer_cycles(outcome.checkpoint_bytes)
+        )
+
+    def test_latency_in_microsecond_regime(self, config, vgg_b16_profile):
+        # Sec IV-D: checkpoint preemption latency is in the orders of
+        # usecs; worst case when whole UBUF+ACCQ state is checkpointed.
+        mech = CheckpointMechanism(config)
+        latencies_us = [
+            config.cycles_to_us(
+                mech.preempt(vgg_b16_profile, f * vgg_b16_profile.total_cycles).preemption_latency
+            )
+            for f in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert max(latencies_us) < 100.0
+        assert min(latencies_us) > 0.5
+
+    def test_batch16_checkpoints_more_than_batch1(self, config, factory):
+        mech = CheckpointMechanism(config)
+        b1 = factory.execution_profile("CNN-VN", 1)
+        b16 = factory.execution_profile("CNN-VN", 16)
+        mean_b1 = sum(
+            mech.preempt(b1, f * b1.total_cycles).checkpoint_bytes
+            for f in (0.2, 0.5, 0.8)
+        )
+        mean_b16 = sum(
+            mech.preempt(b16, f * b16.total_cycles).checkpoint_bytes
+            for f in (0.2, 0.5, 0.8)
+        )
+        assert mean_b16 > mean_b1
+
+    def test_checkpoint_negligible_vs_inference(self, config, vgg_profile):
+        # Sec IV-D's key observation: preemption latency is <2.6% of the
+        # network-wide inference time.
+        mech = CheckpointMechanism(config)
+        outcome = mech.preempt(vgg_profile, 0.5 * vgg_profile.total_cycles)
+        assert outcome.preemption_latency / vgg_profile.total_cycles < 0.026
+
+
+class TestDrain:
+    def test_never_switches_early(self, config, vgg_profile):
+        outcome = DrainMechanism(config).preempt(vgg_profile, 0.1 * vgg_profile.total_cycles)
+        assert outcome.drains_to_completion
+        assert outcome.boundary_offset == vgg_profile.total_cycles
+        assert outcome.retained_offset == vgg_profile.total_cycles
+
+    def test_zero_overheads(self, config, vgg_profile):
+        outcome = DrainMechanism(config).preempt(vgg_profile, 0.9 * vgg_profile.total_cycles)
+        assert outcome.preemption_latency == 0.0
+        assert outcome.checkpoint_bytes == 0.0
+        assert outcome.restore_latency == 0.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("kill", KillMechanism),
+        ("CHECKPOINT", CheckpointMechanism),
+        ("Drain", DrainMechanism),
+    ])
+    def test_lookup_case_insensitive(self, config, name, cls):
+        assert isinstance(mechanism_by_name(name, config), cls)
+
+    def test_unknown_raises(self, config):
+        with pytest.raises(KeyError):
+            mechanism_by_name("FLUSH", config)

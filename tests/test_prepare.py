@@ -1,0 +1,91 @@
+"""TaskFactory: ground truth vs scheduler-visible estimates."""
+
+import pytest
+
+from repro.core.tokens import Priority
+from repro.sched.prepare import TaskFactory
+from repro.workloads.specs import TaskSpec
+
+
+def cnn_spec(task_id=0, benchmark="CNN-AN", batch=1):
+    return TaskSpec(task_id, benchmark, batch, Priority.MEDIUM, 0.0)
+
+
+def rnn_spec(task_id=0, benchmark="RNN-MT1", input_len=20, output_len=25):
+    return TaskSpec(task_id, benchmark, 1, Priority.MEDIUM, 0.0,
+                    input_len=input_len, actual_output_len=output_len)
+
+
+class TestGroundTruth:
+    def test_profile_cache_hits(self, factory):
+        first = factory.execution_profile("CNN-AN", 1)
+        second = factory.execution_profile("CNN-AN", 1)
+        assert first is second
+
+    def test_rnn_requires_lengths(self, factory):
+        with pytest.raises(ValueError):
+            factory.execution_profile("RNN-MT1", 1)
+
+    def test_isolated_cycles_positive(self, factory):
+        assert factory.isolated_cycles(cnn_spec()) > 0
+
+
+class TestEstimates:
+    def test_cnn_estimate_close_to_truth(self, factory):
+        # Sec VI-D regime: the architecture-aware model lands within a few
+        # percent for static-topology networks.
+        spec = cnn_spec(benchmark="CNN-VN")
+        estimated = factory.estimated_cycles(spec)
+        actual = factory.isolated_cycles(spec)
+        assert abs(estimated - actual) / actual < 0.10
+
+    def test_rnn_estimate_uses_predicted_length(self, factory):
+        # The estimate is computed at the regressor's predicted output
+        # length, not the actual one, so two tasks with the same input but
+        # different true outputs share one estimate.
+        a = factory.estimated_cycles(rnn_spec(output_len=20))
+        b = factory.estimated_cycles(rnn_spec(output_len=30))
+        assert a == b
+
+    def test_actual_lengths_change_ground_truth(self, factory):
+        a = factory.isolated_cycles(rnn_spec(output_len=20))
+        b = factory.isolated_cycles(rnn_spec(output_len=30))
+        assert b > a
+
+    def test_rnn_sa_predicts_identity(self, factory):
+        assert factory.predicted_output_len("RNN-SA", 17) == 17
+
+    def test_mt_prediction_in_profile_range(self, factory):
+        predicted = factory.predicted_output_len("RNN-MT1", 20)
+        outs = factory.profiles["RNN-MT1"].outputs_for(20)
+        assert min(outs) <= predicted <= max(outs)
+
+
+class TestBuildTask:
+    def test_context_populated(self, factory):
+        task = factory.build_task(cnn_spec())
+        assert task.context.task_id == 0
+        assert task.context.benchmark == "CNN-AN"
+        assert task.context.estimated_cycles > 0
+        assert task.context.tokens == 3.0  # medium priority
+
+    def test_oracle_estimate_is_exact(self, factory):
+        spec = rnn_spec()
+        task = factory.build_task(spec, oracle=True)
+        assert task.context.estimated_cycles == task.profile.total_cycles
+
+    def test_build_workload_fresh_runtimes(self, factory):
+        from repro.workloads.generator import WorkloadGenerator
+
+        workload = WorkloadGenerator(seed=2).generate(num_tasks=4)
+        first = factory.build_workload(workload)
+        second = factory.build_workload(workload)
+        assert all(a is not b for a, b in zip(first, second))
+        # ... but they share the cached immutable profiles.
+        assert all(a.profile is b.profile for a, b in zip(first, second))
+
+    def test_prediction_pairs_shape(self, factory):
+        specs = [cnn_spec(0), rnn_spec(1)]
+        pairs = factory.prediction_pairs(specs)
+        assert len(pairs) == 2
+        assert all(e > 0 and a > 0 for e, a in pairs)

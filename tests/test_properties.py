@@ -1,0 +1,165 @@
+"""Property-based invariants across the whole scheduling stack.
+
+Hypothesis drives randomized workloads and scheduler configurations
+through the simulator; the properties below must hold for *every* policy,
+mode, and mechanism:
+
+- completeness: every dispatched task finishes;
+- causality: no completion before arrival + isolated time;
+- exclusivity: busy timeline segments never overlap;
+- conservation: run time equals total work (plus re-execution under KILL);
+- metric sanity: NTT >= 1, 0 < STP <= n, fairness in (0, 1].
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.npu.config import NPUConfig
+from repro.sched.metrics import compute_metrics
+from repro.sched.policies import POLICY_NAMES, make_policy
+from repro.sched.prepare import TaskFactory
+from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.workloads.generator import WorkloadGenerator
+
+_CONFIG = NPUConfig()
+_FACTORY = TaskFactory(_CONFIG)
+
+_scheduler_setups = st.sampled_from([
+    ("FCFS", PreemptionMode.NP, "CHECKPOINT"),
+    ("RRB", PreemptionMode.NP, "CHECKPOINT"),
+    ("HPF", PreemptionMode.NP, "CHECKPOINT"),
+    ("HPF", PreemptionMode.STATIC, "CHECKPOINT"),
+    ("HPF", PreemptionMode.STATIC, "KILL"),
+    ("TOKEN", PreemptionMode.STATIC, "CHECKPOINT"),
+    ("SJF", PreemptionMode.STATIC, "CHECKPOINT"),
+    ("SJF", PreemptionMode.DYNAMIC, "CHECKPOINT"),
+    ("PREMA", PreemptionMode.STATIC, "CHECKPOINT"),
+    ("PREMA", PreemptionMode.DYNAMIC, "CHECKPOINT"),
+    ("PREMA", PreemptionMode.DYNAMIC, "KILL"),
+])
+
+
+def _run(seed, num_tasks, policy, mode, mechanism, window_ms=8.0):
+    workload = WorkloadGenerator(
+        seed=seed,
+        arrival_window_cycles=_CONFIG.ms_to_cycles(window_ms),
+        batch_choices=(1, 4),
+    ).generate(num_tasks=num_tasks)
+    simulator = NPUSimulator(
+        SimulationConfig(npu=_CONFIG, mode=mode, mechanism=mechanism),
+        make_policy(policy),
+    )
+    tasks = _FACTORY.build_workload(workload)
+    return simulator.run(tasks)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_tasks=st.integers(min_value=1, max_value=7),
+    setup=_scheduler_setups,
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_every_schedule_is_complete_and_causal(seed, num_tasks, setup):
+    policy, mode, mechanism = setup
+    result = _run(seed, num_tasks, policy, mode, mechanism)
+    assert all(task.is_done for task in result.tasks)
+    for task in result.tasks:
+        # Causality: completion no earlier than arrival + the work itself.
+        assert task.completion_time >= (
+            task.spec.arrival_cycles + task.isolated_cycles * 0.999
+        )
+        assert task.normalized_turnaround >= 0.999
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_tasks=st.integers(min_value=2, max_value=7),
+    setup=_scheduler_setups,
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_timeline_exclusive_and_conservative(seed, num_tasks, setup):
+    policy, mode, mechanism = setup
+    result = _run(seed, num_tasks, policy, mode, mechanism)
+    result.timeline.verify_no_overlap()
+    by_task = result.timeline.run_cycles_by_task()
+    for task in result.tasks:
+        ran = by_task[task.task_id]
+        if mechanism == "KILL":
+            # Re-execution may repeat work, never skip it.
+            assert ran >= task.isolated_cycles * 0.999
+        else:
+            assert ran == pytest.approx(task.isolated_cycles, rel=1e-6)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_tasks=st.integers(min_value=2, max_value=7),
+    setup=_scheduler_setups,
+)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_metrics_are_sane(seed, num_tasks, setup):
+    policy, mode, mechanism = setup
+    result = _run(seed, num_tasks, policy, mode, mechanism)
+    metrics = compute_metrics(result.tasks)
+    assert metrics.antt >= 0.999
+    assert 0.0 < metrics.stp <= num_tasks + 1e-9
+    assert 0.0 < metrics.fairness <= 1.0 + 1e-9
+    for ntt in metrics.ntt_by_task.values():
+        assert ntt >= 0.999
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_nonpreemptive_policies_never_preempt(seed):
+    for policy in POLICY_NAMES:
+        result = _run(seed, 4, policy, PreemptionMode.NP, "CHECKPOINT")
+        assert result.preemption_count == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_tasks=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_checkpoint_never_slower_in_total_work_than_kill(seed, num_tasks):
+    """KILL may redo work; CHECKPOINT never does, so the NPU's total busy
+    run time under CHECKPOINT is a lower bound of KILL's."""
+    ckpt = _run(seed, num_tasks, "HPF", PreemptionMode.STATIC, "CHECKPOINT")
+    kill = _run(seed, num_tasks, "HPF", PreemptionMode.STATIC, "KILL")
+    ckpt_work = sum(ckpt.timeline.run_cycles_by_task().values())
+    kill_work = sum(kill.timeline.run_cycles_by_task().values())
+    assert kill_work >= ckpt_work * 0.999
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_tasks=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_oracle_estimates_never_hurt_determinism(seed, num_tasks):
+    """Oracle-estimated PREMA runs are valid schedules too (Sec VI-D)."""
+    workload = WorkloadGenerator(seed=seed).generate(num_tasks=num_tasks)
+    simulator = NPUSimulator(
+        SimulationConfig(npu=_CONFIG, mode=PreemptionMode.DYNAMIC),
+        make_policy("PREMA"),
+    )
+    tasks = _FACTORY.build_workload(workload, oracle=True)
+    result = simulator.run(tasks)
+    assert all(task.is_done for task in result.tasks)
+    result.timeline.verify_no_overlap()

@@ -1,0 +1,95 @@
+"""Sequence-length lookup-table regression (Sec V-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regression import SequenceLengthRegressor
+from repro.models.sequences import generate_profile, geomean
+
+
+class TestConstruction:
+    def test_from_table(self):
+        reg = SequenceLengthRegressor({10: 11.0, 20: 22.0})
+        assert reg.predict(10) == 11
+        assert reg.predict(20) == 22
+
+    def test_from_profile_uses_geomean(self):
+        profile = generate_profile("en-de", num_samples=400)
+        reg = SequenceLengthRegressor.from_profile(profile)
+        input_len = profile.input_lengths[0]
+        expected = geomean([float(o) for o in profile.outputs_for(input_len)])
+        assert reg.predict(input_len) == max(1, int(round(expected)))
+
+    def test_identity_regressor(self):
+        reg = SequenceLengthRegressor.identity([5, 10, 15])
+        assert reg.predict(10) == 10
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            SequenceLengthRegressor({})
+
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(ValueError):
+            SequenceLengthRegressor({0: 5.0})
+        with pytest.raises(ValueError):
+            SequenceLengthRegressor({5: 0.0})
+
+
+class TestInterpolation:
+    def test_exact_hit(self):
+        reg = SequenceLengthRegressor({10: 20.0, 20: 40.0})
+        assert reg.predict(10) == 20
+
+    def test_midpoint(self):
+        reg = SequenceLengthRegressor({10: 20.0, 20: 40.0})
+        assert reg.predict(15) == 30
+
+    def test_below_grid_scales_proportionally(self):
+        reg = SequenceLengthRegressor({10: 20.0, 20: 40.0})
+        assert reg.predict(5) == 10
+
+    def test_above_grid_scales_proportionally(self):
+        reg = SequenceLengthRegressor({10: 20.0, 20: 40.0})
+        assert reg.predict(40) == 80
+
+    def test_minimum_is_one(self):
+        reg = SequenceLengthRegressor({100: 1.0})
+        assert reg.predict(1) == 1
+
+    def test_rejects_nonpositive_query(self):
+        reg = SequenceLengthRegressor({10: 20.0})
+        with pytest.raises(ValueError):
+            reg.predict(0)
+
+    @given(query=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_prediction_always_positive_int(self, query):
+        reg = SequenceLengthRegressor({10: 12.0, 30: 33.0, 50: 57.0})
+        predicted = reg.predict(query)
+        assert isinstance(predicted, int)
+        assert predicted >= 1
+
+    @given(
+        a=st.integers(min_value=1, max_value=100),
+        b=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_for_monotone_table(self, a, b):
+        reg = SequenceLengthRegressor({10: 12.0, 30: 33.0, 50: 57.0})
+        lo, hi = min(a, b), max(a, b)
+        assert reg.predict(lo) <= reg.predict(hi)
+
+
+class TestErrorMeasurement:
+    def test_error_against_profile(self):
+        profile = generate_profile("en-ko", num_samples=500)
+        reg = SequenceLengthRegressor.from_profile(profile)
+        mean_err, max_err = reg.error_against(profile)
+        assert 0 <= mean_err <= max_err
+        # The lognormal spread is ~10%, so the geomean fit stays tight.
+        assert mean_err < 0.2
+
+    def test_table_roundtrip(self):
+        table = {10: 12.0, 20: 24.0}
+        assert SequenceLengthRegressor(table).table == table

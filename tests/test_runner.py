@@ -1,0 +1,71 @@
+"""Ensemble runner shared by the Figs 11-15 experiments."""
+
+import pytest
+
+from repro.analysis.runner import (
+    FIG13_SETUPS,
+    SchedulerSetup,
+    run_ensemble,
+    run_setup,
+)
+from repro.sched.simulator import PreemptionMode
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return WorkloadGenerator(seed=60).generate_many(3, num_tasks=5)
+
+
+class TestSchedulerSetup:
+    def test_builds_simulator(self, config):
+        setup = SchedulerSetup("x", "PREMA", PreemptionMode.DYNAMIC)
+        simulator = setup.build_simulator(config)
+        assert simulator.policy.name == "PREMA"
+        assert simulator.config.mode == PreemptionMode.DYNAMIC
+
+    def test_fig13_setup_labels(self):
+        labels = [setup.label for setup in FIG13_SETUPS]
+        assert len(labels) == 9
+        assert "NP-FCFS" in labels
+        assert "Dynamic-PREMA" in labels
+
+
+class TestRunSetup:
+    def test_outcome_structure(self, config, factory, workloads):
+        setup = SchedulerSetup("fcfs", "FCFS", PreemptionMode.NP)
+        outcome = run_setup(setup, workloads, factory, config)
+        assert outcome.metrics.num_workloads == len(workloads)
+        assert len(outcome.tasks_per_workload) == len(workloads)
+        assert len(outcome.all_tasks()) == sum(len(w) for w in workloads)
+        assert all(task.is_done for task in outcome.all_tasks())
+
+    def test_oracle_flag_changes_estimates(self, config, factory, workloads):
+        setup = SchedulerSetup("prema", "PREMA", PreemptionMode.DYNAMIC)
+        with_oracle = run_setup(setup, workloads, factory, config, oracle=True)
+        for task in with_oracle.all_tasks():
+            assert task.context.estimated_cycles == pytest.approx(
+                task.isolated_cycles
+            )
+
+
+class TestRunEnsemble:
+    def test_all_setups_run_same_workloads(self, config, factory, workloads):
+        setups = [
+            SchedulerSetup("a", "FCFS", PreemptionMode.NP),
+            SchedulerSetup("b", "SJF", PreemptionMode.STATIC),
+        ]
+        outcomes = run_ensemble(setups, workloads, factory=factory, npu=config)
+        assert set(outcomes) == {"a", "b"}
+        # Same ground truth across setups (fresh runtimes, shared profiles).
+        for tasks_a, tasks_b in zip(
+            outcomes["a"].tasks_per_workload, outcomes["b"].tasks_per_workload
+        ):
+            for x, y in zip(tasks_a, tasks_b):
+                assert x.isolated_cycles == y.isolated_cycles
+                assert x is not y
+
+    def test_defaults_constructed_when_omitted(self, workloads):
+        setups = [SchedulerSetup("only", "FCFS", PreemptionMode.NP)]
+        outcomes = run_ensemble(setups, workloads)
+        assert outcomes["only"].metrics.mean_antt >= 1.0

@@ -1,0 +1,95 @@
+"""Sequence-length profiles (Fig 9 substitutes) and their statistics."""
+
+import pytest
+
+from repro.models.sequences import (
+    BENCHMARK_PROFILE,
+    PROFILE_SPECS,
+    SequenceProfile,
+    generate_profile,
+    geomean,
+    linear_profile,
+)
+
+
+class TestGenerateProfile:
+    @pytest.mark.parametrize("app", sorted(PROFILE_SPECS))
+    def test_deterministic_by_seed(self, app):
+        a = generate_profile(app, num_samples=100, seed=3)
+        b = generate_profile(app, num_samples=100, seed=3)
+        assert a.samples == b.samples
+
+    def test_different_seeds_differ(self):
+        a = generate_profile("en-de", num_samples=100, seed=3)
+        b = generate_profile("en-de", num_samples=100, seed=4)
+        assert a.samples != b.samples
+
+    @pytest.mark.parametrize("app", sorted(PROFILE_SPECS))
+    def test_positive_correlation(self, app):
+        profile = generate_profile(app, num_samples=600)
+        assert profile.correlation() > 0.8
+
+    def test_ratio_ordering_matches_languages(self):
+        # Chinese character outputs are much longer than German words,
+        # Korean shorter than the English input (Fig 9 a-c shapes).
+        def mean_ratio(app):
+            profile = generate_profile(app, num_samples=600)
+            return sum(o / i for i, o in profile.samples) / len(profile.samples)
+
+        assert mean_ratio("en-zh") > mean_ratio("en-de") > mean_ratio("en-ko")
+
+    def test_asr_compresses(self):
+        profile = generate_profile("asr", num_samples=600)
+        ratios = [o / i for i, o in profile.samples]
+        assert sum(ratios) / len(ratios) < 1.0
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(KeyError):
+            generate_profile("en-fr")
+
+    def test_bad_sample_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_profile("en-de", num_samples=0)
+
+    def test_benchmark_profile_mapping_complete(self):
+        assert set(BENCHMARK_PROFILE.values()) <= set(PROFILE_SPECS)
+
+
+class TestProfileQueries:
+    def test_outputs_for_known_input(self):
+        profile = generate_profile("en-de", num_samples=200)
+        outs = profile.outputs_for(profile.input_lengths[0])
+        assert outs and all(o > 0 for o in outs)
+
+    def test_outputs_for_unknown_raises(self):
+        profile = generate_profile("en-de", num_samples=200)
+        with pytest.raises(KeyError):
+            profile.outputs_for(9999)
+
+    def test_quartiles_ordered(self):
+        profile = generate_profile("en-zh", num_samples=600)
+        for q25, median, q75 in profile.quartiles_by_input().values():
+            assert q25 <= median <= q75
+
+    def test_rejects_empty_profile(self):
+        with pytest.raises(ValueError):
+            SequenceProfile(application="x", samples=())
+
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(ValueError):
+            SequenceProfile(application="x", samples=((0, 5),))
+
+
+class TestLinearProfileAndGeomean:
+    def test_linear_profile_identity(self):
+        profile = linear_profile([5, 10, 15])
+        assert profile.outputs_for(10) == [10]
+
+    def test_geomean_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

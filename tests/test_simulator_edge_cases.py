@@ -1,0 +1,140 @@
+"""Simulator edge cases: degenerate arrivals, bursts, and mid-trap events."""
+
+import pytest
+
+from repro.core.tokens import Priority
+from repro.sched.metrics import compute_metrics
+from repro.sched.policies import make_policy
+from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.workloads.specs import TaskSpec
+
+
+def run(config, factory, specs, policy="PREMA", mode=PreemptionMode.DYNAMIC,
+        mechanism="CHECKPOINT"):
+    simulator = NPUSimulator(
+        SimulationConfig(npu=config, mode=mode, mechanism=mechanism),
+        make_policy(policy),
+    )
+    tasks = [factory.build_task(s) for s in specs]
+    return simulator.run(tasks)
+
+
+class TestDegenerateArrivals:
+    def test_single_task_runs_isolated(self, config, factory):
+        spec = TaskSpec(0, "CNN-GN", 1, Priority.LOW, 0.0)
+        result = run(config, factory, [spec])
+        task = result.task_by_id(0)
+        assert task.normalized_turnaround == pytest.approx(1.0, rel=1e-9)
+        assert result.preemption_count == 0
+
+    def test_simultaneous_arrivals(self, config, factory):
+        specs = [
+            TaskSpec(i, benchmark, 1, Priority.MEDIUM, 0.0)
+            for i, benchmark in enumerate(("CNN-AN", "CNN-GN", "CNN-MN"))
+        ]
+        result = run(config, factory, specs, policy="FCFS",
+                     mode=PreemptionMode.NP)
+        assert all(task.is_done for task in result.tasks)
+        result.timeline.verify_no_overlap()
+        # FCFS ties broken by task id.
+        completions = [result.task_by_id(i).completion_time for i in range(3)]
+        assert completions == sorted(completions)
+
+    def test_late_burst_after_idle(self, config, factory):
+        # NPU drains fully, idles, then a burst arrives much later.
+        specs = [
+            TaskSpec(0, "CNN-GN", 1, Priority.LOW, 0.0),
+            TaskSpec(1, "CNN-AN", 1, Priority.HIGH,
+                     config.ms_to_cycles(500.0)),
+            TaskSpec(2, "CNN-MN", 1, Priority.LOW,
+                     config.ms_to_cycles(500.0)),
+        ]
+        result = run(config, factory, specs)
+        assert all(task.is_done for task in result.tasks)
+        late = result.task_by_id(1)
+        assert late.first_dispatch_time >= config.ms_to_cycles(500.0)
+
+    def test_identical_tasks(self, config, factory):
+        specs = [
+            TaskSpec(i, "CNN-AN", 1, Priority.MEDIUM, float(i))
+            for i in range(4)
+        ]
+        result = run(config, factory, specs, policy="SJF",
+                     mode=PreemptionMode.STATIC)
+        assert all(task.is_done for task in result.tasks)
+        # Equal lengths: SJF must not preempt (strict inequality).
+        assert result.preemption_count == 0
+
+
+class TestMidTrapEvents:
+    def test_arrival_during_checkpoint_trap(self, config, factory):
+        """A task arriving while the NPU checkpoints must queue cleanly."""
+        low_iso = factory.execution_profile("CNN-VN", 16).total_cycles
+        specs = [
+            TaskSpec(0, "CNN-VN", 16, Priority.LOW, 0.0),
+            TaskSpec(1, "CNN-GN", 1, Priority.HIGH, 0.3 * low_iso),
+            # Arrives ~1 us after the preemption trap starts.
+            TaskSpec(2, "CNN-AN", 1, Priority.HIGH,
+                     0.3 * low_iso + config.us_to_cycles(1.0)),
+        ]
+        result = run(config, factory, specs, policy="HPF",
+                     mode=PreemptionMode.STATIC)
+        assert all(task.is_done for task in result.tasks)
+        result.timeline.verify_no_overlap()
+
+    def test_repeated_preemptions_converge(self, config, factory):
+        """A long task preempted by several short arrivals still finishes."""
+        long_iso = factory.execution_profile("CNN-VN", 16).total_cycles
+        specs = [TaskSpec(0, "CNN-VN", 16, Priority.LOW, 0.0)]
+        for i in range(1, 6):
+            specs.append(
+                TaskSpec(i, "CNN-GN", 1, Priority.HIGH,
+                         i * 0.15 * long_iso)
+            )
+        result = run(config, factory, specs, policy="HPF",
+                     mode=PreemptionMode.STATIC)
+        long_task = result.task_by_id(0)
+        assert long_task.is_done
+        assert long_task.preemption_count >= 2
+        # CHECKPOINT preserves progress: total run time stays the work.
+        by_task = result.timeline.run_cycles_by_task()
+        assert by_task[0] == pytest.approx(long_task.isolated_cycles, rel=1e-6)
+
+    def test_kill_storm_still_terminates(self, config, factory):
+        """KILL restarts must not livelock even under repeated preemption."""
+        long_iso = factory.execution_profile("CNN-AN", 16).total_cycles
+        specs = [TaskSpec(0, "CNN-AN", 16, Priority.LOW, 0.0)]
+        for i in range(1, 4):
+            specs.append(
+                TaskSpec(i, "CNN-GN", 1, Priority.HIGH, i * 0.2 * long_iso)
+            )
+        result = run(config, factory, specs, policy="HPF",
+                     mode=PreemptionMode.STATIC, mechanism="KILL")
+        assert all(task.is_done for task in result.tasks)
+        victim = result.task_by_id(0)
+        if victim.kill_count:
+            assert victim.wasted_cycles > 0
+
+
+class TestPriorityExtremes:
+    def test_all_high_priority(self, config, factory):
+        specs = [
+            TaskSpec(i, b, 1, Priority.HIGH, float(i))
+            for i, b in enumerate(("CNN-AN", "CNN-GN", "CNN-VN"))
+        ]
+        result = run(config, factory, specs)
+        metrics = compute_metrics(result.tasks)
+        assert metrics.num_tasks == 3
+        assert 0 < metrics.fairness <= 1.0
+
+    def test_all_low_priority_short_jobs_first(self, config, factory):
+        specs = [
+            TaskSpec(0, "CNN-VN", 1, Priority.LOW, 0.0),
+            TaskSpec(1, "CNN-GN", 1, Priority.LOW,
+                     config.ms_to_cycles(0.2)),
+        ]
+        result = run(config, factory, specs)
+        short = result.task_by_id(1)
+        long = result.task_by_id(0)
+        # PREMA's shortest-estimated-job rule lets GN through first.
+        assert short.completion_time < long.completion_time

@@ -1,0 +1,94 @@
+"""SCNN-style sparse latency model and density profiles (Fig 7 support)."""
+
+import pytest
+
+from repro.isa.compiler import compile_model
+from repro.models.layers import LayerKind
+from repro.models.zoo import build_benchmark
+from repro.npu.sparse import (
+    DensityProfile,
+    SCNNConfig,
+    SparseLatencyModel,
+    synthesize_density_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def alexnet_model(config):
+    return compile_model(build_benchmark("CNN-AN"), config, batch=1)
+
+
+@pytest.fixture(scope="module")
+def alexnet_profile(alexnet_model):
+    conv_names = [l.name for l in alexnet_model.layers if l.kind == LayerKind.CONV]
+    return synthesize_density_profile("CNN-AN", conv_names, num_inputs=200)
+
+
+class TestDensityProfile:
+    def test_shape_consistency(self, alexnet_profile):
+        assert alexnet_profile.num_inputs == 200
+        assert len(alexnet_profile.layer_names) == len(alexnet_profile.densities)
+
+    def test_densities_in_unit_interval(self, alexnet_profile):
+        for row in alexnet_profile.densities:
+            assert all(0.0 < v <= 1.0 for v in row)
+
+    def test_density_declines_with_depth(self, alexnet_profile):
+        stats = alexnet_profile.per_layer_stats()
+        assert stats[0][1] > stats[-1][1]
+
+    def test_small_per_input_variance(self, alexnet_profile):
+        # The Fig 7 claim: narrow per-layer bands.
+        for _, _, std in alexnet_profile.per_layer_stats():
+            assert std < 0.06
+
+    def test_deterministic_by_seed(self):
+        a = synthesize_density_profile("m", ["l1", "l2"], num_inputs=50, seed=1)
+        b = synthesize_density_profile("m", ["l1", "l2"], num_inputs=50, seed=1)
+        assert a.densities == b.densities
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityProfile("m", ("l1",), ((0.5,), (0.5,)))
+        with pytest.raises(ValueError):
+            DensityProfile("m", ("l1",), ((1.5,),))
+        with pytest.raises(ValueError):
+            synthesize_density_profile("m", [], num_inputs=10)
+        with pytest.raises(ValueError):
+            synthesize_density_profile("m", ["l1"], num_inputs=0)
+
+
+class TestSparseLatencyModel:
+    def test_latency_scales_with_density(self):
+        model = SparseLatencyModel(SCNNConfig())
+        dense = model.layer_cycles(int(1e9), 1.0)
+        sparse = model.layer_cycles(int(1e9), 0.3)
+        assert sparse < dense
+
+    def test_indexing_overhead_floor(self):
+        model = SparseLatencyModel(SCNNConfig())
+        # Even near-zero density pays the intersection overhead.
+        assert model.layer_cycles(int(1e9), 0.01) > 0
+
+    def test_latency_variation_within_paper_bound(self, alexnet_model, alexnet_profile):
+        model = SparseLatencyModel(SCNNConfig())
+        mean_s, max_dev = model.latency_variation(alexnet_model, alexnet_profile)
+        assert mean_s > 0
+        # Sec V-B item 3: execution time never deviated more than 14%.
+        assert max_dev <= 0.14
+
+    def test_density_count_must_match_layers(self, alexnet_model):
+        model = SparseLatencyModel(SCNNConfig())
+        with pytest.raises(ValueError):
+            model.inference_seconds(alexnet_model, [0.5])
+
+    def test_weight_density_validated(self):
+        with pytest.raises(ValueError):
+            SparseLatencyModel(SCNNConfig(), weight_density=0.0)
+
+    def test_activation_density_validated(self):
+        model = SparseLatencyModel(SCNNConfig())
+        with pytest.raises(ValueError):
+            model.layer_cycles(100, 0.0)
+        with pytest.raises(ValueError):
+            model.layer_cycles(-1, 0.5)

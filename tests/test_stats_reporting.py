@@ -1,0 +1,91 @@
+"""Statistics helpers and ASCII reporting."""
+
+import pytest
+
+from repro.analysis.reporting import format_mapping, format_series, format_table
+from repro.analysis.stats import (
+    geometric_mean,
+    mean,
+    pearson_correlation,
+    percentile,
+    relative_error,
+)
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_geometric_mean_rejects_bad(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_correlation_perfect(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_correlation_inverse(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_correlation_validation(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [1])
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 1, 1], [1, 2, 3])
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == pytest.approx(95.05)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestFormatting:
+    def test_table_contains_all_cells(self):
+        table = format_table(
+            ("a", "b"), [("x", 1.5), ("y", 2)], title="T"
+        )
+        for token in ("T", "a", "b", "x", "y", "1.500", "2"):
+            assert token in table
+
+    def test_table_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_table_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            format_table((), [])
+
+    def test_series_alignment(self):
+        series = format_series("s", [1, 2, 3], [10, 20, 30])
+        assert "x:" in series and "y:" in series
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])
+
+    def test_mapping(self):
+        text = format_mapping("M", {"key": 1.25, "other": "v"})
+        assert "M" in text and "key" in text and "1.250" in text
+
+    def test_large_and_small_floats_compact(self):
+        table = format_table(("v",), [(1234567.0,), (0.00001,)])
+        assert "1.23e+06" in table
+        assert "1e-05" in table

@@ -1,0 +1,139 @@
+"""Systolic GEMM timing: Algorithm-1 closed forms and engine tile costs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npu.config import NPUConfig
+from repro.npu.systolic import (
+    compute_cycles_full,
+    compute_cycles_partial_n,
+    engine_gemm_timing,
+    memory_cycles_full,
+    memory_cycles_partial_n,
+    predicted_gemm_cycles,
+    store_cycles,
+    tile_compute_cycles,
+    tile_memory_cycles,
+    vector_op_cycles,
+)
+from repro.npu.tiling import GemmShape, TilePlan
+
+
+class TestAlgorithmOneTerms:
+    def test_c1_formula(self, config):
+        # C1 = ACC + SH + 2*SW (Algorithm 1 line 3).
+        assert compute_cycles_full(config) == config.acc_depth + 128 + 256
+
+    def test_c2_shrinks_with_remainder(self, config):
+        assert compute_cycles_partial_n(config, 10) == 10 + 128 + 256
+        assert compute_cycles_partial_n(config, 10) < compute_cycles_full(config)
+
+    def test_m1_formula(self, config):
+        elems = 128 * 128 + 128 * config.acc_depth
+        expected = elems * 2 / config.bandwidth_bytes_per_cycle
+        assert memory_cycles_full(config) == pytest.approx(expected)
+
+    def test_m2_below_m1(self, config):
+        assert memory_cycles_partial_n(config, 100) < memory_cycles_full(config)
+
+    def test_inner_tile_is_compute_bound_at_table_one(self, config):
+        # With ACC=2048 at 358 GB/s the inner tile hides its memory phase.
+        assert compute_cycles_full(config) > memory_cycles_full(config)
+
+
+class TestPredictedGemmCycles:
+    def test_single_inner_tile(self, config):
+        shape = GemmShape(m=128, k=128, n=config.acc_depth)
+        expected = max(compute_cycles_full(config), memory_cycles_full(config))
+        assert predicted_gemm_cycles(shape, config) == pytest.approx(expected)
+
+    def test_partial_n_adds_outer_term(self, config):
+        full = predicted_gemm_cycles(
+            GemmShape(m=128, k=128, n=config.acc_depth), config
+        )
+        with_rem = predicted_gemm_cycles(
+            GemmShape(m=128, k=128, n=config.acc_depth + 5), config
+        )
+        assert with_rem > full
+        assert with_rem < 2 * full
+
+    def test_small_layer_not_free(self, config):
+        # The paper's floor pseudo-code would yield 0 here (DESIGN.md #1).
+        assert predicted_gemm_cycles(GemmShape(m=8, k=8, n=8), config) > 0
+
+    def test_scales_linearly_in_m_tiles(self, config):
+        one = predicted_gemm_cycles(GemmShape(m=128, k=128, n=2048), config)
+        four = predicted_gemm_cycles(GemmShape(m=512, k=128, n=2048), config)
+        assert four == pytest.approx(4 * one)
+
+    @given(
+        m=st.integers(min_value=1, max_value=512),
+        k=st.integers(min_value=1, max_value=512),
+        n=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_each_dimension(self, m, k, n):
+        config = NPUConfig()
+        base = predicted_gemm_cycles(GemmShape(m=m, k=k, n=n), config)
+        assert predicted_gemm_cycles(GemmShape(m=m + 128, k=k, n=n), config) > base
+        assert predicted_gemm_cycles(GemmShape(m=m, k=k + 128, n=n), config) > base
+        assert predicted_gemm_cycles(GemmShape(m=m, k=k, n=n + 4096), config) > base
+
+
+class TestEngineTileCosts:
+    def test_fill_uses_physical_dims(self, config):
+        plan = TilePlan(GemmShape(m=1, k=1, n=1), config)
+        tile = plan.tile_at(0, 0, 0)
+        # Even a 1x1x1 tile pays the full array fill/drain.
+        assert tile_compute_cycles(config, tile) == 1 + 128 + 256
+
+    def test_memory_uses_actual_bytes(self, config):
+        plan = TilePlan(GemmShape(m=1, k=1, n=1), config)
+        tile = plan.tile_at(0, 0, 0)
+        expected = (1 * 1 + 1 * 1) * 2 / config.bandwidth_bytes_per_cycle
+        assert tile_memory_cycles(config, tile) == pytest.approx(expected)
+
+    def test_engine_timing_counts_all_tiles(self, config):
+        shape = GemmShape(m=300, k=200, n=3000)
+        timing = engine_gemm_timing(shape, config)
+        assert timing.tile_count == TilePlan(shape, config).total_tiles
+        assert timing.total_cycles > 0
+        assert timing.mean_tile_cycles == pytest.approx(
+            timing.total_cycles / timing.tile_count
+        )
+
+    def test_engine_at_most_predictor_plus_overheads(self, config):
+        # The engine's steady-state per-tile cost never exceeds the
+        # predictor's (memory phases only shrink with partial tiles).
+        shape = GemmShape(m=130, k=130, n=2049)
+        engine = engine_gemm_timing(shape, config).total_cycles
+        predicted = predicted_gemm_cycles(shape, config)
+        cold_start_allowance = memory_cycles_full(config) + config.memory_latency_cycles
+        assert engine <= predicted + cold_start_allowance
+
+    def test_effective_throughput_below_peak(self, config):
+        shape = GemmShape(m=512, k=512, n=8192)
+        timing = engine_gemm_timing(shape, config)
+        assert 0 < timing.effective_macs_per_cycle() <= config.peak_macs_per_cycle
+
+
+class TestVectorAndStore:
+    def test_vector_op_cycles(self, config):
+        assert vector_op_cycles(config, 1280) == pytest.approx(10.0)
+
+    def test_vector_op_rejects_negative(self, config):
+        with pytest.raises(ValueError):
+            vector_op_cycles(config, -1)
+
+    def test_store_cycles_includes_latency(self, config):
+        assert store_cycles(config, 0) == config.memory_latency_cycles
+
+    def test_store_cycles_scales_with_bytes(self, config):
+        small = store_cycles(config, 1024)
+        large = store_cycles(config, 1024 * 1024)
+        assert large > small
+
+    def test_store_rejects_negative(self, config):
+        with pytest.raises(ValueError):
+            store_cycles(config, -1)

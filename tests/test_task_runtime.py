@@ -1,0 +1,132 @@
+"""TaskRuntime progress accounting and preempt/resume conservation."""
+
+import pytest
+
+from repro.core.tokens import Priority
+from repro.workloads.specs import TaskSpec
+
+
+@pytest.fixture()
+def task(factory):
+    spec = TaskSpec(
+        task_id=0,
+        benchmark="CNN-AN",
+        batch=1,
+        priority=Priority.MEDIUM,
+        arrival_cycles=1000.0,
+    )
+    return factory.build_task(spec)
+
+
+class TestDispatch:
+    def test_completion_time_is_now_plus_remaining(self, task):
+        done_at = task.dispatch(5000.0)
+        assert done_at == pytest.approx(5000.0 + task.profile.total_cycles)
+
+    def test_double_dispatch_raises(self, task):
+        task.dispatch(0.0)
+        with pytest.raises(RuntimeError):
+            task.dispatch(10.0)
+
+    def test_first_dispatch_recorded_once(self, task):
+        task.dispatch(100.0)
+        task.record_preemption(200.0, 150.0, 0.0, 0.0, killed=False)
+        task.dispatch(400.0)
+        assert task.first_dispatch_time == 100.0
+
+
+class TestProgress:
+    def test_progress_zero_before_start(self, task):
+        assert task.progress_at(0.0) == 0.0
+
+    def test_progress_linear_after_dispatch(self, task):
+        task.dispatch(100.0)
+        assert task.progress_at(100.0 + 500.0) == pytest.approx(500.0)
+
+    def test_restore_phase_makes_no_progress(self, task):
+        task.dispatch(0.0)
+        task.record_preemption(1000.0, 1000.0, 300.0, 100.0, killed=False)
+        task.dispatch(2000.0)
+        # During the 300-cycle restore, progress stays at the retained 1000.
+        assert task.progress_at(2100.0) == pytest.approx(1000.0)
+        assert task.progress_at(2300.0 + 50.0) == pytest.approx(1050.0)
+
+    def test_progress_capped_at_total(self, task):
+        task.dispatch(0.0)
+        assert task.progress_at(1e12) == task.profile.total_cycles
+
+    def test_wall_time_at_offset_inverts_progress(self, task):
+        task.dispatch(0.0)
+        task.record_preemption(1000.0, 1000.0, 300.0, 0.0, killed=False)
+        task.dispatch(2000.0)
+        wall = task.wall_time_at_offset(1500.0)
+        assert task.progress_at(wall) == pytest.approx(1500.0)
+
+    def test_wall_time_rejects_earlier_offset(self, task):
+        task.dispatch(0.0)
+        task.record_preemption(1000.0, 1000.0, 0.0, 0.0, killed=False)
+        task.dispatch(2000.0)
+        with pytest.raises(ValueError):
+            task.wall_time_at_offset(500.0)
+
+
+class TestPreemptResumeConservation:
+    def test_checkpoint_retains_progress(self, task):
+        task.dispatch(0.0)
+        task.record_preemption(
+            now=700.0, retained_offset=700.0, restore_latency=120.0,
+            checkpoint_bytes=4096.0, killed=False,
+        )
+        assert task.retained_offset == 700.0
+        assert task.restore_pending == 120.0
+        assert task.remaining_cycles == pytest.approx(
+            task.profile.total_cycles - 700.0
+        )
+        assert task.preemption_count == 1
+        assert task.kill_count == 0
+        assert task.checkpointed_bytes_total == 4096.0
+
+    def test_kill_loses_progress(self, task):
+        task.dispatch(0.0)
+        task.record_preemption(
+            now=700.0, retained_offset=0.0, restore_latency=0.0,
+            checkpoint_bytes=0.0, killed=True,
+        )
+        assert task.retained_offset == 0.0
+        assert task.wasted_cycles == pytest.approx(700.0)
+        assert task.kill_count == 1
+
+    def test_executed_plus_remaining_is_total(self, task):
+        task.dispatch(0.0)
+        task.record_preemption(500.0, 500.0, 0.0, 0.0, killed=False)
+        assert task.retained_offset + task.remaining_cycles == pytest.approx(
+            task.profile.total_cycles
+        )
+
+    def test_preempt_idle_task_raises(self, task):
+        with pytest.raises(RuntimeError):
+            task.record_preemption(0.0, 0.0, 0.0, 0.0, killed=False)
+
+
+class TestCompletion:
+    def test_complete_sets_metrics(self, task):
+        task.dispatch(2000.0)
+        done_at = 2000.0 + task.profile.total_cycles
+        task.complete(done_at)
+        assert task.is_done
+        assert task.turnaround_cycles == pytest.approx(done_at - 1000.0)
+        assert task.normalized_turnaround >= 1.0
+
+    def test_complete_idle_raises(self, task):
+        with pytest.raises(RuntimeError):
+            task.complete(100.0)
+
+    def test_turnaround_before_completion_raises(self, task):
+        with pytest.raises(RuntimeError):
+            _ = task.turnaround_cycles
+
+    def test_dispatch_after_completion_raises(self, task):
+        task.dispatch(2000.0)
+        task.complete(3000.0 + task.profile.total_cycles)
+        with pytest.raises(RuntimeError):
+            task.dispatch(1e9)

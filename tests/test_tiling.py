@@ -1,0 +1,145 @@
+"""Tile decomposition (Fig 3c): counts, extents, coverage invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npu.config import NPUConfig
+from repro.npu.tiling import GemmShape, Tile, TilePlan, split_counts
+
+
+class TestGemmShape:
+    def test_macs(self):
+        assert GemmShape(m=3, k=5, n=7).macs == 105
+
+    def test_element_counts(self):
+        shape = GemmShape(m=3, k=5, n=7)
+        assert shape.weight_elems == 15
+        assert shape.input_elems == 35
+        assert shape.output_elems == 21
+
+    @pytest.mark.parametrize("bad", [dict(m=0, k=1, n=1), dict(m=1, k=-1, n=1),
+                                     dict(m=1, k=1, n=0)])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            GemmShape(**bad)
+
+
+class TestTileCounts:
+    def test_exact_fit_single_tile(self, small_config):
+        plan = TilePlan(GemmShape(m=4, k=4, n=8), small_config)
+        assert plan.total_tiles == 1
+        assert plan.n_inner_tiles == 1
+        assert plan.n_outer_tiles == 0
+
+    def test_partial_n_makes_outer_tile(self, small_config):
+        plan = TilePlan(GemmShape(m=4, k=4, n=9), small_config)
+        assert plan.n_tiles == 2
+        assert plan.n_inner_tiles == 1
+        assert plan.n_outer_tiles == 1
+        assert plan.n_remainder == 1
+
+    def test_small_layer_counts_one_tile(self, small_config):
+        # Ceil division: layers smaller than the array still take a tile
+        # (DESIGN.md deviation #1 vs the paper's floor pseudo-code).
+        plan = TilePlan(GemmShape(m=1, k=1, n=1), small_config)
+        assert plan.total_tiles == 1
+
+    def test_m_k_tiling(self, small_config):
+        plan = TilePlan(GemmShape(m=9, k=5, n=8), small_config)
+        assert plan.m_tiles == 3
+        assert plan.k_tiles == 2
+        assert plan.total_tiles == 6
+
+    def test_tile_count_formula(self, config):
+        shape = GemmShape(m=300, k=500, n=5000)
+        plan = TilePlan(shape, config)
+        assert plan.m_tiles == math.ceil(300 / 128)
+        assert plan.k_tiles == math.ceil(500 / 128)
+        assert plan.n_tiles == math.ceil(5000 / config.acc_depth)
+
+
+class TestTileExtents:
+    def test_interior_tiles_full(self, small_config):
+        plan = TilePlan(GemmShape(m=9, k=5, n=17), small_config)
+        tile = plan.tile_at(0, 0, 0)
+        assert (tile.sw, tile.sh, tile.acc) == (4, 4, 8)
+        assert tile.is_inner
+
+    def test_edge_tiles_partial(self, small_config):
+        plan = TilePlan(GemmShape(m=9, k=5, n=17), small_config)
+        tile = plan.tile_at(2, 1, 2)
+        assert (tile.sw, tile.sh, tile.acc) == (1, 1, 1)
+        assert not tile.is_inner
+
+    def test_out_of_range_raises(self, small_config):
+        plan = TilePlan(GemmShape(m=4, k=4, n=8), small_config)
+        with pytest.raises(IndexError):
+            plan.tile_at(1, 0, 0)
+        with pytest.raises(IndexError):
+            plan.tile_at(0, 1, 0)
+        with pytest.raises(IndexError):
+            plan.tile_at(0, 0, 1)
+
+    def test_iteration_order_is_weight_stationary(self, small_config):
+        plan = TilePlan(GemmShape(m=5, k=5, n=9), small_config)
+        tiles = list(plan.tiles())
+        assert len(tiles) == plan.total_tiles
+        # k (reduction) is innermost so ACCQ accumulates across k steps.
+        assert (tiles[0].m_index, tiles[0].n_index, tiles[0].k_index) == (0, 0, 0)
+        assert (tiles[1].m_index, tiles[1].n_index, tiles[1].k_index) == (0, 0, 1)
+
+
+class TestCoverageInvariants:
+    @given(
+        m=st.integers(min_value=1, max_value=40),
+        k=st.integers(min_value=1, max_value=40),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_cover_exactly_all_macs(self, m, k, n):
+        config = NPUConfig(array_width=4, array_height=4, acc_depth=8)
+        shape = GemmShape(m=m, k=k, n=n)
+        plan = TilePlan(shape, config)
+        assert plan.total_macs() == shape.macs
+
+    @given(
+        m=st.integers(min_value=1, max_value=40),
+        k=st.integers(min_value=1, max_value=40),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_in_unit_interval(self, m, k, n):
+        config = NPUConfig(array_width=4, array_height=4, acc_depth=8)
+        plan = TilePlan(GemmShape(m=m, k=k, n=n), config)
+        assert 0.0 < plan.utilization() <= 1.0
+
+    @given(
+        m=st.integers(min_value=1, max_value=40),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inner_plus_outer_equals_total(self, m, n):
+        config = NPUConfig(array_width=4, array_height=4, acc_depth=8)
+        plan = TilePlan(GemmShape(m=m, k=12, n=n), config)
+        assert plan.n_inner_tiles + plan.n_outer_tiles == plan.total_tiles
+
+    def test_full_utilization_when_exact(self, small_config):
+        plan = TilePlan(GemmShape(m=8, k=8, n=16), small_config)
+        assert plan.utilization() == pytest.approx(1.0)
+
+
+class TestSplitCounts:
+    def test_exact(self):
+        assert split_counts(8, 4) == (2, 0)
+
+    def test_remainder(self):
+        assert split_counts(9, 4) == (2, 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            split_counts(0, 4)
+        with pytest.raises(ValueError):
+            split_counts(4, 0)

@@ -1,0 +1,65 @@
+"""Timeline recording and rendering."""
+
+import pytest
+
+from repro.sched.timeline import Segment, SegmentKind, Timeline
+
+
+class TestSegment:
+    def test_duration(self):
+        segment = Segment(0, SegmentKind.RUN, 10.0, 30.0)
+        assert segment.duration_cycles == 20.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Segment(0, SegmentKind.RUN, 30.0, 10.0)
+
+
+class TestTimeline:
+    def test_zero_length_segments_dropped(self):
+        timeline = Timeline()
+        timeline.record(0, SegmentKind.RUN, 5.0, 5.0)
+        assert len(timeline) == 0
+
+    def test_busy_cycles(self):
+        timeline = Timeline()
+        timeline.record(0, SegmentKind.RUN, 0.0, 10.0)
+        timeline.record(1, SegmentKind.CHECKPOINT, 10.0, 12.0)
+        assert timeline.busy_cycles() == 12.0
+
+    def test_run_cycles_by_task_excludes_overhead(self):
+        timeline = Timeline()
+        timeline.record(0, SegmentKind.RUN, 0.0, 10.0)
+        timeline.record(0, SegmentKind.CHECKPOINT, 10.0, 12.0)
+        timeline.record(0, SegmentKind.RUN, 20.0, 25.0)
+        assert timeline.run_cycles_by_task() == {0: 15.0}
+
+    def test_overlap_detection(self):
+        timeline = Timeline()
+        timeline.record(0, SegmentKind.RUN, 0.0, 10.0)
+        timeline.record(1, SegmentKind.RUN, 5.0, 15.0)
+        with pytest.raises(AssertionError):
+            timeline.verify_no_overlap()
+
+    def test_no_overlap_passes(self):
+        timeline = Timeline()
+        timeline.record(0, SegmentKind.RUN, 0.0, 10.0)
+        timeline.record(1, SegmentKind.RUN, 10.0, 15.0)
+        timeline.verify_no_overlap()
+
+    def test_render_ascii_contains_tasks(self):
+        timeline = Timeline()
+        timeline.record(0, SegmentKind.RUN, 0.0, 50.0)
+        timeline.record(1, SegmentKind.RUN, 50.0, 100.0)
+        art = timeline.render_ascii(width=40)
+        assert "T0" in art and "T1" in art
+        assert "#" in art
+
+    def test_render_empty(self):
+        assert "empty" in Timeline().render_ascii()
+
+    def test_render_with_labels(self):
+        timeline = Timeline()
+        timeline.record(0, SegmentKind.RUN, 0.0, 10.0)
+        art = timeline.render_ascii(width=20, label_by_task={0: "VGG(low)"})
+        assert "VGG(low)" in art

@@ -1,0 +1,99 @@
+"""Token accounting and the dynamic candidate threshold (Sec V-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tokens import (
+    PRIORITY_TOKENS,
+    Priority,
+    candidate_threshold,
+    initial_tokens,
+    select_candidates,
+    token_increment,
+)
+
+
+class TestInitialTokens:
+    def test_table_two_values(self):
+        assert initial_tokens(Priority.LOW) == 1
+        assert initial_tokens(Priority.MEDIUM) == 3
+        assert initial_tokens(Priority.HIGH) == 9
+
+    def test_priority_tokens_complete(self):
+        assert set(PRIORITY_TOKENS) == set(Priority)
+
+
+class TestTokenIncrement:
+    def test_proportional_to_priority(self):
+        low = token_increment(Priority.LOW, 100.0, 50.0)
+        high = token_increment(Priority.HIGH, 100.0, 50.0)
+        assert high == pytest.approx(9 * low)
+
+    def test_short_tasks_earn_faster(self):
+        short = token_increment(Priority.LOW, 100.0, 10.0)
+        long = token_increment(Priority.LOW, 100.0, 1000.0)
+        assert short > long
+
+    def test_zero_wait_zero_tokens(self):
+        assert token_increment(Priority.HIGH, 0.0, 100.0) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            token_increment(Priority.LOW, -1.0, 100.0)
+        with pytest.raises(ValueError):
+            token_increment(Priority.LOW, 1.0, 0.0)
+
+
+class TestCandidateThreshold:
+    def test_paper_example_max_eight_gives_three(self):
+        # Sec V-C: "when the largest token value ... is 8, the threshold is
+        # set as 3 not 9".
+        assert candidate_threshold(8.0) == 3.0
+
+    def test_max_holder_always_qualifies(self):
+        # Strictly-below rule: even at exactly 9, threshold drops to 3 so
+        # the max-token task passes the strict > comparison.
+        assert candidate_threshold(9.0) == 3.0
+        assert candidate_threshold(3.0) == 1.0
+        assert candidate_threshold(1.0) == 0.0
+
+    def test_above_nine(self):
+        assert candidate_threshold(47.0) == 9.0
+
+    def test_below_one(self):
+        assert candidate_threshold(0.5) == 0.0
+
+    @given(max_tokens=st.floats(min_value=0.01, max_value=1000.0))
+    @settings(max_examples=80, deadline=None)
+    def test_threshold_strictly_below_max(self, max_tokens):
+        assert candidate_threshold(max_tokens) < max_tokens
+
+
+class TestSelectCandidates:
+    def test_empty_queue(self):
+        assert select_candidates({}) == ()
+
+    def test_max_task_always_included(self):
+        candidates = select_candidates({1: 8.0, 2: 2.0, 3: 1.0})
+        assert 1 in candidates
+
+    def test_paper_example_selection(self):
+        # max=8 -> threshold 3 -> tasks with tokens > 3 qualify.
+        candidates = select_candidates({1: 8.0, 2: 4.0, 3: 3.0, 4: 1.0})
+        assert set(candidates) == {1, 2}
+
+    def test_single_task_queue(self):
+        assert select_candidates({7: 1.0}) == (7,)
+
+    @given(
+        tokens=st.dictionaries(
+            st.integers(min_value=0, max_value=20),
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_empty_for_nonempty_queue(self, tokens):
+        assert select_candidates(tokens)

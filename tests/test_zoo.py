@@ -1,0 +1,130 @@
+"""Model zoo: every benchmark builds, with sane footprints and shapes."""
+
+import pytest
+
+from repro.models.layers import LayerKind
+from repro.models.zoo import (
+    BENCHMARKS,
+    CNN_BENCHMARKS,
+    RNN_BENCHMARKS,
+    build_benchmark,
+    is_rnn,
+)
+
+
+class TestRegistry:
+    def test_eight_benchmarks(self):
+        assert len(BENCHMARKS) == 8
+        assert set(CNN_BENCHMARKS) | set(RNN_BENCHMARKS) == set(BENCHMARKS)
+
+    def test_is_rnn(self):
+        assert is_rnn("RNN-MT1")
+        assert not is_rnn("CNN-VN")
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            build_benchmark("CNN-XX")
+
+    @pytest.mark.parametrize("name", BENCHMARKS + ("RESNET",))
+    def test_every_benchmark_builds_and_validates(self, name):
+        graph = build_benchmark(name, input_len=10, output_len=10)
+        graph.validate()
+        assert len(graph) > 0
+
+
+class TestCnnFootprints:
+    def test_alexnet_parameters(self):
+        graph = build_benchmark("CNN-AN")
+        params = graph.total_weight_elems()
+        # ~61M parameters (FC-dominated).
+        assert 55e6 < params < 70e6
+
+    def test_vggnet_parameters(self):
+        graph = build_benchmark("CNN-VN")
+        params = graph.total_weight_elems()
+        # ~138M parameters.
+        assert 125e6 < params < 150e6
+
+    def test_vggnet_macs(self):
+        graph = build_benchmark("CNN-VN")
+        # ~15.5 GMACs at batch 1.
+        assert 14e9 < graph.total_macs(1) < 17e9
+
+    def test_googlenet_small_and_conv_heavy(self):
+        graph = build_benchmark("CNN-GN")
+        params = graph.total_weight_elems()
+        assert 5e6 < params < 14e6
+        assert 1.2e9 < graph.total_macs(1) < 2.2e9
+
+    def test_mobilenet_small(self):
+        graph = build_benchmark("CNN-MN")
+        params = graph.total_weight_elems()
+        assert 3e6 < params < 6e6
+        assert 0.4e9 < graph.total_macs(1) < 0.8e9
+
+    def test_mobilenet_has_depthwise(self):
+        graph = build_benchmark("CNN-MN")
+        depthwise = [
+            n for n in graph.nodes_of_kind(LayerKind.CONV)
+            if getattr(n.layer, "groups", 1) > 1
+        ]
+        assert len(depthwise) == 13
+
+    def test_resnet50_parameters(self):
+        graph = build_benchmark("RESNET")
+        params = graph.total_weight_elems()
+        # ~25M (ours omits batch-norm scale params).
+        assert 18e6 < params < 30e6
+
+    @pytest.mark.parametrize("name", CNN_BENCHMARKS)
+    def test_cnn_classifier_outputs_1000(self, name):
+        graph = build_benchmark(name)
+        assert graph.output_spec.channels == 1000
+
+
+class TestRnnUnrolling:
+    def test_sa_node_count_scales_with_input(self):
+        short = build_benchmark("RNN-SA", input_len=5)
+        long = build_benchmark("RNN-SA", input_len=20)
+        assert len(long) > len(short)
+
+    def test_sa_recr_count(self):
+        graph = build_benchmark("RNN-SA", input_len=7)
+        assert len(graph.nodes_of_kind(LayerKind.RECR)) == 2 * 7
+
+    def test_mt_encoder_decoder_counts(self):
+        graph = build_benchmark("RNN-MT1", input_len=6, output_len=4)
+        # 2 LSTM layers per step, encoder 6 + decoder 4 steps.
+        assert len(graph.nodes_of_kind(LayerKind.RECR)) == 2 * (6 + 4)
+        # one vocab projection per emitted token.
+        assert len(graph.nodes_of_kind(LayerKind.FC)) == 4
+
+    def test_mt_variants_differ_in_vocab(self):
+        v1 = build_benchmark("RNN-MT1", input_len=4, output_len=4)
+        v2 = build_benchmark("RNN-MT2", input_len=4, output_len=4)
+        assert v1.total_weight_elems() != v2.total_weight_elems()
+
+    def test_asr_pyramidal_encoder(self):
+        graph = build_benchmark("RNN-ASR", input_len=16, output_len=4)
+        # Encoder layers run 16 + 8 + 4 steps; decoder 2 * 4 steps.
+        assert len(graph.nodes_of_kind(LayerKind.RECR)) == 16 + 8 + 4 + 8
+
+    def test_asr_output_scales_decoder(self):
+        short = build_benchmark("RNN-ASR", input_len=16, output_len=2)
+        long = build_benchmark("RNN-ASR", input_len=16, output_len=10)
+        assert len(long) > len(short)
+
+    @pytest.mark.parametrize("name", RNN_BENCHMARKS)
+    def test_rnn_rejects_bad_lengths(self, name):
+        with pytest.raises(ValueError):
+            build_benchmark(name, input_len=0, output_len=5)
+
+
+class TestBuilderDeterminism:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_two_builds_identical(self, name):
+        a = build_benchmark(name, input_len=8, output_len=8)
+        b = build_benchmark(name, input_len=8, output_len=8)
+        assert len(a) == len(b)
+        assert a.total_weight_elems() == b.total_weight_elems()
+        assert a.total_macs(1) == b.total_macs(1)
