@@ -6,7 +6,6 @@ components a downstream user would stress -- compilation, the analytical
 predictor, the cycle-stepping validator, and the multi-task simulator.
 """
 
-import pytest
 
 from repro.core.predictor import LatencyPredictor
 from repro.isa.compiler import compile_model

@@ -2,19 +2,22 @@
 """Node-level serving across multiple preemptible NPUs.
 
 The paper (Sec II-C) scopes itself to one NPU and leaves multi-NPU
-node-level policy as future work.  This example runs that layer: a
-Kubernetes-style router dispatches a burst of mixed-tenant requests to a
-pool of NPUs, comparing blind round-robin routing against predictive
-least-loaded routing (which reuses PREMA's Algorithm-1 estimates), with
-NP-FCFS vs PREMA devices underneath.
+node-level policy as future work.  This example runs that layer as one
+event-driven cluster simulation: a router dispatches a burst of
+mixed-tenant requests to a pool of NPUs, comparing blind round-robin
+against predictive routing in its three flavours -- a static up-front
+pass over Algorithm-1 estimates, online per-arrival dispatch against each
+device's live predicted backlog, and online dispatch plus work stealing
+(idle devices pull still-queued tasks from backlogged neighbours).
 
 Run:  python examples/cluster_serving.py [num_devices]
 """
 
 import sys
 
-from repro import NPUConfig, TaskFactory, WorkloadGenerator, compute_metrics
+from repro import NPUConfig, TaskFactory, WorkloadGenerator
 from repro.sched.cluster import ClusterScheduler, RoutingPolicy
+from repro.sched.metrics import compute_cluster_metrics
 from repro.sched.simulator import PreemptionMode, SimulationConfig
 
 COMBOS = (
@@ -22,9 +25,11 @@ COMBOS = (
      PreemptionMode.NP),
     ("round-robin + PREMA", RoutingPolicy.ROUND_ROBIN, "PREMA",
      PreemptionMode.DYNAMIC),
-    ("least-loaded + NP-FCFS", RoutingPolicy.LEAST_LOADED, "FCFS",
-     PreemptionMode.NP),
-    ("least-loaded + PREMA", RoutingPolicy.LEAST_LOADED, "PREMA",
+    ("static + PREMA", RoutingPolicy.STATIC, "PREMA",
+     PreemptionMode.DYNAMIC),
+    ("online + PREMA", RoutingPolicy.ONLINE_PREDICTED, "PREMA",
+     PreemptionMode.DYNAMIC),
+    ("stealing + PREMA", RoutingPolicy.WORK_STEALING, "PREMA",
      PreemptionMode.DYNAMIC),
 )
 
@@ -37,10 +42,11 @@ def main(num_devices: int = 4) -> None:
     ).generate(num_tasks=24)
     print(
         f"Routing {len(workload)} requests onto {num_devices} NPUs "
-        f"(arrival window 25 ms)\n"
+        "(arrival window 25 ms)\n"
     )
-    print(f"{'configuration':26s} {'ANTT':>7s} {'fairness':>9s} "
-          f"{'makespan ms':>12s} {'device utilization':>22s}")
+    print(f"{'configuration':22s} {'ANTT':>7s} {'fairness':>9s} "
+          f"{'makespan ms':>12s} {'queue ms':>9s} {'migr':>5s} "
+          f"{'device utilization':>20s}")
     for label, routing, policy, mode in COMBOS:
         cluster = ClusterScheduler(
             num_devices=num_devices,
@@ -50,14 +56,16 @@ def main(num_devices: int = 4) -> None:
         )
         tasks = factory.build_workload(workload)
         result = cluster.run(tasks)
-        metrics = compute_metrics(result.tasks)
+        metrics = compute_cluster_metrics(result)
         utilization = " ".join(
             f"{u:4.0%}" for u in result.device_utilization()
         )
         print(
-            f"{label:26s} {metrics.antt:7.2f} {metrics.fairness:9.3f} "
-            f"{config.cycles_to_ms(result.makespan_cycles):12.2f} "
-            f"{utilization:>22s}"
+            f"{label:22s} {metrics.antt:7.2f} {metrics.fairness:9.3f} "
+            f"{config.cycles_to_ms(metrics.makespan_cycles):12.2f} "
+            f"{config.cycles_to_ms(metrics.mean_queueing_delay_cycles):9.2f} "
+            f"{metrics.migration_count:5d} "
+            f"{utilization:>20s}"
         )
 
 

@@ -20,7 +20,6 @@ import dataclasses
 import random
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.npu.config import NPUConfig
@@ -126,7 +125,6 @@ def run_trap_ablation(
     trap_cycles: Sequence[int] = (1_000, 10_000, 100_000, 1_000_000),
     seed: int = 45,
 ) -> List[TrapAblationRow]:
-    base = factory_seed_config or NPUConfig()
     workloads = WorkloadGenerator(seed=seed).generate_many(
         num_workloads, num_tasks=8
     )

@@ -1,13 +1,18 @@
 """Extension experiment: node-level scheduling over multiple NPUs.
 
 The paper leaves multi-NPU policy as future work (Sec II-C); this harness
-measures it with our cluster layer: a fixed pool of inference requests is
-served by 1/2/4 NPUs under (router x device-scheduler) combinations, and
-we report ANTT, makespan, and the utilization spread across devices.
+measures it with our event-driven cluster layer: a fixed pool of inference
+requests is served by 1/2/4 NPUs under (router x device-scheduler)
+combinations, and we report ANTT, makespan, queueing delay, migrations,
+and the utilization spread across devices.
 
-The headline question: does the predictor keep paying off *above* the
-device?  Predictive least-loaded routing should beat blind round-robin,
-and PREMA devices should beat NP-FCFS devices at every cluster size.
+Two headline questions:
+
+1. Does the predictor keep paying off *above* the device?  Predictive
+   routing (static or online) should beat blind round-robin.
+2. Does *online* dispatch -- deciding at each arrival event against live
+   device state -- beat the static up-front routing pass, and does
+   work stealing recover the remaining imbalance when estimates err?
 """
 
 from __future__ import annotations
@@ -20,10 +25,21 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.npu.config import NPUConfig
 from repro.sched.cluster import ClusterScheduler, RoutingPolicy
-from repro.sched.metrics import compute_metrics
+from repro.sched.metrics import compute_cluster_metrics
 from repro.sched.prepare import TaskFactory
 from repro.sched.simulator import PreemptionMode, SimulationConfig
 from repro.workloads.generator import WorkloadGenerator
+
+#: The evaluated (router, device policy, preemption mode) combinations:
+#: the Kubernetes-default blind baseline, then predictive routing in its
+#: three flavours over PREMA devices.
+DEFAULT_COMBOS = (
+    (RoutingPolicy.ROUND_ROBIN, "FCFS", PreemptionMode.NP),
+    (RoutingPolicy.ROUND_ROBIN, "PREMA", PreemptionMode.DYNAMIC),
+    (RoutingPolicy.STATIC, "PREMA", PreemptionMode.DYNAMIC),
+    (RoutingPolicy.ONLINE_PREDICTED, "PREMA", PreemptionMode.DYNAMIC),
+    (RoutingPolicy.WORK_STEALING, "PREMA", PreemptionMode.DYNAMIC),
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,6 +51,8 @@ class ClusterRow:
     device_policy: str
     antt: float
     makespan_ms: float
+    mean_queueing_delay_ms: float
+    migrations: float
     mean_utilization: float
     utilization_spread: float
 
@@ -45,6 +63,7 @@ def run_cluster_scaling(
     num_tasks: int = 24,
     num_workloads: int = 4,
     device_counts: Sequence[int] = (1, 2, 4),
+    combos: Sequence = DEFAULT_COMBOS,
     seed: int = 33,
 ) -> List[ClusterRow]:
     config = config or NPUConfig()
@@ -52,16 +71,11 @@ def run_cluster_scaling(
     workloads = WorkloadGenerator(
         seed=seed, arrival_window_cycles=config.ms_to_cycles(30.0)
     ).generate_many(num_workloads, num_tasks=num_tasks)
-    combos = [
-        (RoutingPolicy.ROUND_ROBIN, "FCFS", PreemptionMode.NP),
-        (RoutingPolicy.ROUND_ROBIN, "PREMA", PreemptionMode.DYNAMIC),
-        (RoutingPolicy.LEAST_LOADED, "FCFS", PreemptionMode.NP),
-        (RoutingPolicy.LEAST_LOADED, "PREMA", PreemptionMode.DYNAMIC),
-    ]
     rows: List[ClusterRow] = []
     for num_devices in device_counts:
         for routing, policy, mode in combos:
-            antts, makespans, means, spreads = [], [], [], []
+            antts, makespans, queues, migrations = [], [], [], []
+            means, spreads = [], []
             for workload in workloads:
                 scheduler = ClusterScheduler(
                     num_devices=num_devices,
@@ -72,12 +86,15 @@ def run_cluster_scaling(
                 )
                 tasks = factory.build_workload(workload)
                 result = scheduler.run(tasks)
-                metrics = compute_metrics(result.tasks)
-                utilization = result.device_utilization()
+                metrics = compute_cluster_metrics(result)
                 antts.append(metrics.antt)
-                makespans.append(config.cycles_to_ms(result.makespan_cycles))
-                means.append(float(np.mean(utilization)))
-                spreads.append(float(np.max(utilization) - np.min(utilization)))
+                makespans.append(config.cycles_to_ms(metrics.makespan_cycles))
+                queues.append(
+                    config.cycles_to_ms(metrics.mean_queueing_delay_cycles)
+                )
+                migrations.append(metrics.migration_count)
+                means.append(metrics.mean_utilization)
+                spreads.append(metrics.utilization_spread)
             rows.append(
                 ClusterRow(
                     num_devices=num_devices,
@@ -85,6 +102,8 @@ def run_cluster_scaling(
                     device_policy=policy,
                     antt=float(np.mean(antts)),
                     makespan_ms=float(np.mean(makespans)),
+                    mean_queueing_delay_ms=float(np.mean(queues)),
+                    migrations=float(np.mean(migrations)),
                     mean_utilization=float(np.mean(means)),
                     utilization_spread=float(np.mean(spreads)),
                 )
@@ -95,10 +114,11 @@ def run_cluster_scaling(
 def format_cluster_scaling(rows: Sequence[ClusterRow]) -> str:
     return format_table(
         ("devices", "routing", "device_policy", "ANTT", "makespan_ms",
-         "mean_util", "util_spread"),
+         "queue_ms", "migrations", "mean_util", "util_spread"),
         [
             (r.num_devices, r.routing, r.device_policy, r.antt,
-             r.makespan_ms, r.mean_utilization, r.utilization_spread)
+             r.makespan_ms, r.mean_queueing_delay_ms, r.migrations,
+             r.mean_utilization, r.utilization_spread)
             for r in rows
         ],
         title="Extension: multi-NPU node-level scheduling (Sec II-C future work)",

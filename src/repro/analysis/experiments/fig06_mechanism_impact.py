@@ -15,7 +15,7 @@ import dataclasses
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.experiments.fig05_preemption import RNN_LENGTHS, _lengths
+from repro.analysis.experiments.fig05_preemption import _lengths
 from repro.analysis.reporting import format_table
 from repro.core.tokens import Priority
 from repro.npu.config import NPUConfig

@@ -10,7 +10,7 @@ seeded synthetic density profiles (see DESIGN.md substitutions).
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.isa.compiler import compile_model

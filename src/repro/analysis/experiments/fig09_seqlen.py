@@ -10,7 +10,7 @@ quantity that feeds PREMA's estimate quality for non-linear RNNs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.core.regression import SequenceLengthRegressor

@@ -9,7 +9,7 @@ workload ensemble (the paper's 25 simulation runs).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.analysis.runner import SchedulerSetup, run_ensemble

@@ -9,7 +9,7 @@ The violation rate covers *all* inference requests across the ensemble.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.analysis.runner import FIG13_SETUPS, run_ensemble

@@ -116,7 +116,7 @@ def format_fig14(rows: Sequence[TailRow]) -> str:
     )
     return (
         format_table(
-            ["benchmark", "isolated_ms"] + [f"{l}_ms" for l in labels],
+            ["benchmark", "isolated_ms"] + [f"{label}_ms" for label in labels],
             table_rows,
             title="Fig 14: 95%-ile tail latency of high-priority tasks",
         )

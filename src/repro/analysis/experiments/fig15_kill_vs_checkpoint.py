@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.experiments.fig12_preemptive import (
     POLICIES,
     VARIANTS,
-    PreemptiveRow,
     run_fig12,
 )
 from repro.analysis.reporting import format_table

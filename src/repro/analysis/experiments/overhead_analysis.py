@@ -8,7 +8,7 @@ checkpoint storage footprint of the eight benchmarks at batch 16.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.experiments.fig05_preemption import _lengths
 from repro.analysis.overhead import (

@@ -13,7 +13,7 @@ Two analyses:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import format_mapping
 from repro.analysis.runner import SchedulerSetup, run_setup

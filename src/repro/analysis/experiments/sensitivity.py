@@ -9,10 +9,9 @@ Dynamic-PREMA vs NP-FCFS over a fresh ensemble with one knob changed.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
-from repro.analysis.runner import SchedulerSetup, run_ensemble
 from repro.core.scheduler import SchedulerConfig
 from repro.npu.config import NPUConfig
 from repro.sched.metrics import improvement_over_baseline

@@ -19,7 +19,7 @@ the input sequence length via :class:`SequenceLengthRegressor`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.isa.compiler import CompiledModel
 from repro.npu.config import NPUConfig

@@ -12,7 +12,7 @@ example).
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Tuple
 
 
 class Priority(enum.IntEnum):

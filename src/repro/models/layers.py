@@ -13,8 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import math
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.npu.tiling import GemmShape
 

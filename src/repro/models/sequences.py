@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import zlib
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -120,7 +121,11 @@ def generate_profile(
         )
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
-    rng = np.random.default_rng(abs(hash((application, seed))) % (2**32))
+    # Stable across processes: str hash() is randomized by PYTHONHASHSEED,
+    # which silently reseeded every "seeded" profile per interpreter run.
+    rng = np.random.default_rng(
+        zlib.crc32(f"{application}:{seed}".encode()) & 0xFFFFFFFF
+    )
     grid = list(range(spec.input_min, spec.input_max + 1, spec.input_step))
     samples: List[Tuple[int, int]] = []
     for index in range(num_samples):

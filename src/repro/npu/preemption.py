@@ -16,7 +16,6 @@ while a task is ``offset`` cycles into its execution profile:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from repro.npu.config import NPUConfig
 from repro.npu.engine import ExecutionProfile

@@ -15,7 +15,7 @@ for the paper's ImageNet measurements (see DESIGN.md substitutions).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -145,7 +145,7 @@ class SparseLatencyModel:
         ]
         if len(conv_layers) != len(densities):
             raise ValueError(
-                f"need one density per conv layer: "
+                "need one density per conv layer: "
                 f"{len(conv_layers)} layers vs {len(densities)} densities"
             )
         cycles = sum(

@@ -2,23 +2,58 @@
 
 - :mod:`repro.sched.task` -- per-task runtime state (progress, restores).
 - :mod:`repro.sched.policies` -- FCFS/RRB/HPF/TOKEN/SJF/PREMA policies.
-- :mod:`repro.sched.simulator` -- the event-driven multi-task simulator.
-- :mod:`repro.sched.metrics` -- ANTT/STP/fairness/SLA/tail-latency metrics.
-- :mod:`repro.sched.timeline` -- execution trace records (Fig 2 style).
+- :mod:`repro.sched.simulator` -- the event-driven multi-task simulator
+  (stepwise :class:`DeviceSim` + batch :class:`NPUSimulator`).
+- :mod:`repro.sched.cluster` -- event-driven multi-NPU cluster scheduling
+  with static/online/work-stealing routing.
+- :mod:`repro.sched.metrics` -- ANTT/STP/fairness/SLA/tail-latency metrics
+  plus cluster-level queueing-delay and migration metrics.
+- :mod:`repro.sched.timeline` -- execution trace records (Fig 2 style),
+  single-device and cluster-wide.
 """
 
-from repro.sched.metrics import WorkloadMetrics, compute_metrics
+from repro.sched.cluster import (
+    ClusterResult,
+    ClusterScheduler,
+    MigrationRecord,
+    RoutingPolicy,
+)
+from repro.sched.metrics import (
+    ClusterMetrics,
+    WorkloadMetrics,
+    compute_cluster_metrics,
+    compute_metrics,
+    mean_queueing_delay,
+    queueing_delay_by_task,
+)
 from repro.sched.policies import POLICY_NAMES, make_policy
-from repro.sched.simulator import NPUSimulator, PreemptionMode, SimulationConfig
+from repro.sched.simulator import (
+    DeviceSim,
+    NPUSimulator,
+    PreemptionMode,
+    SimulationConfig,
+)
 from repro.sched.task import TaskRuntime
+from repro.sched.timeline import ClusterTimeline, Timeline
 
 __all__ = [
     "TaskRuntime",
     "POLICY_NAMES",
     "make_policy",
     "NPUSimulator",
+    "DeviceSim",
     "SimulationConfig",
     "PreemptionMode",
     "WorkloadMetrics",
     "compute_metrics",
+    "ClusterScheduler",
+    "ClusterResult",
+    "RoutingPolicy",
+    "MigrationRecord",
+    "ClusterMetrics",
+    "compute_cluster_metrics",
+    "mean_queueing_delay",
+    "queueing_delay_by_task",
+    "Timeline",
+    "ClusterTimeline",
 ]

@@ -2,25 +2,43 @@
 
 The paper scopes itself to scheduling *after* Kubernetes routes requests
 to one NPU and explicitly leaves node-level policy over multiple
-preemptible NPUs as future work.  This module implements that layer: a
-router dispatches each arriving request to one of N NPUs, each running its
-own (policy, preemption-mode) scheduler.
+preemptible NPUs as future work.  This module implements that layer as a
+single **event-driven cluster simulation**: every device is a stepwise
+:class:`~repro.sched.simulator.DeviceSim`, and one global loop interleaves
+device events with cluster-level request arrivals in timestamp order.
+Routing therefore happens *online* -- at the moment a request arrives the
+router can read each device's live scheduler-visible state (context
+tables, tokens, accounted progress of the running task) instead of only
+the static arrival-order estimates.
 
-Routing policies:
+Routing strategies (:class:`RoutingPolicy`):
 
 ``ROUND_ROBIN``
     Kubernetes-default rotation, blind to task sizes.
-``LEAST_LOADED``
-    Predictive routing: the router tracks each device's *estimated*
-    backlog using the same Algorithm-1 estimates PREMA uses, and sends
-    the request to the device that can start it earliest.  This extends
-    the paper's thesis -- the predictor is useful above the device too.
 ``RANDOM``
     Seeded uniform choice (the load-balancer strawman).
+``LEAST_LOADED`` / ``STATIC``
+    Predictive *static* routing: one up-front pass in arrival order
+    assigns each request to the device whose estimated backlog lets it
+    start earliest, using only the Algorithm-1 estimates (``STATIC`` is
+    the same rule under the cluster-experiment naming).
+``ONLINE_PREDICTED``
+    Predictive *online* dispatch: the decision is deferred to the arrival
+    event and uses each device's live predicted backlog -- estimated
+    remaining cycles of its running + queued tasks, with the running
+    task's progress refreshed to 'now'.  Tasks that finished earlier than
+    predicted free their device immediately in the router's eyes, which
+    static routing cannot see.
+``WORK_STEALING``
+    ``ONLINE_PREDICTED`` plus migration: whenever a device goes idle
+    while another device still has *queued* (never-dispatched) tasks, the
+    idle device steals the longest-estimated queued task from the most
+    backlogged device.  Never-dispatched tasks carry no checkpoint state,
+    so a migration moves only the context row (tokens travel with it).
 
-Routing happens in arrival order using only scheduler-visible information
-(arrival time + ``Time_estimated``); devices then execute their partitions
-independently on the single-NPU simulator.
+All strategies run through the same event loop; for the static strategies
+each device's event sequence is identical to simulating its partition in
+isolation, so pre-existing results remain bit-for-bit reproducible.
 """
 
 from __future__ import annotations
@@ -28,21 +46,53 @@ from __future__ import annotations
 import dataclasses
 import enum
 import random
+from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sched.policies import make_policy
 from repro.sched.simulator import (
-    NPUSimulator,
+    DeviceSim,
     SimulationConfig,
     SimulationResult,
+    _EventKind,
 )
 from repro.sched.task import TaskRuntime
+from repro.sched.timeline import ClusterTimeline
 
 
 class RoutingPolicy(enum.Enum):
     ROUND_ROBIN = "round-robin"
     LEAST_LOADED = "least-loaded"
     RANDOM = "random"
+    STATIC = "static"
+    ONLINE_PREDICTED = "online-predicted"
+    WORK_STEALING = "work-stealing"
+
+
+#: Strategies resolved by one up-front routing pass (arrival order).
+STATIC_ROUTINGS = frozenset(
+    {
+        RoutingPolicy.ROUND_ROBIN,
+        RoutingPolicy.LEAST_LOADED,
+        RoutingPolicy.RANDOM,
+        RoutingPolicy.STATIC,
+    }
+)
+
+#: Strategies deciding per-arrival against live device state.
+ONLINE_ROUTINGS = frozenset(
+    {RoutingPolicy.ONLINE_PREDICTED, RoutingPolicy.WORK_STEALING}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationRecord:
+    """One work-stealing migration of a still-queued task."""
+
+    task_id: int
+    from_device: int
+    to_device: int
+    time_cycles: float
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,11 +101,19 @@ class ClusterResult:
 
     tasks: Tuple[TaskRuntime, ...]
     device_results: Tuple[Optional[SimulationResult], ...]
+    #: Final placement: task id -> the device that executed it.
     assignments: Dict[int, int]
+    routing: str = ""
+    migrations: Tuple[MigrationRecord, ...] = ()
+    timeline: Optional[ClusterTimeline] = None
 
     @property
     def num_devices(self) -> int:
         return len(self.device_results)
+
+    @property
+    def migration_count(self) -> int:
+        return len(self.migrations)
 
     @property
     def makespan_cycles(self) -> float:
@@ -78,7 +136,12 @@ class ClusterResult:
 
 
 class ClusterScheduler:
-    """Route requests across N preemptible NPUs, then simulate each."""
+    """Serve one request stream across N preemptible NPUs.
+
+    One shared event loop drives every device; dispatch decisions fire at
+    task-arrival events (and, under work stealing, at device-idle edges
+    after any event).
+    """
 
     def __init__(
         self,
@@ -97,32 +160,42 @@ class ClusterScheduler:
         self._seed = seed
 
     # ------------------------------------------------------------------
-    # Routing
+    # Static routing (the up-front pass)
     # ------------------------------------------------------------------
     def route(self, tasks: Sequence[TaskRuntime]) -> Dict[int, int]:
-        """Assign each task to a device, in arrival order.
+        """Assign each task to a device, in arrival order (static pass).
 
         Uses only scheduler-visible state: arrival times and the
-        Algorithm-1 estimates carried in each task's context row.
+        Algorithm-1 estimates carried in each task's context row.  For
+        ``LEAST_LOADED``/``STATIC``, each request goes to the device that
+        can start it earliest under the estimated-backlog model; ties
+        break deterministically toward the lowest device index.
+
+        Raises for the online strategies -- their decisions exist only at
+        run time (see :meth:`run`).
         """
+        if self.routing in ONLINE_ROUTINGS:
+            raise ValueError(
+                f"{self.routing.value} routing decides at arrival events; "
+                "call run() instead of route()"
+            )
         ordered = sorted(tasks, key=lambda t: (t.spec.arrival_cycles, t.task_id))
         assignments: Dict[int, int] = {}
         rng = random.Random(self._seed)
         cursor = 0
         backlog_free_at = [0.0] * self.num_devices
         for task in ordered:
+            arrival = task.spec.arrival_cycles
             if self.routing == RoutingPolicy.ROUND_ROBIN:
                 device = cursor % self.num_devices
                 cursor += 1
             elif self.routing == RoutingPolicy.RANDOM:
                 device = rng.randrange(self.num_devices)
-            else:
-                arrival = task.spec.arrival_cycles
+            else:  # LEAST_LOADED / STATIC: earliest predicted start wins.
                 device = min(
                     range(self.num_devices),
                     key=lambda d: (max(backlog_free_at[d], arrival), d),
                 )
-            arrival = task.spec.arrival_cycles
             backlog_free_at[device] = (
                 max(backlog_free_at[device], arrival)
                 + task.context.estimated_cycles
@@ -131,28 +204,162 @@ class ClusterScheduler:
         return assignments
 
     # ------------------------------------------------------------------
-    # Execution
+    # Execution: the shared cluster event loop
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[TaskRuntime]) -> ClusterResult:
         if not tasks:
             raise ValueError("need at least one task")
-        assignments = self.route(tasks)
-        partitions: List[List[TaskRuntime]] = [
-            [] for _ in range(self.num_devices)
-        ]
-        for task in tasks:
-            partitions[assignments[task.task_id]].append(task)
-        device_results: List[Optional[SimulationResult]] = []
-        for partition in partitions:
-            if not partition:
-                device_results.append(None)
-                continue
-            simulator = NPUSimulator(
-                self.simulation_config, make_policy(self.policy_name)
+        ids = [task.task_id for task in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate task ids in workload")
+
+        devices = [
+            DeviceSim(
+                self.simulation_config,
+                make_policy(self.policy_name),
+                device_id=index,
             )
-            device_results.append(simulator.run(partition))
+            for index in range(self.num_devices)
+        ]
+        assignments: Dict[int, int] = {}
+        migrations: List[MigrationRecord] = []
+        total = len(tasks)
+        if self.routing in STATIC_ROUTINGS:
+            # Static strategies know every placement up-front, so inject
+            # all arrivals immediately (in workload order, like the
+            # single-NPU batch run).  Each device then sees the exact
+            # event sequence of simulating its partition in isolation --
+            # in particular its scheduling-period clock stays anchored at
+            # its first arrival even if the device drains between two
+            # assigned arrivals.
+            static_assignments = self.route(tasks)
+            for task in tasks:
+                target = static_assignments[task.task_id]
+                assignments[task.task_id] = target
+                devices[target].inject(task)
+            pending: deque = deque()
+        else:
+            pending = deque(
+                sorted(tasks, key=lambda t: (t.spec.arrival_cycles, t.task_id))
+            )
+
+        arrival_rank = int(_EventKind.ARRIVAL)
+        while True:
+            # Earliest device event by (time, kind); ties break to the
+            # lowest device index.
+            device_index: Optional[int] = None
+            device_key: Optional[Tuple[float, int]] = None
+            for index, device in enumerate(devices):
+                key = device.next_event_key()
+                if key is not None and (device_key is None or key < device_key):
+                    device_index, device_key = index, key
+
+            # Route the next arrival only once every device event that
+            # logically precedes it has fired: earlier timestamps, plus
+            # same-time completions and previously admitted same-time
+            # arrivals (kind rank <= ARRIVAL).  Routing then sees exactly
+            # the device state a real node agent would see at that
+            # instant -- including the effects of simultaneous-burst
+            # predecessors admitted moments before.
+            arrival_due = bool(pending) and (
+                device_key is None
+                or device_key > (pending[0].spec.arrival_cycles, arrival_rank)
+            )
+            if arrival_due:
+                task = pending.popleft()
+                target = self._route_online(devices, task.spec.arrival_cycles)
+                assignments[task.task_id] = target
+                devices[target].inject(task)
+                continue
+
+            if device_index is None or device_key is None:
+                break  # no events and no arrivals left
+            stepped = devices[device_index]
+            now = stepped.step()
+
+            # Steal opportunities only appear when a device goes idle
+            # (COMPLETE) or stealable work lands on a busy device
+            # (ARRIVAL); period ticks and reserved dispatches change
+            # neither, so skip the O(devices^2) scan for them.
+            if self.routing == RoutingPolicy.WORK_STEALING and (
+                stepped.last_event_kind
+                in (_EventKind.COMPLETE, _EventKind.ARRIVAL)
+            ):
+                migrations.extend(self._steal(devices, now, assignments))
+
+            if sum(device.completed_count for device in devices) >= total:
+                break
+
+        device_results = tuple(device.result() for device in devices)
+        timeline = ClusterTimeline(
+            {
+                index: device.timeline
+                for index, device in enumerate(devices)
+                if device.num_tasks > 0
+            }
+        )
         return ClusterResult(
             tasks=tuple(tasks),
-            device_results=tuple(device_results),
+            device_results=device_results,
             assignments=assignments,
+            routing=self.routing.value,
+            migrations=tuple(migrations),
+            timeline=timeline,
         )
+
+    # ------------------------------------------------------------------
+    # Online decisions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _route_online(devices: Sequence[DeviceSim], now: float) -> int:
+        """Least live predicted backlog; ties to the lowest device index."""
+        return min(
+            range(len(devices)),
+            key=lambda d: (devices[d].predicted_backlog(now), d),
+        )
+
+    @staticmethod
+    def _steal(
+        devices: Sequence[DeviceSim],
+        now: float,
+        assignments: Dict[int, int],
+    ) -> List[MigrationRecord]:
+        """Migrate queued work from backlogged devices to idle ones.
+
+        Each idle device steals at most one task per event (the stolen
+        task's arrival event re-triggers the loop, so repeated steals
+        drain naturally).  Victim: largest live predicted backlog among
+        devices holding stealable tasks; stolen task: largest estimated
+        remaining work (ties to the lowest task id).
+        """
+        moves: List[MigrationRecord] = []
+        for thief_index, thief in enumerate(devices):
+            if not thief.is_idle(now):
+                continue
+            victim_index: Optional[int] = None
+            victim_backlog = 0.0
+            for index, device in enumerate(devices):
+                if index == thief_index or not device.stealable_tasks():
+                    continue
+                backlog = device.predicted_backlog(now)
+                if victim_index is None or backlog > victim_backlog:
+                    victim_index, victim_backlog = index, backlog
+            if victim_index is None:
+                continue
+            victim = devices[victim_index]
+            stolen = max(
+                victim.stealable_tasks(),
+                key=lambda t: (t.context.estimated_remaining_cycles, -t.task_id),
+            )
+            victim.remove_task(stolen.task_id, now)
+            thief.inject(stolen, arrival=now)
+            assignments[stolen.task_id] = thief_index
+            moves.append(
+                MigrationRecord(
+                    task_id=stolen.task_id,
+                    from_device=victim_index,
+                    to_device=thief_index,
+                    time_cycles=now,
+                )
+            )
+        return moves

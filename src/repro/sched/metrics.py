@@ -161,3 +161,67 @@ def improvement_over_baseline(
         "stp": metrics.mean_stp / baseline.mean_stp,
         "fairness": metrics.mean_fairness / baseline.mean_fairness,
     }
+
+
+# ----------------------------------------------------------------------
+# Cluster-level metrics (node-level scheduling over many NPUs)
+# ----------------------------------------------------------------------
+def queueing_delay_by_task(tasks: Sequence[TaskRuntime]) -> Dict[int, float]:
+    """Cycles each task waited from arrival to its *first* dispatch.
+
+    This is the router-visible queueing delay: time spent pending before
+    any NPU started the task (later preemption stalls are not counted).
+    """
+    _require_completed(tasks)
+    delays: Dict[int, float] = {}
+    for task in tasks:
+        assert task.first_dispatch_time is not None  # completed => dispatched
+        delays[task.task_id] = (
+            task.first_dispatch_time - task.spec.arrival_cycles
+        )
+    return delays
+
+
+def mean_queueing_delay(tasks: Sequence[TaskRuntime]) -> float:
+    """Average first-dispatch queueing delay, cycles."""
+    delays = queueing_delay_by_task(tasks)
+    if not delays:
+        raise ValueError("need at least one task")
+    return float(np.mean(list(delays.values())))
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterMetrics:
+    """Aggregate metrics of one completed cluster run."""
+
+    makespan_cycles: float
+    antt: float
+    stp: float
+    fairness: float
+    mean_queueing_delay_cycles: float
+    p95_queueing_delay_cycles: float
+    migration_count: int
+    mean_utilization: float
+    utilization_spread: float
+
+
+def compute_cluster_metrics(result) -> ClusterMetrics:
+    """Summarize a :class:`~repro.sched.cluster.ClusterResult`.
+
+    Duck-typed on the result's ``tasks``/``migrations``/
+    ``device_utilization()`` surface so this module stays import-light.
+    """
+    workload = compute_metrics(result.tasks)
+    delays = list(queueing_delay_by_task(result.tasks).values())
+    utilization = result.device_utilization()
+    return ClusterMetrics(
+        makespan_cycles=result.makespan_cycles,
+        antt=workload.antt,
+        stp=workload.stp,
+        fairness=workload.fairness,
+        mean_queueing_delay_cycles=float(np.mean(delays)),
+        p95_queueing_delay_cycles=float(np.percentile(np.asarray(delays), 95.0)),
+        migration_count=len(getattr(result, "migrations", ())),
+        mean_utilization=float(np.mean(utilization)),
+        utilization_spread=float(np.max(utilization) - np.min(utilization)),
+    )

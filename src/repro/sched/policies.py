@@ -40,6 +40,22 @@ class Policy:
     def on_period(self, table: ContextTable) -> None:
         """Hook invoked at each scheduling-period tick."""
 
+    def on_admit(self, context: TaskContext, now: float) -> None:
+        """Cluster hook: ``context`` joined this device's table.
+
+        Fires at every processed arrival -- both fresh requests and
+        work-stealing migrations in.  Token state lives on the context
+        row, so tokens earned elsewhere travel with a migrated task and
+        the default is a no-op.
+        """
+
+    def on_remove(self, context: TaskContext, now: float) -> None:
+        """Cluster hook: ``context`` left this device (migration out).
+
+        Waiting time has already been settled up to ``now``; policies
+        keeping per-device aggregate state should forget the row here.
+        """
+
     def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
         """Pick the next task among the ready queue (None when empty)."""
         raise NotImplementedError

@@ -6,6 +6,15 @@ dispatch, task completion, and scheduling-period expiry (Sec V-C) -- plus
 the internal completion of a checkpoint trap.  Between wakes, the running
 task advances analytically along its ground-truth execution profile.
 
+The event machinery lives in :class:`DeviceSim`, a *stepwise* simulation
+that accepts task injections at any point and processes one event per
+:meth:`DeviceSim.step` call.  :class:`NPUSimulator` keeps the original
+batch interface (``run()`` to completion) as a thin wrapper; the cluster
+layer (:mod:`repro.sched.cluster`) interleaves many ``DeviceSim`` instances
+under one global event loop and uses the live-state introspection hooks
+(:meth:`DeviceSim.predicted_backlog`, :meth:`DeviceSim.stealable_tasks`,
+:meth:`DeviceSim.remove_task`) for online dispatch and work stealing.
+
 Preemption modes:
 
 ``NP``
@@ -26,7 +35,7 @@ import heapq
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.context import ContextTable, TaskContext, TaskState
+from repro.core.context import ContextTable, TaskState
 from repro.core.mechanism import MechanismChoice, select_mechanism
 from repro.core.scheduler import SchedulerConfig
 from repro.npu.config import NPUConfig
@@ -89,190 +98,317 @@ class SimulationResult:
         raise KeyError(f"no task {task_id}")
 
 
-class NPUSimulator:
-    """Simulate one workload on one NPU under one scheduling configuration."""
+class DeviceSim:
+    """Stepwise, injectable single-NPU simulation (one cluster device).
 
-    def __init__(self, config: SimulationConfig, policy: Policy) -> None:
+    Holds the per-run mutable state the old monolithic ``run()`` kept in
+    locals -- event heap, context table, runtimes, reservation bookkeeping
+    -- and exposes it one event at a time.  Tasks may be injected before
+    or during the run; the scheduling-period clock arms itself lazily at
+    the first processed arrival, so an initially idle device costs nothing.
+    """
+
+    def __init__(
+        self, config: SimulationConfig, policy: Policy, device_id: int = 0
+    ) -> None:
         self.config = config
         self.policy = policy
+        self.device_id = device_id
+        policy.reset()
         self._checkpoint = CheckpointMechanism(config.npu)
         self._kill = KillMechanism(config.npu)
-
-    # ------------------------------------------------------------------
-    # Public API
-    # ------------------------------------------------------------------
-    def run(self, tasks: Sequence[TaskRuntime]) -> SimulationResult:
-        """Execute the workload to completion and return the result."""
-        if not tasks:
-            raise ValueError("need at least one task")
-        self.policy.reset()
-        table = ContextTable()
-        runtimes: Dict[int, TaskRuntime] = {}
-        events: List[Tuple[float, int, int, _EventKind, object]] = []
-        counter = itertools.count()
-        timeline = Timeline()
-
-        def push(time: float, kind: _EventKind, payload: object) -> None:
-            heapq.heappush(events, (time, int(kind), next(counter), kind, payload))
-
-        for task in tasks:
-            if task.task_id in runtimes:
-                raise ValueError(f"duplicate task id {task.task_id}")
-            runtimes[task.task_id] = task
-            push(task.spec.arrival_cycles, _EventKind.ARRIVAL, task.task_id)
-
-        running_id: Optional[int] = None
+        self._table = ContextTable()
+        self._runtimes: Dict[int, TaskRuntime] = {}
+        self._events: List[Tuple[float, int, int, _EventKind, object]] = []
+        self._counter = itertools.count()
+        self.timeline = Timeline()
+        self._running_id: Optional[int] = None
         #: Wall-clock cycle until which the NPU is busy checkpointing.
-        npu_reserved_until = 0.0
-        preemption_count = 0
-        drain_decisions = 0
-        period = self.config.scheduler.period_cycles
-        first_arrival = min(task.spec.arrival_cycles for task in tasks)
-        push(first_arrival + period, _EventKind.PERIOD, None)
-        completed = 0
-        now = 0.0
+        self._npu_reserved_until = 0.0
+        #: Task with an in-flight DISPATCH reservation (post-preemption).
+        self._reserved_task_id: Optional[int] = None
+        self._period_armed = False
+        self._preemption_count = 0
+        self._drain_decisions = 0
+        self._completed = 0
+        self._now = 0.0
+        #: Kind of the most recently processed event (None before any).
+        self.last_event_kind: Optional[_EventKind] = None
 
-        while events and completed < len(tasks):
-            now, _, _, kind, payload = heapq.heappop(events)
+    # ------------------------------------------------------------------
+    # Event queue
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: _EventKind, payload: object) -> None:
+        heapq.heappush(
+            self._events, (time, int(kind), next(self._counter), kind, payload)
+        )
 
-            if kind == _EventKind.ARRIVAL:
-                task = runtimes[payload]  # type: ignore[index]
-                task.context.last_update_cycles = now
-                table.add(task.context)
-                running_id, did_preempt, did_drain = self._wake(
-                    now, table, runtimes, running_id, npu_reserved_until,
-                    push, timeline,
-                )
-                preemption_count += did_preempt
-                drain_decisions += did_drain
-                if did_preempt:
-                    npu_reserved_until = self._reserved_until
+    def inject(self, task: TaskRuntime, arrival: Optional[float] = None) -> None:
+        """Schedule ``task`` to arrive at ``arrival`` (default: its spec time).
 
-            elif kind == _EventKind.COMPLETE:
-                task_id, epoch = payload  # type: ignore[misc]
-                task = runtimes[task_id]
-                if task.epoch != epoch or task.context.state != TaskState.RUNNING:
-                    continue  # stale completion from a preempted dispatch
-                self._record_run_segments(timeline, task, now)
-                task.complete(now)
-                completed += 1
-                if task_id == running_id:
-                    running_id = None
-                running_id, did_preempt, did_drain = self._wake(
-                    now, table, runtimes, running_id, npu_reserved_until,
-                    push, timeline,
-                )
-                preemption_count += did_preempt
-                drain_decisions += did_drain
-                if did_preempt:
-                    npu_reserved_until = self._reserved_until
+        Callable before the run starts or at any point during it (cluster
+        online dispatch and work-stealing migration inject mid-run).
+        """
+        when = task.spec.arrival_cycles if arrival is None else arrival
+        if task.task_id in self._runtimes:
+            raise ValueError(f"duplicate task id {task.task_id}")
+        self._runtimes[task.task_id] = task
+        self._push(when, _EventKind.ARRIVAL, task.task_id)
 
-            elif kind == _EventKind.PERIOD:
-                if completed < len(tasks):
-                    push(now + period, _EventKind.PERIOD, None)
-                self._accrue_ready(table, now)
-                if self.policy.uses_tokens:
-                    self.policy.on_period(table)
-                running_id, did_preempt, did_drain = self._wake(
-                    now, table, runtimes, running_id, npu_reserved_until,
-                    push, timeline, accounting_done=True,
-                )
-                preemption_count += did_preempt
-                drain_decisions += did_drain
-                if did_preempt:
-                    npu_reserved_until = self._reserved_until
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next pending event (None when dormant)."""
+        return self._events[0][0] if self._events else None
 
-            elif kind == _EventKind.DISPATCH:
-                task_id = payload  # type: ignore[assignment]
-                task = runtimes[task_id]
-                if task.is_done or task.context.state == TaskState.RUNNING:
-                    continue
-                running_id = self._dispatch(now, task, push, timeline)
+    def next_event_key(self) -> Optional[Tuple[float, int]]:
+        """(timestamp, kind-rank) of the next pending event.
 
+        The kind rank follows :class:`_EventKind`'s tie-break order, so a
+        cluster loop can decide whether a device event logically precedes
+        a same-time cluster-level arrival.
+        """
+        return (self._events[0][0], self._events[0][1]) if self._events else None
+
+    def step(self) -> float:
+        """Process exactly one pending event; returns its timestamp."""
+        if not self._events:
+            raise RuntimeError("no pending events")
+        now, _, _, kind, payload = heapq.heappop(self._events)
+        self._now = now
+        self.last_event_kind = kind
+        if kind == _EventKind.ARRIVAL:
+            self._on_arrival(now, payload)  # type: ignore[arg-type]
+        elif kind == _EventKind.COMPLETE:
+            self._on_complete(now, payload)  # type: ignore[arg-type]
+        elif kind == _EventKind.PERIOD:
+            self._on_period(now)
+        elif kind == _EventKind.DISPATCH:
+            self._on_dispatch(now, payload)  # type: ignore[arg-type]
+        return now
+
+    # ------------------------------------------------------------------
+    # Introspection (cluster-level routing and stealing read these)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def completed_count(self) -> int:
+        return self._completed
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._runtimes)
+
+    @property
+    def has_live_tasks(self) -> bool:
+        return self._completed < len(self._runtimes)
+
+    def is_idle(self, now: float) -> bool:
+        """No running task, empty ready queue, no reservation in flight,
+        and no admitted-but-unprocessed arrival already due.
+
+        The last clause keeps work stealing fair: a thief that just
+        received a stolen task (its ARRIVAL event still pending at
+        ``now``) must not be counted idle again in the same instant and
+        grab a second task from under another idle device.
+        """
+        return (
+            self._running_id is None
+            and self._reserved_task_id is None
+            and now >= self._npu_reserved_until
+            and not self._table.ready()
+            and not any(
+                kind == _EventKind.ARRIVAL and time <= now
+                for time, _, _, kind, _ in self._events
+            )
+        )
+
+    def predicted_backlog(self, now: float) -> float:
+        """Scheduler-visible predicted cycles left on this device.
+
+        Sums ``Time_estimated`` minus accounted progress over every live
+        task already *admitted* (tasks whose arrival event has not fired
+        yet are invisible, as they would be to a real node agent).  The
+        running task's progress is refreshed the same way the preemption
+        check refreshes it, so routing and preemption see one state.
+        """
+        total = 0.0
+        for task in self._runtimes.values():
+            if task.is_done or task.task_id not in self._table:
+                continue
+            context = task.context
+            if task.dispatch_time is not None:
+                executed = task.progress_at(now)
+            else:
+                executed = context.executed_cycles
+            total += max(0.0, context.estimated_cycles - executed)
+        return total
+
+    def stealable_tasks(self) -> List[TaskRuntime]:
+        """Still-queued tasks safe to migrate: admitted, READY, never
+        dispatched, and not the target of a reserved post-preemption
+        dispatch.  Never-dispatched tasks carry no checkpoint state, so a
+        migration moves only the context row."""
+        return [
+            task
+            for task in self._runtimes.values()
+            if not task.is_done
+            and task.first_dispatch_time is None
+            and task.task_id != self._reserved_task_id
+            and task.task_id in self._table
+            and task.context.state == TaskState.READY
+        ]
+
+    def remove_task(self, task_id: int, now: float) -> TaskRuntime:
+        """Migrate a still-queued task out (work stealing).
+
+        Waiting time is settled up to ``now`` first, so tokens earned on
+        this device travel with the context row to the new device.
+        """
+        task = self._runtimes.get(task_id)
+        if task is None:
+            raise KeyError(f"no task {task_id}")
+        if task_id not in {t.task_id for t in self.stealable_tasks()}:
+            raise ValueError(f"task {task_id} is not safely migratable")
+        task.context.accrue_wait(now)
+        self._table.remove(task_id)
+        del self._runtimes[task_id]
+        self.policy.on_remove(task.context, now)
+        return task
+
+    def result(self) -> Optional[SimulationResult]:
+        """Build the device's :class:`SimulationResult` (None if no tasks)."""
+        if not self._runtimes:
+            return None
         makespan = max(
-            task.completion_time for task in tasks if task.completion_time
+            task.completion_time
+            for task in self._runtimes.values()
+            if task.completion_time is not None
         )
         return SimulationResult(
-            tasks=tuple(tasks),
-            timeline=timeline,
+            tasks=tuple(self._runtimes.values()),
+            timeline=self.timeline,
             makespan_cycles=makespan,
-            preemption_count=preemption_count,
-            drain_decisions=drain_decisions,
+            preemption_count=self._preemption_count,
+            drain_decisions=self._drain_decisions,
         )
 
     # ------------------------------------------------------------------
-    # Internals
+    # Event handlers
     # ------------------------------------------------------------------
-    _reserved_until: float = 0.0
+    def _on_arrival(self, now: float, task_id: int) -> None:
+        task = self._runtimes[task_id]
+        task.context.last_update_cycles = now
+        self._table.add(task.context)
+        self.policy.on_admit(task.context, now)
+        if not self._period_armed:
+            # Lazy period clock: first tick one period after the first
+            # admitted arrival (matches the monolithic run()'s anchor).
+            self._period_armed = True
+            self._push(
+                now + self.config.scheduler.period_cycles,
+                _EventKind.PERIOD,
+                None,
+            )
+        self._wake(now)
 
-    @staticmethod
-    def _accrue_ready(table: ContextTable, now: float) -> None:
-        for row in table.ready():
+    def _on_complete(self, now: float, payload: object) -> None:
+        task_id, epoch = payload  # type: ignore[misc]
+        task = self._runtimes[task_id]
+        if task.epoch != epoch or task.context.state != TaskState.RUNNING:
+            return  # stale completion from a preempted dispatch
+        self._record_run_segments(task, now)
+        task.complete(now)
+        self._completed += 1
+        if task_id == self._running_id:
+            self._running_id = None
+        self._wake(now)
+
+    def _on_period(self, now: float) -> None:
+        self._period_armed = False
+        if self._completed < len(self._runtimes):
+            self._period_armed = True
+            self._push(
+                now + self.config.scheduler.period_cycles,
+                _EventKind.PERIOD,
+                None,
+            )
+        self._accrue_ready(now)
+        if self.policy.uses_tokens:
+            self.policy.on_period(self._table)
+        self._wake(now, accounting_done=True)
+
+    def _on_dispatch(self, now: float, task_id: int) -> None:
+        self._reserved_task_id = None
+        # Reserved candidates are excluded from stealable_tasks(), so the
+        # dispatch target is always still resident; a KeyError here means
+        # that invariant was violated.
+        task = self._runtimes[task_id]
+        if task.is_done or task.context.state == TaskState.RUNNING:
+            return
+        self._running_id = self._dispatch(now, task)
+
+    # ------------------------------------------------------------------
+    # Scheduler core
+    # ------------------------------------------------------------------
+    def _accrue_ready(self, now: float) -> None:
+        for row in self._table.ready():
             row.accrue_wait(now)
 
-    def _dispatch(self, now, task: TaskRuntime, push, timeline) -> int:
+    def _dispatch(self, now: float, task: TaskRuntime) -> int:
         completion = task.dispatch(now)
-        push(completion, _EventKind.COMPLETE, (task.task_id, task.epoch))
+        self._push(completion, _EventKind.COMPLETE, (task.task_id, task.epoch))
         return task.task_id
 
-    def _record_run_segments(
-        self, timeline: Timeline, task: TaskRuntime, end: float
-    ) -> None:
+    def _record_run_segments(self, task: TaskRuntime, end: float) -> None:
         """Record the restore + run spans of the dispatch ending at ``end``."""
         start = task.dispatch_time
         if start is None:
             return
         restore_end = start + task.dispatch_restore
-        timeline.record(task.task_id, SegmentKind.RESTORE, start, restore_end)
-        timeline.record(task.task_id, SegmentKind.RUN, restore_end, end)
+        self.timeline.record(task.task_id, SegmentKind.RESTORE, start, restore_end)
+        self.timeline.record(task.task_id, SegmentKind.RUN, restore_end, end)
 
-    def _wake(
-        self,
-        now: float,
-        table: ContextTable,
-        runtimes: Dict[int, TaskRuntime],
-        running_id: Optional[int],
-        npu_reserved_until: float,
-        push,
-        timeline: Timeline,
-        accounting_done: bool = False,
-    ) -> Tuple[Optional[int], int, int]:
-        """Run the scheduler; returns (running_id, preempted?, drained?)."""
+    def _wake(self, now: float, accounting_done: bool = False) -> None:
+        """Run the scheduler at a wake condition."""
         if not accounting_done:
-            self._accrue_ready(table, now)
-        ready = table.ready()
-        if running_id is None:
-            if now < npu_reserved_until:
-                # A checkpoint trap is in flight; the reserved DISPATCH
-                # event will start the chosen candidate.
-                return None, 0, 0
+            self._accrue_ready(now)
+        ready = self._table.ready()
+        if self._running_id is None:
+            if now < self._npu_reserved_until or self._reserved_task_id is not None:
+                # A checkpoint trap is in flight, or the NPU is promised
+                # to a preemption candidate whose DISPATCH event has not
+                # fired yet (an arrival tying exactly with the trap's end
+                # must not double-book the array -- it can preempt the
+                # reserved task at the next wake instead).
+                return
             candidate_ctx = self.policy.select(ready)
             if candidate_ctx is None:
-                return None, 0, 0
-            return (
-                self._dispatch(now, runtimes[candidate_ctx.task_id], push, timeline),
-                0,
-                0,
+                return
+            self._running_id = self._dispatch(
+                now, self._runtimes[candidate_ctx.task_id]
             )
+            return
 
         if self.config.mode == PreemptionMode.NP:
-            return running_id, 0, 0
+            return
 
         candidate_ctx = self.policy.select(ready)
         if candidate_ctx is None:
-            return running_id, 0, 0
-        running = runtimes[running_id]
+            return
+        running = self._runtimes[self._running_id]
         # Token-driven policies re-rank on every period tick as waiting
         # tasks earn tokens; the scheduling-period time-quota (Table II)
         # guarantees the running task at least one quota of service so
         # token drift cannot ping-pong the NPU between two tasks.
         if self.policy.uses_tokens and running.dispatch_time is not None:
             if now - running.dispatch_time < self.config.scheduler.period_cycles:
-                return running_id, 0, 0
+                return
         # Refresh the running task's accounted progress for ranking.
         running.context.executed_cycles = running.progress_at(now)
         if not self.policy.outranks(candidate_ctx, running.context, ready):
-            return running_id, 0, 0
+            return
 
         mechanism: PreemptionMechanism = (
             self._kill
@@ -282,7 +418,8 @@ class NPUSimulator:
         if self.config.mode == PreemptionMode.DYNAMIC:
             choice = select_mechanism(running.context, candidate_ctx)
             if choice == MechanismChoice.DRAIN:
-                return running_id, 0, 1
+                self._drain_decisions += 1
+                return
 
         # Apply the mechanism at the running task's current progress.
         progress = running.progress_at(now)
@@ -291,9 +428,9 @@ class NPUSimulator:
         # A request arriving during the restore phase waits for it.
         boundary_wall = running.wall_time_at_offset(outcome.boundary_offset)
         free_at = boundary_wall + outcome.preemption_latency
-        self._record_run_segments(timeline, running, boundary_wall)
+        self._record_run_segments(running, boundary_wall)
         if outcome.preemption_latency > 0:
-            timeline.record(
+            self.timeline.record(
                 running.task_id, SegmentKind.CHECKPOINT, boundary_wall, free_at
             )
         running.record_preemption(
@@ -303,6 +440,33 @@ class NPUSimulator:
             checkpoint_bytes=outcome.checkpoint_bytes,
             killed=isinstance(mechanism, KillMechanism),
         )
-        self._reserved_until = free_at
-        push(free_at, _EventKind.DISPATCH, candidate_ctx.task_id)
-        return None, 1, 0
+        self._npu_reserved_until = free_at
+        self._preemption_count += 1
+        self._reserved_task_id = candidate_ctx.task_id
+        self._push(free_at, _EventKind.DISPATCH, candidate_ctx.task_id)
+        self._running_id = None
+
+
+class NPUSimulator:
+    """Simulate one workload on one NPU under one scheduling configuration.
+
+    Batch interface over :class:`DeviceSim`: all arrivals are injected
+    up-front and the event loop runs to completion.
+    """
+
+    def __init__(self, config: SimulationConfig, policy: Policy) -> None:
+        self.config = config
+        self.policy = policy
+
+    def run(self, tasks: Sequence[TaskRuntime]) -> SimulationResult:
+        """Execute the workload to completion and return the result."""
+        if not tasks:
+            raise ValueError("need at least one task")
+        sim = DeviceSim(self.config, self.policy)
+        for task in tasks:
+            sim.inject(task)
+        while sim.has_live_tasks and sim.next_event_time() is not None:
+            sim.step()
+        result = sim.result()
+        assert result is not None
+        return result

@@ -21,7 +21,6 @@ import dataclasses
 from typing import Optional
 
 from repro.core.context import TaskContext, TaskState
-from repro.core.tokens import initial_tokens
 from repro.npu.engine import ExecutionProfile
 from repro.workloads.specs import TaskSpec
 

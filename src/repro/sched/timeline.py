@@ -79,6 +79,15 @@ class Timeline:
                     f"overlapping segments: {previous} then {current}"
                 )
 
+    def span_bounds(self) -> Optional[Tuple[float, float]]:
+        """(first start, last end) over all segments; None when empty."""
+        if not self._segments:
+            return None
+        return (
+            min(s.start_cycles for s in self._segments),
+            max(s.end_cycles for s in self._segments),
+        )
+
     def render_ascii(
         self,
         width: int = 80,
@@ -111,3 +120,74 @@ class Timeline:
             )
             lines.append(f"{label:>12s} |{''.join(row)}|")
         return "\n".join(lines)
+
+
+class ClusterTimeline:
+    """Per-device execution traces of one cluster run.
+
+    Wraps one :class:`Timeline` per device that received work.  The
+    per-device invariants still hold device-by-device (one NPU cannot
+    overlap itself); across devices, segments legitimately overlap in
+    wall-clock time -- that is the parallelism the cluster buys.
+    """
+
+    def __init__(self, device_timelines: Dict[int, Timeline]) -> None:
+        self._devices: Dict[int, Timeline] = dict(
+            sorted(device_timelines.items())
+        )
+
+    @property
+    def device_ids(self) -> Tuple[int, ...]:
+        return tuple(self._devices)
+
+    def __getitem__(self, device_id: int) -> Timeline:
+        return self._devices[device_id]
+
+    def __contains__(self, device_id: int) -> bool:
+        return device_id in self._devices
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def busy_cycles(self) -> float:
+        """Total NPU-busy cycles summed across devices."""
+        return sum(t.busy_cycles() for t in self._devices.values())
+
+    def busy_cycles_by_device(self) -> Dict[int, float]:
+        return {d: t.busy_cycles() for d, t in self._devices.items()}
+
+    def run_cycles_by_task(self) -> Dict[int, float]:
+        """Cluster-wide useful RUN cycles per task (conservation checks)."""
+        totals: Dict[int, float] = {}
+        for timeline in self._devices.values():
+            for task_id, cycles in timeline.run_cycles_by_task().items():
+                totals[task_id] = totals.get(task_id, 0.0) + cycles
+        return totals
+
+    def verify_no_overlap(self, tolerance: float = 1e-6) -> None:
+        """Per-device no-overlap invariant (devices run in parallel)."""
+        for timeline in self._devices.values():
+            timeline.verify_no_overlap(tolerance)
+
+    def span_cycles(self) -> float:
+        """Wall-clock span from the earliest start to the latest end."""
+        bounds = [
+            b for b in (t.span_bounds() for t in self._devices.values()) if b
+        ]
+        if not bounds:
+            return 0.0
+        return max(hi for _, hi in bounds) - min(lo for lo, _ in bounds)
+
+    def render_ascii(
+        self,
+        width: int = 80,
+        label_by_task: Optional[Dict[int, str]] = None,
+    ) -> str:
+        """Stacked per-device Gantt charts on one shared time axis."""
+        if not self._devices:
+            return "(empty cluster timeline)"
+        sections = []
+        for device_id, timeline in self._devices.items():
+            chart = timeline.render_ascii(width, label_by_task)
+            sections.append(f"NPU {device_id}\n{chart}")
+        return "\n".join(sections)

@@ -9,7 +9,6 @@ from repro.npu.buffers import (
     CheckpointProfile,
     layer_checkpoint_profile,
 )
-from repro.npu.config import NPUConfig
 
 
 class TestCheckpointProfile:

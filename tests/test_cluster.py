@@ -116,11 +116,16 @@ class TestClusterExperiment:
             config=config, factory=factory, num_tasks=8, num_workloads=2,
             device_counts=(1, 2),
         )
-        assert len(rows) == 8  # 2 device counts x 4 combos
+        assert len(rows) == 10  # 2 device counts x 5 combos
         by_key = {(r.num_devices, r.routing, r.device_policy): r for r in rows}
         # Scaling out reduces ANTT for every combo.
-        for routing in ("round-robin", "least-loaded"):
-            for policy in ("FCFS", "PREMA"):
-                assert by_key[(2, routing, policy)].antt <= \
-                    by_key[(1, routing, policy)].antt * 1.01
+        for routing, policy in (
+            ("round-robin", "FCFS"),
+            ("round-robin", "PREMA"),
+            ("static", "PREMA"),
+            ("online-predicted", "PREMA"),
+            ("work-stealing", "PREMA"),
+        ):
+            assert by_key[(2, routing, policy)].antt <= \
+                by_key[(1, routing, policy)].antt * 1.01
         assert "multi-NPU" in format_cluster_scaling(rows)

@@ -5,9 +5,7 @@ import pytest
 from repro.isa.compiler import compile_model
 from repro.models.graph import Graph
 from repro.models.layers import Conv2D, FullyConnected, InputSpec, Pool2D
-from repro.models.zoo import build_benchmark
 from repro.npu.engine import (
-    ExecutionProfile,
     gemm_cycles_by_category,
     profile_model,
 )

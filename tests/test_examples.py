@@ -4,7 +4,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 
@@ -51,4 +50,5 @@ class TestExamples:
     def test_cluster_serving(self):
         result = run_example("cluster_serving.py", "2")
         assert result.returncode == 0, result.stderr
-        assert "least-loaded + PREMA" in result.stdout
+        assert "online + PREMA" in result.stdout
+        assert "stealing + PREMA" in result.stdout

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.npu.config import NPUConfig
 from repro.npu.memory import MemorySystem
 
 

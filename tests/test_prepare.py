@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.tokens import Priority
-from repro.sched.prepare import TaskFactory
 from repro.workloads.specs import TaskSpec
 
 

@@ -20,7 +20,10 @@ def alexnet_model(config):
 
 @pytest.fixture(scope="module")
 def alexnet_profile(alexnet_model):
-    conv_names = [l.name for l in alexnet_model.layers if l.kind == LayerKind.CONV]
+    conv_names = [
+        layer.name for layer in alexnet_model.layers
+        if layer.kind == LayerKind.CONV
+    ]
     return synthesize_density_profile("CNN-AN", conv_names, num_inputs=200)
 
 

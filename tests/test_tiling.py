@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.npu.config import NPUConfig
-from repro.npu.tiling import GemmShape, Tile, TilePlan, split_counts
+from repro.npu.tiling import GemmShape, TilePlan, split_counts
 
 
 class TestGemmShape:
