@@ -91,7 +91,20 @@ class PremaPolicyCore:
         override with DRAIN (the paper's dynamic mechanism selection).
         """
         pool = list(ready) + [running]
-        threshold = candidate_threshold(max(row.tokens for row in pool))
+        return self.should_preempt_given_max(
+            candidate, running, max(row.tokens for row in pool)
+        )
+
+    def should_preempt_given_max(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        max_pool_tokens: float,
+    ) -> bool:
+        """O(1) form of :meth:`should_preempt` for callers that already
+        track the maximum token count over ready + running (the
+        incremental policy structures do)."""
+        threshold = candidate_threshold(max_pool_tokens)
         if running.tokens <= threshold:
             # The running task has fallen out of the candidate group.
             return True

@@ -72,6 +72,27 @@ def candidate_threshold(max_tokens: float) -> float:
     return threshold
 
 
+def candidate_bucket(tokens: float) -> int:
+    """Number of priority token levels strictly below ``tokens``.
+
+    Buckets quantize token counts by the threshold grid: a row with
+    ``tokens`` clears ``candidate_threshold(max_tokens)`` iff its bucket
+    is >= the bucket of ``max_tokens`` (assuming ``tokens > 0``, which
+    holds for every simulator-managed row -- initial tokens come from the
+    priority levels and grants are non-negative).  Incremental schedulers
+    keep one priority structure per bucket so the candidate group of
+    Algorithm 2 line 9 is the union of the top buckets, never a scan.
+    """
+    bucket = 0
+    for level in TOKEN_LEVELS:
+        if level < tokens:
+            bucket += 1
+    return bucket
+
+
+NUM_CANDIDATE_BUCKETS = len(TOKEN_LEVELS) + 1
+
+
 def select_candidates(tokens_by_task: Dict[int, float]) -> Tuple[int, ...]:
     """Task ids whose tokens exceed the dynamic threshold.
 

@@ -338,17 +338,22 @@ class ClusterScheduler:
                 continue
             victim_index: Optional[int] = None
             victim_backlog = 0.0
+            victim_tasks: List[TaskRuntime] = []
             for index, device in enumerate(devices):
-                if index == thief_index or not device.stealable_tasks():
+                if index == thief_index:
+                    continue
+                candidates = device.stealable_tasks()
+                if not candidates:
                     continue
                 backlog = device.predicted_backlog(now)
                 if victim_index is None or backlog > victim_backlog:
                     victim_index, victim_backlog = index, backlog
+                    victim_tasks = candidates
             if victim_index is None:
                 continue
             victim = devices[victim_index]
             stolen = max(
-                victim.stealable_tasks(),
+                victim_tasks,
                 key=lambda t: (t.context.estimated_remaining_cycles, -t.task_id),
             )
             victim.remove_task(stolen.task_id, now)

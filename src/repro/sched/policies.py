@@ -17,15 +17,39 @@ Each policy also defines ``outranks`` -- whether a would-be candidate
 should preempt the running task under a preemptive scheduler.  FCFS and
 RRB have no urgency ordering, so they never preempt (they exist as
 non-preemptive baselines).
+
+Two selection surfaces exist:
+
+- ``select(ready)`` / ``outranks(candidate, running, ready)`` operate on
+  an explicit ready list -- the reference semantics, used directly by
+  tests and ad-hoc callers.
+- ``select_ready(table)`` / ``outranks_running(candidate, running,
+  table)`` are the simulator's hot path.  Policies with an ordering
+  (HPF, SJF, TOKEN, PREMA) back these with **incrementally maintained
+  priority structures** (lazy-deletion heaps; token policies bucket rows
+  by the Algorithm-2 candidate threshold grid), updated through the
+  lifecycle hooks (``on_admit``/``on_dispatch``/``on_requeue``/
+  ``on_remove``) and rebuilt wholesale at each period re-rank
+  (``on_period``), when every ready row's token count moves at once.
+  Every selection rule ranks by a strict total order (ties break on task
+  id), so the structures return exactly the row the reference scan
+  returns -- they change the cost of a wake from O(ready) to O(log
+  ready), never the decision.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.context import ContextTable, TaskContext
+from repro.core.context import ContextTable, TaskContext, TaskState
 from repro.core.scheduler import PremaPolicyCore, SchedulerConfig
-from repro.core.tokens import candidate_threshold
+from repro.core.tokens import (
+    NUM_CANDIDATE_BUCKETS,
+    candidate_bucket,
+    candidate_threshold,
+)
 
 
 class Policy:
@@ -41,7 +65,7 @@ class Policy:
         """Hook invoked at each scheduling-period tick."""
 
     def on_admit(self, context: TaskContext, now: float) -> None:
-        """Cluster hook: ``context`` joined this device's table.
+        """Hook: ``context`` joined this device's table (READY).
 
         Fires at every processed arrival -- both fresh requests and
         work-stealing migrations in.  Token state lives on the context
@@ -50,15 +74,33 @@ class Policy:
         """
 
     def on_remove(self, context: TaskContext, now: float) -> None:
-        """Cluster hook: ``context`` left this device (migration out).
+        """Hook: ``context`` left this device (migration out).
 
         Waiting time has already been settled up to ``now``; policies
         keeping per-device aggregate state should forget the row here.
         """
 
+    def on_dispatch(self, context: TaskContext) -> None:
+        """Hook: ``context`` left the ready queue to run."""
+
+    def on_requeue(self, context: TaskContext) -> None:
+        """Hook: ``context`` re-entered the ready queue (preempted);
+        its accounted progress has just been refreshed."""
+
     def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
         """Pick the next task among the ready queue (None when empty)."""
         raise NotImplementedError
+
+    def select_ready(self, table: ContextTable) -> Optional[TaskContext]:
+        """Hot-path selection against the live table.
+
+        Equivalent to ``select(table.ready())`` whenever the lifecycle
+        hooks above are honored (the simulator always does); policies
+        with incremental structures override this with an O(log n) path
+        that validates its pick and falls back to the reference scan on
+        any detectable staleness.
+        """
+        return self.select(table.ready())
 
     def outranks(
         self,
@@ -74,11 +116,223 @@ class Policy:
         """
         return False
 
+    def outranks_running(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        table: ContextTable,
+    ) -> bool:
+        """Hot-path preemption check against the live table.
+
+        Equivalent to ``outranks(candidate, running, table.ready())``.
+        """
+        return self.outranks(candidate, running, table.ready())
+
     def reset(self) -> None:
         """Clear any cross-run state (round-robin cursors and the like)."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# Incremental priority structures
+# ----------------------------------------------------------------------
+class _LazyMinHeap:
+    """Min-heap over context rows with O(1) lazy deletion.
+
+    ``_live`` maps task id -> (key, row) for resident rows; heap entries
+    are (key, task_id, tie) and are validated against ``_live`` when they
+    surface, so ``discard`` never searches the heap.  Keys must be stable
+    while a row is resident (re-adding with a fresh key supersedes the
+    stale entries).  The integer tie-breaker keeps tuple comparison away
+    from the unorderable row objects when duplicate (key, id) entries
+    coexist.
+    """
+
+    __slots__ = ("_key", "_heap", "_live", "_tie")
+
+    def __init__(self, key: Callable[[TaskContext], object]) -> None:
+        self._key = key
+        self._heap: List[Tuple[object, int, int]] = []
+        self._live: Dict[int, Tuple[object, TaskContext]] = {}
+        self._tie = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def add(self, row: TaskContext) -> None:
+        key = self._key(row)
+        self._live[row.task_id] = (key, row)
+        heapq.heappush(self._heap, (key, row.task_id, next(self._tie)))
+        if len(self._heap) > 64 and len(self._heap) > 2 * len(self._live):
+            self._compact()
+
+    def discard(self, task_id: int) -> None:
+        self._live.pop(task_id, None)
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live.clear()
+
+    def rebuild(self, rows: Sequence[TaskContext]) -> None:
+        self.clear()
+        for row in rows:
+            self.add(row)
+
+    def peek(self) -> Optional[TaskContext]:
+        """The live row with the smallest key (None when empty)."""
+        heap = self._heap
+        live = self._live
+        while heap:
+            key, task_id, _ = heap[0]
+            entry = live.get(task_id)
+            if entry is not None and entry[0] == key:
+                return entry[1]
+            heapq.heappop(heap)
+        return None
+
+    def _compact(self) -> None:
+        """Drop accumulated stale entries (amortized O(1) per operation)."""
+        self._heap = [
+            (key, task_id, next(self._tie))
+            for task_id, (key, _row) in self._live.items()
+        ]
+        heapq.heapify(self._heap)
+
+
+class _TokenBuckets:
+    """Candidate-group structure for the token policies (Algorithm 2).
+
+    Ready rows are bucketed by :func:`candidate_bucket` -- the number of
+    priority token levels strictly below their token count -- with one
+    lazy min-heap per bucket ordered by the policy's selection key, plus
+    one lazy max-heap on token count.  The candidate group ("tokens above
+    the dynamic threshold") is then exactly the union of the buckets at
+    or above the maximum row's bucket, so selection inspects at most
+    ``NUM_CANDIDATE_BUCKETS`` heap tops.  Token counts only move at
+    period re-ranks, which rebuild the structure wholesale.
+    """
+
+    __slots__ = ("_select_key", "_buckets", "_max_heap", "_bucket_of")
+
+    def __init__(self, select_key: Callable[[TaskContext], object]) -> None:
+        self._select_key = select_key
+        self._buckets = [
+            _LazyMinHeap(select_key) for _ in range(NUM_CANDIDATE_BUCKETS)
+        ]
+        self._max_heap = _LazyMinHeap(
+            lambda row: (-row.tokens, row.task_id)
+        )
+        self._bucket_of: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._bucket_of)
+
+    def add(self, row: TaskContext) -> None:
+        bucket = candidate_bucket(row.tokens)
+        self._bucket_of[row.task_id] = bucket
+        self._buckets[bucket].add(row)
+        self._max_heap.add(row)
+
+    def discard(self, task_id: int) -> None:
+        bucket = self._bucket_of.pop(task_id, None)
+        if bucket is not None:
+            self._buckets[bucket].discard(task_id)
+            self._max_heap.discard(task_id)
+
+    def clear(self) -> None:
+        for bucket in self._buckets:
+            bucket.clear()
+        self._max_heap.clear()
+        self._bucket_of.clear()
+
+    def rebuild(self, rows: Sequence[TaskContext]) -> None:
+        self.clear()
+        for row in rows:
+            self.add(row)
+
+    def max_tokens_row(self) -> Optional[TaskContext]:
+        return self._max_heap.peek()
+
+    def select(self) -> Optional[TaskContext]:
+        """Best candidate row, or None to fall back to the reference scan."""
+        top = self._max_heap.peek()
+        if top is None:
+            return None
+        threshold = candidate_threshold(top.tokens)
+        start = candidate_bucket(top.tokens)
+        best: Optional[TaskContext] = None
+        best_key: object = None
+        for bucket in self._buckets[start:]:
+            row = bucket.peek()
+            if row is None:
+                continue
+            key = self._select_key(row)
+            if best is None or key < best_key:  # type: ignore[operator]
+                best, best_key = row, key
+        if best is None or not best.tokens > threshold:
+            # Degenerate token states (non-positive counts) exist only in
+            # hand-built tables; let the caller rescan.
+            return None
+        return best
+
+
+class _IncrementalReadyPolicy(Policy):
+    """Lifecycle plumbing shared by the structure-backed policies.
+
+    Structures are advisory with two safety nets for callers that drive
+    ``select_ready`` without the lifecycle hooks (or mutate row states
+    directly): a population-count check rebuilds the structure from the
+    table before use, and every fast-path pick is validated to be a
+    READY row still resident in the table (stale picks trigger a rebuild
+    and fall back to the reference scan).  What the nets cannot promise
+    to catch is hookless mutation that leaves both the count and the
+    structure's top pick intact -- ranking-input edits (tokens,
+    estimates) on resident ready rows, or count-preserving paired
+    membership changes where the stale pick stays valid.  The simulator
+    always speaks the full hook protocol, and direct ``select()``
+    callers bypass the structures entirely.
+    """
+
+    def _structure(self):
+        raise NotImplementedError
+
+    def on_admit(self, context: TaskContext, now: float) -> None:
+        self._structure().add(context)
+
+    def on_remove(self, context: TaskContext, now: float) -> None:
+        self._structure().discard(context.task_id)
+
+    def on_dispatch(self, context: TaskContext) -> None:
+        self._structure().discard(context.task_id)
+
+    def on_requeue(self, context: TaskContext) -> None:
+        self._structure().add(context)
+
+    def reset(self) -> None:
+        self._structure().clear()
+
+    def _sync(self, table: ContextTable) -> None:
+        structure = self._structure()
+        if len(structure) != table.ready_count:
+            structure.rebuild(table.ready())
+
+    def _validated(
+        self, row: Optional[TaskContext], table: ContextTable
+    ) -> Optional[TaskContext]:
+        """Accept a fast-path pick only if it is still a live ready row."""
+        if (
+            row is not None
+            and row.state is TaskState.READY
+            and row.task_id in table
+            and table[row.task_id] is row
+        ):
+            return row
+        if row is not None:
+            # Stale structure despite matching counts: resync for next time.
+            self._structure().rebuild(table.ready())
+        return None
 
 
 class FcfsPolicy(Policy):
@@ -91,6 +345,12 @@ class FcfsPolicy(Policy):
             return None
         return min(ready, key=lambda row: row.task_id)
 
+    def select_ready(self, table: ContextTable) -> Optional[TaskContext]:
+        # The table's ready index is id-sorted, and FCFS order *is* id
+        # order (ids are assigned in arrival order).
+        ready = table.ready()
+        return ready[0] if ready else None
+
 
 class RoundRobinPolicy(Policy):
     """Round-robin among the DNN *models* (Sec VI-A).
@@ -98,6 +358,9 @@ class RoundRobinPolicy(Policy):
     Run-to-completion round-robin over tasks degenerates to FCFS, so the
     rotation is over benchmark names: each pick serves the next model in
     alphabetical rotation that has a ready task (FCFS within a model).
+    The ready queue is at most the live task set, so the per-pick scan
+    stays O(live); no incremental structure is needed for a policy whose
+    cursor state changes at every pick.
     """
 
     name = "RRB"
@@ -122,15 +385,30 @@ class RoundRobinPolicy(Policy):
         self._last_model = ""
 
 
-class HpfPolicy(Policy):
+class HpfPolicy(_IncrementalReadyPolicy):
     """High-priority first; FCFS among equal priorities."""
 
     name = "HPF"
+
+    def __init__(self) -> None:
+        self._heap = _LazyMinHeap(
+            lambda row: (-int(row.priority), row.task_id)
+        )
+
+    def _structure(self):
+        return self._heap
 
     def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
         if not ready:
             return None
         return min(ready, key=lambda row: (-int(row.priority), row.task_id))
+
+    def select_ready(self, table: ContextTable) -> Optional[TaskContext]:
+        if not table.has_ready:
+            return None
+        self._sync(table)
+        row = self._validated(self._heap.peek(), table)
+        return row if row is not None else self.select(table.ready())
 
     def outranks(
         self,
@@ -140,8 +418,16 @@ class HpfPolicy(Policy):
     ) -> bool:
         return int(candidate.priority) > int(running.priority)
 
+    def outranks_running(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        table: ContextTable,
+    ) -> bool:
+        return self.outranks(candidate, running)
 
-class TokenPolicy(Policy):
+
+class TokenPolicy(_IncrementalReadyPolicy):
     """Token-based candidate group, naive FCFS among candidates (Sec VI-A)."""
 
     name = "TOKEN"
@@ -150,9 +436,16 @@ class TokenPolicy(Policy):
 
     def __init__(self, core: Optional[PremaPolicyCore] = None) -> None:
         self._core = core or PremaPolicyCore()
+        self._buckets = _TokenBuckets(lambda row: row.task_id)
+
+    def _structure(self):
+        return self._buckets
 
     def on_period(self, table: ContextTable) -> None:
         self._core.grant_periodic_tokens(table)
+        # Every ready row's tokens may have moved: period re-ranks
+        # invalidate the buckets wholesale.
+        self._buckets.rebuild(table.ready())
 
     def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
         if not ready:
@@ -162,6 +455,13 @@ class TokenPolicy(Policy):
         if not candidates:
             candidates = list(ready)
         return min(candidates, key=lambda row: row.task_id)
+
+    def select_ready(self, table: ContextTable) -> Optional[TaskContext]:
+        if not table.has_ready:
+            return None
+        self._sync(table)
+        row = self._validated(self._buckets.select(), table)
+        return row if row is not None else self.select(table.ready())
 
     def outranks(
         self,
@@ -176,12 +476,35 @@ class TokenPolicy(Policy):
         threshold = candidate_threshold(max(row.tokens for row in pool))
         return running.tokens <= threshold < candidate.tokens
 
+    def outranks_running(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        table: ContextTable,
+    ) -> bool:
+        self._sync(table)
+        top = self._buckets.max_tokens_row()
+        ready_max = top.tokens if top is not None else running.tokens
+        threshold = candidate_threshold(max(ready_max, running.tokens))
+        return running.tokens <= threshold < candidate.tokens
 
-class SjfPolicy(Policy):
+
+class SjfPolicy(_IncrementalReadyPolicy):
     """Shortest estimated job first: latency-optimal, priority-blind."""
 
     name = "SJF"
     uses_predictor = True
+
+    def __init__(self) -> None:
+        # estimated_remaining_cycles is stable while a row sits in the
+        # ready queue (progress only moves while running, and a preempted
+        # row re-enters through on_requeue with a fresh key).
+        self._heap = _LazyMinHeap(
+            lambda row: (row.estimated_remaining_cycles, row.task_id)
+        )
+
+    def _structure(self):
+        return self._heap
 
     def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
         if not ready:
@@ -189,6 +512,13 @@ class SjfPolicy(Policy):
         return min(
             ready, key=lambda row: (row.estimated_remaining_cycles, row.task_id)
         )
+
+    def select_ready(self, table: ContextTable) -> Optional[TaskContext]:
+        if not table.has_ready:
+            return None
+        self._sync(table)
+        row = self._validated(self._heap.peek(), table)
+        return row if row is not None else self.select(table.ready())
 
     def outranks(
         self,
@@ -201,8 +531,16 @@ class SjfPolicy(Policy):
             < running.estimated_remaining_cycles
         )
 
+    def outranks_running(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        table: ContextTable,
+    ) -> bool:
+        return self.outranks(candidate, running)
 
-class PremaPolicy(Policy):
+
+class PremaPolicy(_IncrementalReadyPolicy):
     """The full PREMA policy (Algorithm 2) via the core implementation."""
 
     name = "PREMA"
@@ -211,15 +549,29 @@ class PremaPolicy(Policy):
 
     def __init__(self, core: Optional[PremaPolicyCore] = None) -> None:
         self.core = core or PremaPolicyCore()
+        self._buckets = _TokenBuckets(
+            lambda row: (row.estimated_remaining_cycles, row.task_id)
+        )
+
+    def _structure(self):
+        return self._buckets
 
     def on_period(self, table: ContextTable) -> None:
         self.core.grant_periodic_tokens(table)
+        self._buckets.rebuild(table.ready())
 
     def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
         if not ready:
             return None
         table_like = _ReadyView(ready)
         return self.core.select_candidate(table_like)
+
+    def select_ready(self, table: ContextTable) -> Optional[TaskContext]:
+        if not table.has_ready:
+            return None
+        self._sync(table)
+        row = self._validated(self._buckets.select(), table)
+        return row if row is not None else self.select(table.ready())
 
     def outranks(
         self,
@@ -228,6 +580,19 @@ class PremaPolicy(Policy):
         ready: Sequence[TaskContext] = (),
     ) -> bool:
         return self.core.should_preempt(candidate, running, ready)
+
+    def outranks_running(
+        self,
+        candidate: TaskContext,
+        running: TaskContext,
+        table: ContextTable,
+    ) -> bool:
+        self._sync(table)
+        top = self._buckets.max_tokens_row()
+        ready_max = top.tokens if top is not None else running.tokens
+        return self.core.should_preempt_given_max(
+            candidate, running, max(ready_max, running.tokens)
+        )
 
 
 class _ReadyView:

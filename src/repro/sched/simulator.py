@@ -15,6 +15,22 @@ under one global event loop and uses the live-state introspection hooks
 (:meth:`DeviceSim.predicted_backlog`, :meth:`DeviceSim.stealable_tasks`,
 :meth:`DeviceSim.remove_task`) for online dispatch and work stealing.
 
+Per-event cost is O(log n) or amortized O(1) in the *live* task
+population -- it does not grow with the number of tasks the device has
+ever seen, which is what makes open-arrival traces (thousands of requests
+per device, :mod:`repro.workloads.trace`) tractable:
+
+- pending due arrivals sit in a min-heap (`is_idle` peeks instead of
+  scanning the event queue);
+- the predicted backlog iterates an admission-ordered live-task set, so
+  completed tasks stop costing anything;
+- waiting/token accounting settles lazily from ``last_update_cycles`` at
+  its read points (period ticks, dispatch, migration) instead of walking
+  the ready queue at every wake;
+- ready-queue selection goes through the policies' incremental priority
+  structures (:mod:`repro.sched.policies`) and the context table's
+  incremental ready index.
+
 Preemption modes:
 
 ``NP``
@@ -91,11 +107,18 @@ class SimulationResult:
     preemption_count: int
     drain_decisions: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_tasks_by_id",
+            {task.task_id: task for task in self.tasks},
+        )
+
     def task_by_id(self, task_id: int) -> TaskRuntime:
-        for task in self.tasks:
-            if task.task_id == task_id:
-                return task
-        raise KeyError(f"no task {task_id}")
+        try:
+            return self._tasks_by_id[task_id]  # type: ignore[attr-defined]
+        except KeyError:
+            raise KeyError(f"no task {task_id}") from None
 
 
 class DeviceSim:
@@ -134,6 +157,19 @@ class DeviceSim:
         self._now = 0.0
         #: Kind of the most recently processed event (None before any).
         self.last_event_kind: Optional[_EventKind] = None
+        #: Total events processed (introspection / benchmarking).
+        self.events_processed = 0
+        #: Min-heap of unprocessed ARRIVAL timestamps.  Arrivals fire in
+        #: time order, so the heap minimum is always the next one to
+        #: fire; `is_idle` peeks it instead of scanning the event queue.
+        self._pending_arrivals: List[float] = []
+        #: Admitted, not-yet-completed tasks in admission order -- the
+        #: population `predicted_backlog` sums over.  Completed tasks
+        #: leave immediately, so backlog reads cost O(live), not O(ever).
+        self._live_admitted: Dict[int, TaskRuntime] = {}
+        #: Admitted, READY, never-dispatched tasks in admission order:
+        #: the stealable population (modulo the reserved task).
+        self._queued: Dict[int, TaskRuntime] = {}
 
     # ------------------------------------------------------------------
     # Event queue
@@ -153,6 +189,7 @@ class DeviceSim:
         if task.task_id in self._runtimes:
             raise ValueError(f"duplicate task id {task.task_id}")
         self._runtimes[task.task_id] = task
+        heapq.heappush(self._pending_arrivals, when)
         self._push(when, _EventKind.ARRIVAL, task.task_id)
 
     def next_event_time(self) -> Optional[float]:
@@ -175,6 +212,7 @@ class DeviceSim:
         now, _, _, kind, payload = heapq.heappop(self._events)
         self._now = now
         self.last_event_kind = kind
+        self.events_processed += 1
         if kind == _EventKind.ARRIVAL:
             self._on_arrival(now, payload)  # type: ignore[arg-type]
         elif kind == _EventKind.COMPLETE:
@@ -211,16 +249,16 @@ class DeviceSim:
         The last clause keeps work stealing fair: a thief that just
         received a stolen task (its ARRIVAL event still pending at
         ``now``) must not be counted idle again in the same instant and
-        grab a second task from under another idle device.
+        grab a second task from under another idle device.  All clauses
+        are O(1) peeks.
         """
         return (
             self._running_id is None
             and self._reserved_task_id is None
             and now >= self._npu_reserved_until
-            and not self._table.ready()
-            and not any(
-                kind == _EventKind.ARRIVAL and time <= now
-                for time, _, _, kind, _ in self._events
+            and not self._table.has_ready
+            and not (
+                self._pending_arrivals and self._pending_arrivals[0] <= now
             )
         )
 
@@ -232,11 +270,11 @@ class DeviceSim:
         yet are invisible, as they would be to a real node agent).  The
         running task's progress is refreshed the same way the preemption
         check refreshes it, so routing and preemption see one state.
+        Iterates the admission-ordered live set: completed tasks cost
+        nothing, so the read is O(live tasks).
         """
         total = 0.0
-        for task in self._runtimes.values():
-            if task.is_done or task.task_id not in self._table:
-                continue
+        for task in self._live_admitted.values():
             context = task.context
             if task.dispatch_time is not None:
                 executed = task.progress_at(now)
@@ -249,15 +287,13 @@ class DeviceSim:
         """Still-queued tasks safe to migrate: admitted, READY, never
         dispatched, and not the target of a reserved post-preemption
         dispatch.  Never-dispatched tasks carry no checkpoint state, so a
-        migration moves only the context row."""
+        migration moves only the context row.  O(queued): the set is
+        maintained at admit/dispatch/remove."""
+        reserved = self._reserved_task_id
         return [
             task
-            for task in self._runtimes.values()
-            if not task.is_done
-            and task.first_dispatch_time is None
-            and task.task_id != self._reserved_task_id
-            and task.task_id in self._table
-            and task.context.state == TaskState.READY
+            for task in self._queued.values()
+            if task.task_id != reserved
         ]
 
     def remove_task(self, task_id: int, now: float) -> TaskRuntime:
@@ -269,11 +305,13 @@ class DeviceSim:
         task = self._runtimes.get(task_id)
         if task is None:
             raise KeyError(f"no task {task_id}")
-        if task_id not in {t.task_id for t in self.stealable_tasks()}:
+        if task_id not in self._queued or task_id == self._reserved_task_id:
             raise ValueError(f"task {task_id} is not safely migratable")
         task.context.accrue_wait(now)
         self._table.remove(task_id)
         del self._runtimes[task_id]
+        del self._queued[task_id]
+        del self._live_admitted[task_id]
         self.policy.on_remove(task.context, now)
         return task
 
@@ -298,9 +336,13 @@ class DeviceSim:
     # Event handlers
     # ------------------------------------------------------------------
     def _on_arrival(self, now: float, task_id: int) -> None:
+        heapq.heappop(self._pending_arrivals)
         task = self._runtimes[task_id]
         task.context.last_update_cycles = now
         self._table.add(task.context)
+        self._live_admitted[task_id] = task
+        if task.first_dispatch_time is None:
+            self._queued[task_id] = task
         self.policy.on_admit(task.context, now)
         if not self._period_armed:
             # Lazy period clock: first tick one period after the first
@@ -321,6 +363,7 @@ class DeviceSim:
         self._record_run_segments(task, now)
         task.complete(now)
         self._completed += 1
+        self._live_admitted.pop(task_id, None)
         if task_id == self._running_id:
             self._running_id = None
         self._wake(now)
@@ -334,10 +377,12 @@ class DeviceSim:
                 _EventKind.PERIOD,
                 None,
             )
+        # Lazy settlement: period ticks are the one wake that *reads*
+        # waiting time (token grants), so they settle the ready queue.
         self._accrue_ready(now)
         if self.policy.uses_tokens:
             self.policy.on_period(self._table)
-        self._wake(now, accounting_done=True)
+        self._wake(now)
 
     def _on_dispatch(self, now: float, task_id: int) -> None:
         self._reserved_task_id = None
@@ -353,11 +398,19 @@ class DeviceSim:
     # Scheduler core
     # ------------------------------------------------------------------
     def _accrue_ready(self, now: float) -> None:
+        """Settle waiting time for every ready row up to ``now``.
+
+        Called at read points only (period ticks); between reads, idle
+        waiters cost nothing -- ``accrue_wait`` integrates the whole span
+        since each row's ``last_update_cycles`` when it finally runs.
+        """
         for row in self._table.ready():
             row.accrue_wait(now)
 
     def _dispatch(self, now: float, task: TaskRuntime) -> int:
         completion = task.dispatch(now)
+        self._queued.pop(task.task_id, None)
+        self.policy.on_dispatch(task.context)
         self._push(completion, _EventKind.COMPLETE, (task.task_id, task.epoch))
         return task.task_id
 
@@ -370,11 +423,8 @@ class DeviceSim:
         self.timeline.record(task.task_id, SegmentKind.RESTORE, start, restore_end)
         self.timeline.record(task.task_id, SegmentKind.RUN, restore_end, end)
 
-    def _wake(self, now: float, accounting_done: bool = False) -> None:
+    def _wake(self, now: float) -> None:
         """Run the scheduler at a wake condition."""
-        if not accounting_done:
-            self._accrue_ready(now)
-        ready = self._table.ready()
         if self._running_id is None:
             if now < self._npu_reserved_until or self._reserved_task_id is not None:
                 # A checkpoint trap is in flight, or the NPU is promised
@@ -383,7 +433,7 @@ class DeviceSim:
                 # must not double-book the array -- it can preempt the
                 # reserved task at the next wake instead).
                 return
-            candidate_ctx = self.policy.select(ready)
+            candidate_ctx = self.policy.select_ready(self._table)
             if candidate_ctx is None:
                 return
             self._running_id = self._dispatch(
@@ -394,7 +444,7 @@ class DeviceSim:
         if self.config.mode == PreemptionMode.NP:
             return
 
-        candidate_ctx = self.policy.select(ready)
+        candidate_ctx = self.policy.select_ready(self._table)
         if candidate_ctx is None:
             return
         running = self._runtimes[self._running_id]
@@ -407,7 +457,9 @@ class DeviceSim:
                 return
         # Refresh the running task's accounted progress for ranking.
         running.context.executed_cycles = running.progress_at(now)
-        if not self.policy.outranks(candidate_ctx, running.context, ready):
+        if not self.policy.outranks_running(
+            candidate_ctx, running.context, self._table
+        ):
             return
 
         mechanism: PreemptionMechanism = (
@@ -440,6 +492,7 @@ class DeviceSim:
             checkpoint_bytes=outcome.checkpoint_bytes,
             killed=isinstance(mechanism, KillMechanism),
         )
+        self.policy.on_requeue(running.context)
         self._npu_reserved_until = free_at
         self._preemption_count += 1
         self._reserved_task_id = candidate_ctx.task_id

@@ -74,7 +74,15 @@ class TaskRuntime:
     # Dispatch / progress transitions (driven by the simulator)
     # ------------------------------------------------------------------
     def dispatch(self, now: float) -> float:
-        """Mark the task running; returns its completion wall-clock time."""
+        """Mark the task running; returns its completion wall-clock time.
+
+        The ``accrue_wait`` call below is the per-row settlement point of
+        the simulator's lazy wait accounting: it integrates the whole
+        waiting span since ``context.last_update_cycles`` (arrival, last
+        period tick, or preemption re-queue -- whichever came last), so
+        the ready queue is never walked between wakes on this row's
+        behalf.
+        """
         if self.context.state == TaskState.RUNNING:
             raise RuntimeError(f"task {self.task_id} already running")
         if self.is_done:
@@ -126,7 +134,13 @@ class TaskRuntime:
         checkpoint_bytes: float,
         killed: bool,
     ) -> None:
-        """Return the task to the ready queue after a preemption."""
+        """Return the task to the ready queue after a preemption.
+
+        Resets the wait-accounting baseline to the boundary commit and
+        refreshes accounted progress; the simulator re-inserts the row
+        into the policy's priority structures (``on_requeue``) right
+        after, so ranking keys are recomputed exactly once per preemption.
+        """
         if self.context.state != TaskState.RUNNING:
             raise RuntimeError(f"task {self.task_id} not running")
         progress = self.progress_at(now)

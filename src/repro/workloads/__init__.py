@@ -1,4 +1,9 @@
-"""Multi-tasked DNN workload construction (paper Sec III)."""
+"""Multi-tasked DNN workload construction (paper Sec III).
+
+The open-arrival trace generators live in :mod:`repro.workloads.trace`;
+they are not re-exported here because they build on ``repro.sched``
+(which itself imports the workload specs).
+"""
 
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.specs import TaskSpec, WorkloadSpec

@@ -11,6 +11,7 @@ methodology for modeling dynamic execution lengths).
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -64,6 +65,19 @@ class WorkloadGenerator:
             self._rng.uniform(0.0, self.arrival_window_cycles)
             for _ in range(num_tasks)
         )
+        return self._build_tasks(
+            arrivals, name or f"workload-{len(arrivals)}tasks"
+        )
+
+    def _build_tasks(
+        self, arrivals: Sequence[float], name: str
+    ) -> WorkloadSpec:
+        """Draw per-task attributes over pre-drawn sorted arrival times.
+
+        Shared by the uniform-window paper workloads and the open-arrival
+        trace generators (:mod:`repro.workloads.trace`); the per-task RNG
+        call order is part of the seeded-reproducibility contract.
+        """
         tasks = []
         for task_id, arrival in enumerate(arrivals):
             benchmark = self._rng.choice(self.benchmarks)
@@ -83,9 +97,7 @@ class WorkloadGenerator:
                     actual_output_len=output_len,
                 )
             )
-        return WorkloadSpec(
-            name=name or f"workload-{len(tasks)}tasks", tasks=tuple(tasks)
-        )
+        return WorkloadSpec(name=name, tasks=tuple(tasks))
 
     def generate_many(
         self, num_workloads: int, num_tasks: int = 8
@@ -119,10 +131,17 @@ class WorkloadGenerator:
         return input_len, output_len
 
 
+@functools.lru_cache(maxsize=None)
 def default_profiles(
     num_samples: int = 1500, seed: int = 2020
 ) -> Dict[str, SequenceProfile]:
-    """The characterization profiles backing each dynamic-length RNN."""
+    """The characterization profiles backing each dynamic-length RNN.
+
+    Cached per ``(num_samples, seed)``: every :class:`WorkloadGenerator`
+    and ``TaskFactory`` construction used to regenerate the eight
+    1500-sample profiles, which dominated short-run startup.  The returned
+    dict is shared -- treat it as read-only.
+    """
     return {
         benchmark: generate_profile(app, num_samples=num_samples, seed=seed)
         for benchmark, app in BENCHMARK_PROFILE.items()

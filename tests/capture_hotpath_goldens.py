@@ -1,0 +1,33 @@
+"""Regenerate the hot-path golden file (see tests/helpers_golden.py).
+
+Usage::
+
+    PYTHONPATH=src python tests/capture_hotpath_goldens.py
+
+The committed golden was captured from the pre-optimization scheduler;
+regenerating it is only justified alongside an intentional, documented
+behavioral change.
+"""
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import helpers_golden  # noqa: E402
+
+
+def main() -> None:
+    start = time.perf_counter()
+    payload = helpers_golden.capture()
+    path = helpers_golden.write_goldens(payload)
+    elapsed = time.perf_counter() - start
+    print(
+        f"wrote {len(payload['runs'])} golden runs to {path} "
+        f"in {elapsed:.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Golden equivalence of the optimized scheduler hot path.
+
+``tests/data/golden_hotpath.json.gz`` was captured from the
+pre-optimization event loop (O(n)-per-event ready scans, eager wait
+accrual).  These tests replay the identical sweep -- 25 seeded workloads
+x (policy x mode x mechanism) on one NPU plus 25 workloads x routing on
+a 4-device cluster -- and require the optimized loop to reproduce it:
+
+- behavioral fields (completion/first-dispatch times, timeline digests,
+  preemption/kill/drain counters, checkpoint bytes, makespans,
+  placements, migrations) **bit-for-bit**;
+- accounting fields (waited cycles, tokens) to 1e-9 relative tolerance,
+  because lazy settlement legally re-associates the same IEEE-754 sums
+  (see helpers_golden for why a flipped scheduling decision cannot hide
+  there: it would shift the behavioral fields).
+"""
+
+import math
+
+import pytest
+
+import helpers_golden
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    assert helpers_golden.GOLDEN_PATH.exists(), (
+        "golden file missing; regenerate from the pre-optimization "
+        "commit via: python tests/capture_hotpath_goldens.py"
+    )
+    return helpers_golden.load_goldens()["runs"]
+
+
+def _assert_tasks_match(key, expected_tasks, actual_tasks):
+    assert actual_tasks.keys() == expected_tasks.keys(), key
+    for task_id, expected in expected_tasks.items():
+        actual = actual_tasks[task_id]
+        for field, value in expected.items():
+            got = actual[field]
+            if field in helpers_golden.TOLERANT_TASK_FIELDS:
+                reference = float.fromhex(value)
+                measured = float.fromhex(got)
+                assert math.isclose(
+                    measured,
+                    reference,
+                    rel_tol=helpers_golden.RELATIVE_TOLERANCE,
+                    abs_tol=1e-6,
+                ), f"{key}: task {task_id} {field}: {measured} != {reference}"
+            else:
+                assert got == value, (
+                    f"{key}: task {task_id} {field}: {got} != {value}"
+                )
+
+
+def _assert_result_match(key, expected, actual):
+    for field in ("makespan", "preemption_count", "drain_decisions",
+                  "timeline"):
+        assert actual[field] == expected[field], (
+            f"{key}: {field}: {actual[field]} != {expected[field]}"
+        )
+    _assert_tasks_match(key, expected["tasks"], actual["tasks"])
+
+
+def _assert_cluster_match(key, expected, actual):
+    assert actual["assignments"] == expected["assignments"], key
+    assert actual["migrations"] == expected["migrations"], key
+    assert actual["makespan"] == expected["makespan"], key
+    _assert_tasks_match(key, expected["tasks"], actual["tasks"])
+    assert len(actual["devices"]) == len(expected["devices"]), key
+    for index, expected_device in enumerate(expected["devices"]):
+        actual_device = actual["devices"][index]
+        if expected_device is None:
+            assert actual_device is None, f"{key}: device {index}"
+        else:
+            _assert_result_match(
+                f"{key}/device{index}", expected_device, actual_device
+            )
+
+
+def test_single_npu_sweep_matches_goldens(goldens, factory):
+    seen = 0
+    for key, actual in helpers_golden.single_npu_runs(factory):
+        assert key in goldens, f"golden missing for {key}"
+        _assert_result_match(key, goldens[key], actual)
+        seen += 1
+    expected_count = sum(1 for key in goldens if key.startswith("single/"))
+    assert seen == expected_count
+
+
+def test_cluster_sweep_matches_goldens(goldens, factory):
+    seen = 0
+    for key, actual in helpers_golden.cluster_runs(factory):
+        assert key in goldens, f"golden missing for {key}"
+        _assert_cluster_match(key, goldens[key], actual)
+        seen += 1
+    expected_count = sum(1 for key in goldens if key.startswith("cluster/"))
+    assert seen == expected_count
+
+
+def test_sweep_covers_every_dimension(goldens):
+    """The golden sweep spans every policy, mode, mechanism, and routing."""
+    policies, modes, mechanisms, routings = set(), set(), set(), set()
+    for key in goldens:
+        parts = key.split("/")
+        if parts[0] == "single":
+            _, _, policy, mode, mechanism = parts
+        else:
+            _, _, routing, policy, mode, mechanism = parts
+            routings.add(routing)
+        policies.add(policy)
+        modes.add(mode)
+        mechanisms.add(mechanism)
+    assert policies == set(helpers_golden.POLICY_NAMES)
+    assert modes == {"np", "static", "dynamic"}
+    assert mechanisms == {"CHECKPOINT", "KILL"}
+    assert routings == {r.value for r in helpers_golden.ROUTINGS}

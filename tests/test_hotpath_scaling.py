@@ -1,0 +1,77 @@
+"""Per-event cost must not grow with tasks ever seen (complexity class).
+
+The companion to the golden equivalence suite: equivalence pins the
+*decisions*, these tests pin the *cost model*.  Synthetic traces (no
+model compilation) drive one device at ~85% utilization, so the live
+task population is bounded while the total request count grows 10x --
+an O(live)-per-event loop shows flat per-event time, the old
+O(ever-seen) loop showed a ~10x blowup (measured 91.5 -> 818.9 us/event
+pre-optimization).
+"""
+
+import time
+
+import pytest
+
+from repro.npu.config import NPUConfig
+from repro.sched.policies import make_policy
+from repro.sched.simulator import DeviceSim, PreemptionMode, SimulationConfig
+from repro.workloads.trace import synthetic_trace_runtimes
+
+#: Generous bound: post-optimization the measured ratio is ~1.0; the old
+#: loop measured ~9x.  Anything above this means per-event cost has
+#: started scaling with trace length again.
+MAX_PER_EVENT_GROWTH = 3.0
+
+
+def _config() -> SimulationConfig:
+    return SimulationConfig(
+        npu=NPUConfig(),
+        mode=PreemptionMode.DYNAMIC,
+        mechanism="CHECKPOINT",
+    )
+
+
+def _us_per_event(num_tasks: int, seed: int = 9) -> float:
+    best = float("inf")
+    for attempt in range(2):  # best-of-2 absorbs scheduler hiccups
+        runtimes = synthetic_trace_runtimes(num_tasks, seed=seed + attempt)
+        sim = DeviceSim(_config(), make_policy("PREMA"))
+        for runtime in runtimes:
+            sim.inject(runtime)
+        start = time.perf_counter()
+        while sim.has_live_tasks and sim.next_event_time() is not None:
+            sim.step()
+        elapsed = time.perf_counter() - start
+        assert all(runtime.is_done for runtime in runtimes)
+        best = min(best, 1e6 * elapsed / sim.events_processed)
+    return best
+
+
+def test_per_event_cost_flat_from_500_to_5000_tasks():
+    small = _us_per_event(500)
+    large = _us_per_event(5000)
+    assert large <= small * MAX_PER_EVENT_GROWTH, (
+        f"per-event cost grew {large / small:.1f}x from 500 to 5000 tasks "
+        f"({small:.1f} -> {large:.1f} us/event): the hot path is scaling "
+        "with tasks ever seen again"
+    )
+
+
+@pytest.mark.parametrize("policy_name", ["FCFS", "HPF", "SJF", "PREMA"])
+def test_trace_scale_run_completes_correctly(policy_name):
+    """A 1000-task open-arrival trace completes with sane invariants."""
+    runtimes = synthetic_trace_runtimes(1000, seed=4)
+    sim = DeviceSim(_config(), make_policy(policy_name))
+    for runtime in runtimes:
+        sim.inject(runtime)
+    while sim.has_live_tasks and sim.next_event_time() is not None:
+        sim.step()
+    assert sim.completed_count == 1000
+    assert all(runtime.is_done for runtime in runtimes)
+    sim.timeline.verify_no_overlap()
+    result = sim.result()
+    assert result is not None
+    assert result.makespan_cycles >= max(
+        runtime.spec.arrival_cycles for runtime in runtimes
+    )

@@ -50,6 +50,12 @@ class TestBasicInvariants:
         result = run(config, factory, pair)
         assert all(task.is_done for task in result.tasks)
 
+    def test_task_by_id_lookup(self, config, factory, pair):
+        result = run(config, factory, pair)
+        assert result.task_by_id(1).task_id == 1
+        with pytest.raises(KeyError):
+            result.task_by_id(99)
+
     def test_no_overlapping_busy_segments(self, config, factory, pair):
         result = run(config, factory, pair, policy="HPF",
                      mode=PreemptionMode.STATIC)

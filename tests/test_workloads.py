@@ -131,6 +131,16 @@ class TestGenerator:
         assert len(workloads) == 5
         assert len({w.name for w in workloads}) == 5
 
+    def test_default_profiles_cached_per_key(self):
+        # lru_cache: repeated construction must reuse the same profile
+        # dict instead of regenerating 8 x 1500-sample sequences.
+        assert default_profiles() is default_profiles()
+        assert default_profiles(num_samples=300) is \
+            default_profiles(num_samples=300)
+        assert default_profiles(num_samples=300) is not default_profiles()
+        assert WorkloadGenerator(seed=1).profiles is \
+            WorkloadGenerator(seed=2).profiles
+
     @pytest.mark.parametrize("kwargs", [
         dict(benchmarks=()),
         dict(batch_choices=()),
