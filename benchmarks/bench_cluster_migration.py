@@ -1,0 +1,29 @@
+"""Extension bench: checkpoint migration over a modeled interconnect."""
+
+from repro.analysis.experiments.cluster_migration import (
+    format_cluster_migration,
+    run_cluster_migration,
+)
+
+
+def test_cluster_migration(benchmark, config, emit):
+    rows = benchmark.pedantic(
+        run_cluster_migration,
+        kwargs=dict(config=config, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit("cluster_migration", format_cluster_migration(rows))
+    by_key = {(r.routing, r.interconnect): r for r in rows}
+    stealing = by_key[("work-stealing", "pcie-gen3")]
+    migration = by_key[("preemptive-migration", "pcie-gen3")]
+    # The headline: shipping preempted tasks' checkpoints beats moving
+    # only never-dispatched work on high-priority tail latency, even on
+    # the bandwidth-constrained fabric.
+    assert migration.hp_p99_ms < stealing.hp_p99_ms
+    # And it actually used the fabric.
+    assert migration.checkpoint_migrations > 0
+    assert migration.migrated_mb > 0
+    # A faster fabric never hurts the tail.
+    nvlink = by_key[("preemptive-migration", "nvlink")]
+    assert nvlink.hp_p99_ms <= migration.hp_p99_ms * 1.10

@@ -7,8 +7,11 @@ event-driven cluster simulation: a router dispatches a burst of
 mixed-tenant requests to a pool of NPUs, comparing blind round-robin
 against predictive routing in its three flavours -- a static up-front
 pass over Algorithm-1 estimates, online per-arrival dispatch against each
-device's live predicted backlog, and online dispatch plus work stealing
-(idle devices pull still-queued tasks from backlogged neighbours).
+device's live predicted backlog, online dispatch plus work stealing
+(idle devices pull still-queued tasks from backlogged neighbours), and
+preemptive checkpoint migration (idle devices additionally pull preempted
+tasks by shipping their DRAM checkpoints over a modeled PCIe-class
+interconnect, with cluster-global token fairness).
 
 Run:  python examples/cluster_serving.py [num_devices]
 """
@@ -30,6 +33,8 @@ COMBOS = (
     ("online + PREMA", RoutingPolicy.ONLINE_PREDICTED, "PREMA",
      PreemptionMode.DYNAMIC),
     ("stealing + PREMA", RoutingPolicy.WORK_STEALING, "PREMA",
+     PreemptionMode.DYNAMIC),
+    ("migration + PREMA", RoutingPolicy.PREEMPTIVE_MIGRATION, "PREMA",
      PreemptionMode.DYNAMIC),
 )
 

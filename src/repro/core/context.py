@@ -27,11 +27,19 @@ from repro.core.tokens import Priority, initial_tokens
 
 
 class TaskState(enum.Enum):
-    """Lifecycle of a dispatched inference task inside the NPU scheduler."""
+    """Lifecycle of a dispatched inference task inside the NPU scheduler.
+
+    ``MIGRATING`` marks a context row in flight between two devices'
+    tables: its checkpoint is crossing the cluster interconnect, so it is
+    owned by no table, yet it keeps *waiting* (transit time is part of
+    the slowdown the token economy compensates).  The destination device
+    flips it back to ``READY`` at re-admission.
+    """
 
     READY = "ready"
     RUNNING = "running"
     CHECKPOINTING = "checkpointing"
+    MIGRATING = "migrating"
     DONE = "done"
 
 
@@ -81,11 +89,16 @@ class TaskContext:
         preempted at scheduler-wake time re-enters the ready queue at the
         (later) tile-boundary commit, so accruals before that instant are
         no-ops rather than negative waits.
+
+        ``MIGRATING`` rows accrue like ``READY`` ones: a task in transit
+        over the interconnect is still waiting for service, and dropping
+        that span would violate the "a migrated task never loses accrued
+        wait" invariant the cluster tests pin.
         """
         delta = now_cycles - self.last_update_cycles
         if delta <= 0:
             return
-        if self._state is TaskState.READY:
+        if self._state in (TaskState.READY, TaskState.MIGRATING):
             self.waited_cycles += delta
             self.waited_since_grant += delta
         self.last_update_cycles = now_cycles

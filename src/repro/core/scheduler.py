@@ -50,22 +50,33 @@ class PremaPolicyCore:
     # ------------------------------------------------------------------
     # Line 9-10: candidate group and final selection
     # ------------------------------------------------------------------
-    def select_candidate(self, table: ContextTable) -> Optional[TaskContext]:
+    def select_candidate(
+        self, table: ContextTable, external_max_tokens: float = 0.0
+    ) -> Optional[TaskContext]:
         """Return the next task to execute, or None when the queue is empty.
 
         Candidates are ready tasks whose tokens exceed the dynamic
         threshold; among them, the shortest *estimated remaining* job wins
         (FindShortestEstimatedJob), with task id as the deterministic
         tie-break (FCFS among equals).
+
+        ``external_max_tokens`` folds cluster-global token state into the
+        threshold (the :class:`~repro.core.tokens.ClusterTokenLedger`
+        maximum over other devices' ready queues).  When the cluster
+        maximum excludes every local row, the local queue still serves its
+        best row -- the NPU must not idle because the highest-token task
+        lives on another device.
         """
         ready = table.ready()
         if not ready:
             return None
-        threshold = candidate_threshold(max(row.tokens for row in ready))
+        local_max = max(row.tokens for row in ready)
+        threshold = candidate_threshold(max(local_max, external_max_tokens))
         candidates = [row for row in ready if row.tokens > threshold]
         if not candidates:
-            # Defensive: the threshold rule guarantees the max-token task
-            # qualifies, but guard against degenerate float equality.
+            # No local row clears the (possibly cluster-wide) threshold:
+            # fall back to the whole local queue.  Also guards the
+            # degenerate float-equality case of the local-only rule.
             candidates = ready
         return min(
             candidates,
@@ -80,6 +91,7 @@ class PremaPolicyCore:
         candidate: TaskContext,
         running: TaskContext,
         ready: Sequence[TaskContext] = (),
+        external_max_tokens: float = 0.0,
     ) -> bool:
         """Does the policy recommend preempting ``running``?
 
@@ -89,10 +101,15 @@ class PremaPolicyCore:
         threshold-clearing candidates.  Otherwise Algorithm 2's pick is a
         preemption *recommendation* -- which Algorithm 3 may still
         override with DRAIN (the paper's dynamic mechanism selection).
+
+        ``external_max_tokens`` folds the cluster-global ledger maximum
+        into the threshold, like :meth:`select_candidate`.
         """
         pool = list(ready) + [running]
         return self.should_preempt_given_max(
-            candidate, running, max(row.tokens for row in pool)
+            candidate,
+            running,
+            max(max(row.tokens for row in pool), external_max_tokens),
         )
 
     def should_preempt_given_max(

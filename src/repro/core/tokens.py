@@ -12,7 +12,8 @@ example).
 from __future__ import annotations
 
 import enum
-from typing import Dict, Tuple
+import heapq
+from typing import Dict, List, Tuple
 
 
 class Priority(enum.IntEnum):
@@ -91,6 +92,79 @@ def candidate_bucket(tokens: float) -> int:
 
 
 NUM_CANDIDATE_BUCKETS = len(TOKEN_LEVELS) + 1
+
+
+class ClusterTokenLedger:
+    """Cluster-global registry of ready tasks' token counts.
+
+    Per-device token policies compute the Algorithm-2 candidate threshold
+    from the maximum token count of *their own* ready queue; on a
+    multi-NPU node that makes slowdown-normalized priority a per-device
+    notion -- a task unlucky in placement competes against a different
+    threshold than an identical task on the next device.  The ledger
+    restores one cluster-wide grid: every token policy registers its
+    ready rows' counts here, and selection/preemption thresholds are
+    derived from ``max(local ready max, ledger max)``.
+
+    Values are **lazily settled**: a row's entry reflects its token count
+    as of the owning device's last settlement point (period re-rank,
+    dispatch, requeue, or migration), exactly the staleness the
+    single-device lazy accounting already accepts.  Entries are keyed by
+    task id; a task is *active* while it sits in some device's ready
+    queue (or is mid-migration between two of them).
+
+    The max is answered from a lazy-deletion heap (amortized O(log n) per
+    update), the same technique as the policies' priority structures.
+    """
+
+    def __init__(self) -> None:
+        self._tokens: Dict[int, float] = {}
+        self._heap: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._tokens
+
+    def activate(self, task_id: int, tokens: float) -> None:
+        """Register (or refresh) a ready task's settled token count."""
+        self._tokens[task_id] = tokens
+        heapq.heappush(self._heap, (-tokens, task_id))
+        if len(self._heap) > 64 and len(self._heap) > 2 * len(self._tokens):
+            self._compact()
+
+    def deactivate(self, task_id: int) -> None:
+        """Drop a task that left every ready queue (dispatch/completion)."""
+        self._tokens.pop(task_id, None)
+
+    def clear(self) -> None:
+        self._tokens.clear()
+        self._heap.clear()
+
+    def ready_max_tokens(self) -> float:
+        """Largest settled token count over active tasks (0.0 when none)."""
+        heap = self._heap
+        tokens = self._tokens
+        while heap:
+            negated, task_id = heap[0]
+            if tokens.get(task_id) == -negated:
+                return -negated
+            heapq.heappop(heap)
+        return 0.0
+
+    def ready_total_tokens(self) -> float:
+        """Exact sum of active settled counts (O(n); tests and metrics)."""
+        return sum(self._tokens.values())
+
+    def snapshot(self) -> Dict[int, float]:
+        return dict(self._tokens)
+
+    def _compact(self) -> None:
+        self._heap = [
+            (-tokens, task_id) for task_id, tokens in self._tokens.items()
+        ]
+        heapq.heapify(self._heap)
 
 
 def select_candidates(tokens_by_task: Dict[int, float]) -> Tuple[int, ...]:

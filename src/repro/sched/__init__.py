@@ -5,7 +5,9 @@
 - :mod:`repro.sched.simulator` -- the event-driven multi-task simulator
   (stepwise :class:`DeviceSim` + batch :class:`NPUSimulator`).
 - :mod:`repro.sched.cluster` -- event-driven multi-NPU cluster scheduling
-  with static/online/work-stealing routing.
+  with static/online/work-stealing/checkpoint-migration routing.
+- :mod:`repro.sched.interconnect` -- modeled inter-NPU fabric (bandwidth,
+  latency, per-link FIFO contention) checkpoint migrations cross.
 - :mod:`repro.sched.metrics` -- ANTT/STP/fairness/SLA/tail-latency metrics
   plus cluster-level queueing-delay and migration metrics.
 - :mod:`repro.sched.timeline` -- execution trace records (Fig 2 style),
@@ -17,6 +19,11 @@ from repro.sched.cluster import (
     ClusterScheduler,
     MigrationRecord,
     RoutingPolicy,
+)
+from repro.sched.interconnect import (
+    Interconnect,
+    InterconnectConfig,
+    TransferRecord,
 )
 from repro.sched.metrics import (
     ClusterMetrics,
@@ -50,6 +57,9 @@ __all__ = [
     "ClusterResult",
     "RoutingPolicy",
     "MigrationRecord",
+    "Interconnect",
+    "InterconnectConfig",
+    "TransferRecord",
     "ClusterMetrics",
     "compute_cluster_metrics",
     "mean_queueing_delay",

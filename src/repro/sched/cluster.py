@@ -35,6 +35,20 @@ Routing strategies (:class:`RoutingPolicy`):
     idle device steals the longest-estimated queued task from the most
     backlogged device.  Never-dispatched tasks carry no checkpoint state,
     so a migration moves only the context row (tokens travel with it).
+``PREEMPTIVE_MIGRATION``
+    ``WORK_STEALING`` plus *checkpoint migration*: when no queued task is
+    stealable, an idle device pulls a **preempted** task -- one whose
+    CONV/FC activations or RNN cell state already sit checkpointed in the
+    source device's DRAM (``repro.npu.preemption``) -- by shipping that
+    checkpoint over a modeled interconnect
+    (:mod:`repro.sched.interconnect`): the transfer is charged real
+    cycles, contends FIFO on its link, and the task only re-enters a
+    ready queue when the bytes land.  Token accounting becomes
+    cluster-global under this routing: a
+    :class:`~repro.core.tokens.ClusterTokenLedger` keeps every device's
+    Algorithm-2 candidate threshold consistent with the cluster-wide
+    token maximum, so slowdown-normalized priority no longer depends on
+    placement luck.
 
 All strategies run through the same event loop; for the static strategies
 each device's event sequence is identical to simulating its partition in
@@ -49,6 +63,14 @@ import random
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.context import TaskState
+from repro.core.tokens import ClusterTokenLedger
+from repro.sched.interconnect import (
+    CONTEXT_ROW_BYTES,
+    Interconnect,
+    InterconnectConfig,
+    TransferRecord,
+)
 from repro.sched.policies import make_policy
 from repro.sched.simulator import (
     DeviceSim,
@@ -67,6 +89,7 @@ class RoutingPolicy(enum.Enum):
     STATIC = "static"
     ONLINE_PREDICTED = "online-predicted"
     WORK_STEALING = "work-stealing"
+    PREEMPTIVE_MIGRATION = "preemptive-migration"
 
 
 #: Strategies resolved by one up-front routing pass (arrival order).
@@ -81,18 +104,40 @@ STATIC_ROUTINGS = frozenset(
 
 #: Strategies deciding per-arrival against live device state.
 ONLINE_ROUTINGS = frozenset(
-    {RoutingPolicy.ONLINE_PREDICTED, RoutingPolicy.WORK_STEALING}
+    {
+        RoutingPolicy.ONLINE_PREDICTED,
+        RoutingPolicy.WORK_STEALING,
+        RoutingPolicy.PREEMPTIVE_MIGRATION,
+    }
 )
 
 
 @dataclasses.dataclass(frozen=True)
 class MigrationRecord:
-    """One work-stealing migration of a still-queued task."""
+    """One migration of a task between devices.
+
+    ``kind`` is ``"steal"`` for a row-only move (a never-dispatched
+    task, or a KILL victim restarting from scratch) and ``"checkpoint"``
+    when the task's saved state moved with it; ``arrival_cycles`` is
+    when the task re-entered a ready queue at the destination.  Under
+    ``WORK_STEALING`` steals are instantaneous (``arrival_cycles ==
+    time_cycles``); under ``PREEMPTIVE_MIGRATION`` *every* move -- steals
+    included -- crosses the interconnect and carries real in-flight
+    latency.
+    """
 
     task_id: int
     from_device: int
     to_device: int
     time_cycles: float
+    kind: str = "steal"
+    bytes_moved: float = 0.0
+    arrival_cycles: float = 0.0
+
+    @property
+    def latency_cycles(self) -> float:
+        """Cycles the task spent in flight (0 for WORK_STEALING steals)."""
+        return max(0.0, self.arrival_cycles - self.time_cycles)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -106,6 +151,8 @@ class ClusterResult:
     routing: str = ""
     migrations: Tuple[MigrationRecord, ...] = ()
     timeline: Optional[ClusterTimeline] = None
+    #: Interconnect transfers behind the checkpoint migrations.
+    transfers: Tuple[TransferRecord, ...] = ()
 
     @property
     def num_devices(self) -> int:
@@ -114,6 +161,14 @@ class ClusterResult:
     @property
     def migration_count(self) -> int:
         return len(self.migrations)
+
+    @property
+    def checkpoint_migration_count(self) -> int:
+        return sum(1 for m in self.migrations if m.kind == "checkpoint")
+
+    @property
+    def migrated_bytes_total(self) -> float:
+        return sum(m.bytes_moved for m in self.migrations)
 
     @property
     def makespan_cycles(self) -> float:
@@ -150,6 +205,8 @@ class ClusterScheduler:
         policy_name: str = "PREMA",
         routing: RoutingPolicy = RoutingPolicy.LEAST_LOADED,
         seed: int = 0,
+        interconnect: Optional[InterconnectConfig] = None,
+        global_tokens: Optional[bool] = None,
     ) -> None:
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
@@ -158,6 +215,17 @@ class ClusterScheduler:
         self.policy_name = policy_name
         self.routing = routing
         self._seed = seed
+        #: Fabric checkpoint migrations cross.  Defaults to a PCIe-gen3
+        #: bus at the NPU's clock; only PREEMPTIVE_MIGRATION ever uses it.
+        self.interconnect = interconnect or InterconnectConfig.pcie_gen3(
+            simulation_config.npu.frequency_hz
+        )
+        #: Cluster-global token thresholds (ClusterTokenLedger).  Defaults
+        #: to on exactly for PREEMPTIVE_MIGRATION; every pre-existing
+        #: routing keeps the per-device paper semantics bit-for-bit.
+        if global_tokens is None:
+            global_tokens = routing is RoutingPolicy.PREEMPTIVE_MIGRATION
+        self.global_tokens = global_tokens
 
     # ------------------------------------------------------------------
     # Static routing (the up-front pass)
@@ -213,16 +281,31 @@ class ClusterScheduler:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate task ids in workload")
 
+        # The ledger only exists for policies that read tokens: attaching
+        # one to HPF/SJF/FCFS would just accumulate dead entries (their
+        # hooks never drain it).
+        ledger: Optional[ClusterTokenLedger] = None
+        if self.global_tokens and make_policy(self.policy_name).uses_tokens:
+            ledger = ClusterTokenLedger()
+        fabric: Optional[Interconnect] = None
+        if self.routing is RoutingPolicy.PREEMPTIVE_MIGRATION:
+            fabric = Interconnect(self.interconnect, self.num_devices)
         devices = [
             DeviceSim(
                 self.simulation_config,
-                make_policy(self.policy_name),
+                make_policy(self.policy_name, ledger=ledger),
                 device_id=index,
             )
             for index in range(self.num_devices)
         ]
         assignments: Dict[int, int] = {}
         migrations: List[MigrationRecord] = []
+        #: Per-device in-flight checkpoint deliveries: (arrival cycle,
+        #: estimated remaining cycles).  Routing counts them as backlog
+        #: and a device with one pending is not an eligible thief.
+        inflight: Dict[int, List[Tuple[float, float]]] = {
+            index: [] for index in range(self.num_devices)
+        }
         total = len(tasks)
         if self.routing in STATIC_ROUTINGS:
             # Static strategies know every placement up-front, so inject
@@ -267,7 +350,9 @@ class ClusterScheduler:
             )
             if arrival_due:
                 task = pending.popleft()
-                target = self._route_online(devices, task.spec.arrival_cycles)
+                target = self._route_online(
+                    devices, task.spec.arrival_cycles, inflight
+                )
                 assignments[task.task_id] = target
                 devices[target].inject(task)
                 continue
@@ -286,17 +371,33 @@ class ClusterScheduler:
                 in (_EventKind.COMPLETE, _EventKind.ARRIVAL)
             ):
                 migrations.extend(self._steal(devices, now, assignments))
+            elif self.routing is RoutingPolicy.PREEMPTIVE_MIGRATION:
+                # Migration opportunities additionally appear when a
+                # preemption commits (PERIOD/DISPATCH wakes) and when a
+                # checkpoint becomes durable (the reserved DISPATCH at
+                # trap end), so scan after every event; the scan is
+                # O(devices) idle peeks unless someone is actually idle.
+                assert fabric is not None
+                migrations.extend(
+                    self._migrate(
+                        devices, now, assignments, fabric, inflight, ledger
+                    )
+                )
 
             if sum(device.completed_count for device in devices) >= total:
                 break
 
         device_results = tuple(device.result() for device in devices)
+        transfers = fabric.transfers if fabric is not None else ()
         timeline = ClusterTimeline(
             {
                 index: device.timeline
                 for index, device in enumerate(devices)
-                if device.num_tasks > 0
-            }
+                # A device whose every task migrated away still executed
+                # cycles; its trace must survive for conservation checks.
+                if device.num_tasks > 0 or len(device.timeline) > 0
+            },
+            transfers=transfers,
         )
         return ClusterResult(
             tasks=tuple(tasks),
@@ -305,17 +406,46 @@ class ClusterScheduler:
             routing=self.routing.value,
             migrations=tuple(migrations),
             timeline=timeline,
+            transfers=transfers,
         )
 
     # ------------------------------------------------------------------
     # Online decisions
     # ------------------------------------------------------------------
     @staticmethod
-    def _route_online(devices: Sequence[DeviceSim], now: float) -> int:
-        """Least live predicted backlog; ties to the lowest device index."""
+    def _inbound_backlog(
+        inflight: Dict[int, List[Tuple[float, float]]], device: int, now: float
+    ) -> float:
+        """Estimated cycles of checkpoint deliveries still bound for
+        ``device``; landed entries are pruned as a side effect."""
+        entries = inflight[device]
+        if not entries:
+            return 0.0
+        live = [(end, est) for end, est in entries if end > now]
+        if len(live) != len(entries):
+            inflight[device] = live
+        return sum(est for _, est in live)
+
+    @classmethod
+    def _route_online(
+        cls,
+        devices: Sequence[DeviceSim],
+        now: float,
+        inflight: Dict[int, List[Tuple[float, float]]],
+    ) -> int:
+        """Least live predicted backlog; ties to the lowest device index.
+
+        In-flight checkpoint migrations count toward their destination's
+        backlog -- the node agent routed them, so it knows they are
+        coming even though the device has not admitted them yet.
+        """
         return min(
             range(len(devices)),
-            key=lambda d: (devices[d].predicted_backlog(now), d),
+            key=lambda d: (
+                devices[d].predicted_backlog(now)
+                + cls._inbound_backlog(inflight, d, now),
+                d,
+            ),
         )
 
     @staticmethod
@@ -365,6 +495,123 @@ class ClusterScheduler:
                     from_device=victim_index,
                     to_device=thief_index,
                     time_cycles=now,
+                    kind="steal",
+                    bytes_moved=0.0,
+                    arrival_cycles=now,
+                )
+            )
+        return moves
+
+    def _migrate(
+        self,
+        devices: Sequence[DeviceSim],
+        now: float,
+        assignments: Dict[int, int],
+        fabric: Interconnect,
+        inflight: Dict[int, List[Tuple[float, float]]],
+        ledger: Optional[ClusterTokenLedger],
+    ) -> List[MigrationRecord]:
+        """Pull the most starved migratable task to each idle device.
+
+        Unlike work stealing -- whose moves are free and therefore
+        restricted to never-dispatched tasks -- every PREEMPTIVE_MIGRATION
+        move crosses the modeled interconnect and is charged real cycles:
+        a queued task ships only its Fig-4 context row, a preempted task
+        additionally ships its resident checkpoint (CONV/FC activations,
+        RNN cell state).  Each idle device with no delivery already
+        inbound pulls at most one task per event.
+
+        Candidate choice is cluster-wide and fairness-driven: among every
+        QUEUED or (durably checkpointed) PREEMPTED task whose
+        contention-aware delivery time beats the wait it faces at home,
+        take the highest priority, then most tokens (the most
+        slowdown-compensated row), then longest estimated remaining work.
+        This is what lets a preempted high-priority victim resume on a
+        sibling NPU instead of waiting behind its preemptor.
+        """
+        moves: List[MigrationRecord] = []
+        for thief_index, thief in enumerate(devices):
+            if not thief.is_idle(now):
+                continue
+            # Prune landed deliveries, then gate on *presence* of live
+            # ones -- a sum test would let a task whose estimate is
+            # already exhausted (remaining floored to 0) slip through.
+            self._inbound_backlog(inflight, thief_index, now)
+            if inflight[thief_index]:
+                continue  # a delivery is already on its way here
+            best: Optional[TaskRuntime] = None
+            best_key: Optional[Tuple[float, float, float, int]] = None
+            best_source: Optional[int] = None
+            best_payload = 0.0
+            for index, device in enumerate(devices):
+                if index == thief_index:
+                    continue
+                candidates = device.stealable_tasks()
+                candidates += device.migratable_preempted_tasks(now)
+                if not candidates:
+                    continue
+                backlog = device.predicted_backlog(now)
+                for task in candidates:
+                    context = task.context
+                    payload = (
+                        task.checkpoint_bytes_resident + CONTEXT_ROW_BYTES
+                    )
+                    delivery = fabric.estimate_arrival(
+                        index, thief_index, payload, now
+                    )
+                    # Wait the task faces at home: everything live on its
+                    # source device except its own remaining work.
+                    home_wait = backlog - max(
+                        0.0, context.estimated_remaining_cycles
+                    )
+                    if delivery - now >= home_wait:
+                        continue  # the link is the slower queue; stay put
+                    key = (
+                        float(int(context.priority)),
+                        context.tokens,
+                        context.estimated_remaining_cycles,
+                        -task.task_id,
+                    )
+                    if best_key is None or key > best_key:
+                        best, best_key = task, key
+                        best_source, best_payload = index, payload
+            if best is None or best_source is None:
+                continue
+            source = devices[best_source]
+            # "checkpoint" means saved state actually moved; a migrated
+            # KILL victim restarts from scratch and ships only the row.
+            ships_checkpoint = best.checkpoint_bytes_resident > 0
+            task = source.remove_task(best.task_id, now)
+            record = fabric.transfer(
+                best_source, thief_index, best_payload, now,
+                task_id=task.task_id,
+            )
+            # In transit the task keeps waiting (MIGRATING accrues like
+            # READY): settle the whole flight now so the row lands with
+            # its wait/token state carried over, then let the destination
+            # flip it READY at the delivery arrival.
+            task.context.state = TaskState.MIGRATING
+            task.context.accrue_wait(record.end_cycles)
+            if ledger is not None:
+                # The migration is a settlement read point: the in-flight
+                # task stays visible to the cluster-wide threshold.
+                ledger.activate(task.task_id, task.context.tokens)
+            task.migration_count += 1
+            task.migrated_bytes_total += best_payload
+            thief.inject(task, arrival=record.end_cycles)
+            assignments[task.task_id] = thief_index
+            inflight[thief_index].append(
+                (record.end_cycles, task.context.estimated_remaining_cycles)
+            )
+            moves.append(
+                MigrationRecord(
+                    task_id=task.task_id,
+                    from_device=best_source,
+                    to_device=thief_index,
+                    time_cycles=now,
+                    kind="checkpoint" if ships_checkpoint else "steal",
+                    bytes_moved=best_payload,
+                    arrival_cycles=record.end_cycles,
                 )
             )
         return moves

@@ -1,0 +1,264 @@
+"""Modeled inter-NPU interconnect for checkpoint migration.
+
+The paper's preemption mechanisms (Sec IV) persist a preempted task's
+context -- CONV/FC output activations resident in UBUF plus the in-flight
+ACCQ tile, or an RNN cell state -- to the device's DRAM.  The cluster
+layer's :class:`~repro.sched.cluster.RoutingPolicy.PREEMPTIVE_MIGRATION`
+extends that: the saved checkpoint is *shipped* to another NPU's DRAM so
+the victim can resume elsewhere.  This module models the fabric that
+shipment crosses.
+
+The model is deliberately at the same fidelity as the paper's memory
+system (:mod:`repro.npu.memory`): fixed per-link bandwidth, fixed
+propagation latency, and FIFO contention per link.  Two topologies:
+
+``p2p``
+    One dedicated full-duplex link per ordered device pair (an NVSwitch /
+    PCIe-switch-with-independent-lanes abstraction).  Transfers between
+    different pairs never contend.
+``bus``
+    One shared half-duplex medium: every transfer in the cluster
+    serializes (a single host PCIe root complex under pressure).
+
+Presets (:meth:`InterconnectConfig.pcie_gen3` and friends) express
+real-fabric bandwidths in *cycles* of the NPU's PE clock so the cluster
+event loop charges transfer time in its native unit.
+
+Every completed transfer is recorded; :class:`Interconnect` exposes the
+records plus per-link occupancy so tests can assert conservation (bytes
+in == bytes out, per-link FIFO order, no overlapping occupancy) and
+metrics can report bytes moved and transfer latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Tuple
+
+#: Bytes of the Fig-4 context-table row that always travels with a task
+#: (448 bits, Sec VI-F) -- the floor of any migration's payload.
+CONTEXT_ROW_BYTES = 56.0
+
+_TOPOLOGIES = ("p2p", "bus")
+
+
+@dataclasses.dataclass(frozen=True)
+class InterconnectConfig:
+    """Link parameters, in PE-clock cycles (like every other model knob)."""
+
+    #: Per-link bandwidth, bytes per PE-clock cycle (``math.inf`` allowed).
+    bandwidth_bytes_per_cycle: float
+    #: Propagation + protocol latency charged once per transfer, cycles.
+    latency_cycles: float = 0.0
+    #: ``p2p`` (per-pair links) or ``bus`` (one shared medium).
+    topology: str = "p2p"
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("bandwidth_bytes_per_cycle must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be >= 0")
+        if self.topology not in _TOPOLOGIES:
+            raise ValueError(f"topology must be one of {_TOPOLOGIES}")
+
+    # ------------------------------------------------------------------
+    # Presets (bandwidths are nominal effective rates, not headline ones)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bytes_per_sec(
+        cls,
+        bytes_per_sec: float,
+        latency_us: float,
+        frequency_hz: float = 700e6,
+        topology: str = "p2p",
+        name: str = "custom",
+    ) -> "InterconnectConfig":
+        return cls(
+            bandwidth_bytes_per_cycle=bytes_per_sec / frequency_hz,
+            latency_cycles=latency_us * 1e-6 * frequency_hz,
+            topology=topology,
+            name=name,
+        )
+
+    @classmethod
+    def pcie_gen3(cls, frequency_hz: float = 700e6) -> "InterconnectConfig":
+        """PCIe 3.0 x16: ~13 GB/s effective, ~1.5 us latency."""
+        return cls.from_bytes_per_sec(
+            13e9, 1.5, frequency_hz, topology="bus", name="pcie-gen3"
+        )
+
+    @classmethod
+    def pcie_gen4(cls, frequency_hz: float = 700e6) -> "InterconnectConfig":
+        """PCIe 4.0 x16: ~26 GB/s effective, ~1.0 us latency."""
+        return cls.from_bytes_per_sec(
+            26e9, 1.0, frequency_hz, topology="bus", name="pcie-gen4"
+        )
+
+    @classmethod
+    def nvlink(cls, frequency_hz: float = 700e6) -> "InterconnectConfig":
+        """NVLink-class point-to-point fabric: ~250 GB/s, ~0.5 us."""
+        return cls.from_bytes_per_sec(
+            250e9, 0.5, frequency_hz, topology="p2p", name="nvlink"
+        )
+
+    @classmethod
+    def infinite(cls) -> "InterconnectConfig":
+        """Zero-cost fabric: transfers complete instantaneously.
+
+        The equivalence anchor: with this config a checkpoint migration
+        charges no cycles, so interconnect modeling cannot perturb runs
+        that never migrate.
+        """
+        return cls(
+            bandwidth_bytes_per_cycle=math.inf,
+            latency_cycles=0.0,
+            topology="p2p",
+            name="infinite",
+        )
+
+    def transfer_cycles(self, num_bytes: float) -> float:
+        """Uncontended duration of one transfer (latency + serialization)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        return self.latency_cycles + num_bytes / self.bandwidth_bytes_per_cycle
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferRecord:
+    """One completed (or in-flight) link transfer."""
+
+    task_id: int
+    src_device: int
+    dst_device: int
+    num_bytes: float
+    #: When the transfer was requested (migration decision instant).
+    request_cycles: float
+    #: When the link actually started serving it (>= request: contention).
+    start_cycles: float
+    #: When the payload is fully resident at the destination.
+    end_cycles: float
+
+    @property
+    def queueing_cycles(self) -> float:
+        return self.start_cycles - self.request_cycles
+
+    @property
+    def transfer_latency_cycles(self) -> float:
+        """End-to-end latency the migrating task experienced."""
+        return self.end_cycles - self.request_cycles
+
+
+class Interconnect:
+    """FIFO-contended links between the cluster's devices.
+
+    The cluster event loop requests transfers in non-decreasing time
+    order (it processes events chronologically), which the model turns
+    into a hard guarantee: per link, transfers start in request order and
+    never overlap -- the conservation property the seeded tests pin.
+    """
+
+    def __init__(self, config: InterconnectConfig, num_devices: int) -> None:
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        self.config = config
+        self.num_devices = num_devices
+        self._free_at: Dict[object, float] = {}
+        self._last_request: Dict[object, float] = {}
+        self._records: List[TransferRecord] = []
+
+    def _link_key(self, src: int, dst: int) -> object:
+        return "bus" if self.config.topology == "bus" else (src, dst)
+
+    def link_free_at(self, src: int, dst: int) -> float:
+        """Earliest cycle a new (src -> dst) transfer could start."""
+        return self._free_at.get(self._link_key(src, dst), 0.0)
+
+    def estimate_arrival(self, src: int, dst: int, num_bytes: float, now: float) -> float:
+        """Predicted delivery time of a transfer requested at ``now``
+        (contention included) without committing it."""
+        start = max(now, self.link_free_at(src, dst))
+        return start + self.config.transfer_cycles(num_bytes)
+
+    def transfer(
+        self, src: int, dst: int, num_bytes: float, now: float, task_id: int = -1
+    ) -> TransferRecord:
+        """Commit one transfer; returns its scheduled record."""
+        for device in (src, dst):
+            if not 0 <= device < self.num_devices:
+                raise ValueError(f"device {device} out of range")
+        if src == dst:
+            raise ValueError("transfer requires distinct devices")
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        key = self._link_key(src, dst)
+        if now < self._last_request.get(key, 0.0):
+            raise ValueError(
+                "transfers on one link must be requested in time order"
+            )
+        self._last_request[key] = now
+        start = max(now, self._free_at.get(key, 0.0))
+        end = start + self.config.transfer_cycles(num_bytes)
+        self._free_at[key] = end
+        record = TransferRecord(
+            task_id=task_id,
+            src_device=src,
+            dst_device=dst,
+            num_bytes=num_bytes,
+            request_cycles=now,
+            start_cycles=start,
+            end_cycles=end,
+        )
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Introspection (metrics / conservation tests)
+    # ------------------------------------------------------------------
+    @property
+    def transfers(self) -> Tuple[TransferRecord, ...]:
+        return tuple(self._records)
+
+    def total_bytes(self) -> float:
+        return sum(record.num_bytes for record in self._records)
+
+    def busy_cycles_by_link(self) -> Dict[object, float]:
+        busy: Dict[object, float] = {}
+        for record in self._records:
+            key = self._link_key(record.src_device, record.dst_device)
+            busy[key] = busy.get(key, 0.0) + (
+                record.end_cycles - record.start_cycles
+            )
+        return busy
+
+    def verify_conservation(self) -> None:
+        """Raise unless every link served its transfers FIFO, one at a time.
+
+        Checks, per link: starts never precede requests, occupancy spans
+        do not overlap, and service order equals request order (no
+        reordering across a link).
+        """
+        per_link: Dict[object, List[TransferRecord]] = {}
+        for record in self._records:
+            key = self._link_key(record.src_device, record.dst_device)
+            per_link.setdefault(key, []).append(record)
+        for key, records in per_link.items():
+            previous_end = 0.0
+            previous_request = 0.0
+            for record in records:  # append order == request order
+                if record.request_cycles < previous_request:
+                    raise AssertionError(f"link {key}: requests out of order")
+                if record.start_cycles < record.request_cycles:
+                    raise AssertionError(f"link {key}: start precedes request")
+                if record.start_cycles < previous_end:
+                    raise AssertionError(f"link {key}: overlapping service")
+                expected_end = record.start_cycles + self.config.transfer_cycles(
+                    record.num_bytes
+                )
+                if not math.isclose(
+                    record.end_cycles, expected_end, rel_tol=1e-12, abs_tol=1e-6
+                ):
+                    raise AssertionError(f"link {key}: bytes in != bytes out")
+                previous_end = record.end_cycles
+                previous_request = record.request_cycles

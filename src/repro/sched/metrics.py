@@ -203,6 +203,18 @@ class ClusterMetrics:
     migration_count: int
     mean_utilization: float
     utilization_spread: float
+    #: Checkpoint migrations (preempted tasks shipped over the fabric).
+    checkpoint_migration_count: int = 0
+    #: Total bytes moved over the interconnect (checkpoints + rows).
+    migration_bytes_total: float = 0.0
+    #: Mean in-flight latency of checkpoint migrations (0 when none).
+    mean_migration_latency_cycles: float = 0.0
+    #: p99 turnaround of HIGH-priority tasks (0 when the workload has
+    #: none) -- the QoS headline checkpoint migration targets.
+    p99_high_priority_turnaround_cycles: float = 0.0
+    #: Mean NTT of tasks that migrated at least once (0 when none): how
+    #: much slowdown a migrated task still ends up with.
+    post_migration_antt: float = 0.0
 
 
 def compute_cluster_metrics(result) -> ClusterMetrics:
@@ -214,6 +226,25 @@ def compute_cluster_metrics(result) -> ClusterMetrics:
     workload = compute_metrics(result.tasks)
     delays = list(queueing_delay_by_task(result.tasks).values())
     utilization = result.device_utilization()
+    migrations = getattr(result, "migrations", ())
+    checkpoint_moves = [
+        m for m in migrations if getattr(m, "kind", "steal") == "checkpoint"
+    ]
+    bytes_total = getattr(
+        result,
+        "migrated_bytes_total",
+        sum(getattr(m, "bytes_moved", 0.0) for m in migrations),
+    )
+    high_priority = [
+        task.turnaround_cycles
+        for task in result.tasks
+        if task.spec.priority == Priority.HIGH
+    ]
+    migrated_ntts = [
+        task.normalized_turnaround
+        for task in result.tasks
+        if getattr(task, "migration_count", 0) > 0
+    ]
     return ClusterMetrics(
         makespan_cycles=result.makespan_cycles,
         antt=workload.antt,
@@ -221,7 +252,22 @@ def compute_cluster_metrics(result) -> ClusterMetrics:
         fairness=workload.fairness,
         mean_queueing_delay_cycles=float(np.mean(delays)),
         p95_queueing_delay_cycles=float(np.percentile(np.asarray(delays), 95.0)),
-        migration_count=len(getattr(result, "migrations", ())),
+        migration_count=len(migrations),
         mean_utilization=float(np.mean(utilization)),
         utilization_spread=float(np.max(utilization) - np.min(utilization)),
+        checkpoint_migration_count=len(checkpoint_moves),
+        migration_bytes_total=float(bytes_total),
+        mean_migration_latency_cycles=(
+            float(np.mean([m.latency_cycles for m in checkpoint_moves]))
+            if checkpoint_moves
+            else 0.0
+        ),
+        p99_high_priority_turnaround_cycles=(
+            float(np.percentile(np.asarray(high_priority), 99.0))
+            if high_priority
+            else 0.0
+        ),
+        post_migration_antt=(
+            float(np.mean(migrated_ntts)) if migrated_ntts else 0.0
+        ),
     )

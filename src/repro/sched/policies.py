@@ -47,6 +47,7 @@ from repro.core.context import ContextTable, TaskContext, TaskState
 from repro.core.scheduler import PremaPolicyCore, SchedulerConfig
 from repro.core.tokens import (
     NUM_CANDIDATE_BUCKETS,
+    ClusterTokenLedger,
     candidate_bucket,
     candidate_threshold,
 )
@@ -60,6 +61,15 @@ class Policy:
     uses_predictor: bool = False
     #: Does the policy maintain tokens on period ticks?
     uses_tokens: bool = False
+    #: Cluster-global token ledger (token policies only; None = the
+    #: per-device threshold semantics of the single-NPU paper setting).
+    _ledger: Optional[ClusterTokenLedger] = None
+
+    def _ledger_max(self, local_max: float) -> float:
+        """Fold the cluster ledger's maximum into a local token maximum."""
+        if self._ledger is None:
+            return local_max
+        return max(local_max, self._ledger.ready_max_tokens())
 
     def on_period(self, table: ContextTable) -> None:
         """Hook invoked at each scheduling-period tick."""
@@ -255,27 +265,44 @@ class _TokenBuckets:
     def max_tokens_row(self) -> Optional[TaskContext]:
         return self._max_heap.peek()
 
-    def select(self) -> Optional[TaskContext]:
-        """Best candidate row, or None to fall back to the reference scan."""
-        top = self._max_heap.peek()
-        if top is None:
-            return None
-        threshold = candidate_threshold(top.tokens)
-        start = candidate_bucket(top.tokens)
+    def _best_in(self, buckets) -> Optional[TaskContext]:
         best: Optional[TaskContext] = None
         best_key: object = None
-        for bucket in self._buckets[start:]:
+        for bucket in buckets:
             row = bucket.peek()
             if row is None:
                 continue
             key = self._select_key(row)
             if best is None or key < best_key:  # type: ignore[operator]
                 best, best_key = row, key
-        if best is None or not best.tokens > threshold:
-            # Degenerate token states (non-positive counts) exist only in
-            # hand-built tables; let the caller rescan.
-            return None
         return best
+
+    def select(self, external_max_tokens: float = 0.0) -> Optional[TaskContext]:
+        """Best candidate row, or None to fall back to the reference scan.
+
+        ``external_max_tokens`` raises the threshold to a cluster-global
+        maximum (ledger-aware policies).  When that cluster maximum
+        excludes every local row, the Algorithm-2 fallback serves the
+        best local row outright -- exactly the reference semantics, still
+        from bucket-top peeks.
+        """
+        top = self._max_heap.peek()
+        if top is None:
+            return None
+        effective_max = max(top.tokens, external_max_tokens)
+        threshold = candidate_threshold(effective_max)
+        start = candidate_bucket(effective_max)
+        best = self._best_in(self._buckets[start:])
+        if best is not None and best.tokens > threshold:
+            return best
+        if external_max_tokens > top.tokens:
+            # The threshold is driven by a remote device's maximum and no
+            # local row clears it: serve the best local row regardless
+            # (the device must not idle on account of a remote task).
+            return self._best_in(self._buckets)
+        # Degenerate token states (non-positive counts) exist only in
+        # hand-built tables; let the caller rescan.
+        return None
 
 
 class _IncrementalReadyPolicy(Policy):
@@ -300,15 +327,23 @@ class _IncrementalReadyPolicy(Policy):
 
     def on_admit(self, context: TaskContext, now: float) -> None:
         self._structure().add(context)
+        if self._ledger is not None:
+            self._ledger.activate(context.task_id, context.tokens)
 
     def on_remove(self, context: TaskContext, now: float) -> None:
         self._structure().discard(context.task_id)
+        if self._ledger is not None:
+            self._ledger.deactivate(context.task_id)
 
     def on_dispatch(self, context: TaskContext) -> None:
         self._structure().discard(context.task_id)
+        if self._ledger is not None:
+            self._ledger.deactivate(context.task_id)
 
     def on_requeue(self, context: TaskContext) -> None:
         self._structure().add(context)
+        if self._ledger is not None:
+            self._ledger.activate(context.task_id, context.tokens)
 
     def reset(self) -> None:
         self._structure().clear()
@@ -434,8 +469,13 @@ class TokenPolicy(_IncrementalReadyPolicy):
     uses_predictor = True
     uses_tokens = True
 
-    def __init__(self, core: Optional[PremaPolicyCore] = None) -> None:
+    def __init__(
+        self,
+        core: Optional[PremaPolicyCore] = None,
+        ledger: Optional[ClusterTokenLedger] = None,
+    ) -> None:
         self._core = core or PremaPolicyCore()
+        self._ledger = ledger
         self._buckets = _TokenBuckets(lambda row: row.task_id)
 
     def _structure(self):
@@ -444,13 +484,20 @@ class TokenPolicy(_IncrementalReadyPolicy):
     def on_period(self, table: ContextTable) -> None:
         self._core.grant_periodic_tokens(table)
         # Every ready row's tokens may have moved: period re-ranks
-        # invalidate the buckets wholesale.
-        self._buckets.rebuild(table.ready())
+        # invalidate the buckets wholesale -- and are the settlement
+        # point where the cluster ledger learns the new counts.
+        ready = table.ready()
+        self._buckets.rebuild(ready)
+        if self._ledger is not None:
+            for row in ready:
+                self._ledger.activate(row.task_id, row.tokens)
 
     def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
         if not ready:
             return None
-        threshold = candidate_threshold(max(row.tokens for row in ready))
+        threshold = candidate_threshold(
+            self._ledger_max(max(row.tokens for row in ready))
+        )
         candidates = [row for row in ready if row.tokens > threshold]
         if not candidates:
             candidates = list(ready)
@@ -460,7 +507,10 @@ class TokenPolicy(_IncrementalReadyPolicy):
         if not table.has_ready:
             return None
         self._sync(table)
-        row = self._validated(self._buckets.select(), table)
+        external = (
+            self._ledger.ready_max_tokens() if self._ledger is not None else 0.0
+        )
+        row = self._validated(self._buckets.select(external), table)
         return row if row is not None else self.select(table.ready())
 
     def outranks(
@@ -473,7 +523,9 @@ class TokenPolicy(_IncrementalReadyPolicy):
         # fires only when it falls below the dynamic token threshold while
         # a waiting task clears it.
         pool = list(ready) + [running]
-        threshold = candidate_threshold(max(row.tokens for row in pool))
+        threshold = candidate_threshold(
+            self._ledger_max(max(row.tokens for row in pool))
+        )
         return running.tokens <= threshold < candidate.tokens
 
     def outranks_running(
@@ -485,7 +537,9 @@ class TokenPolicy(_IncrementalReadyPolicy):
         self._sync(table)
         top = self._buckets.max_tokens_row()
         ready_max = top.tokens if top is not None else running.tokens
-        threshold = candidate_threshold(max(ready_max, running.tokens))
+        threshold = candidate_threshold(
+            self._ledger_max(max(ready_max, running.tokens))
+        )
         return running.tokens <= threshold < candidate.tokens
 
 
@@ -547,8 +601,13 @@ class PremaPolicy(_IncrementalReadyPolicy):
     uses_predictor = True
     uses_tokens = True
 
-    def __init__(self, core: Optional[PremaPolicyCore] = None) -> None:
+    def __init__(
+        self,
+        core: Optional[PremaPolicyCore] = None,
+        ledger: Optional[ClusterTokenLedger] = None,
+    ) -> None:
         self.core = core or PremaPolicyCore()
+        self._ledger = ledger
         self._buckets = _TokenBuckets(
             lambda row: (row.estimated_remaining_cycles, row.task_id)
         )
@@ -558,19 +617,29 @@ class PremaPolicy(_IncrementalReadyPolicy):
 
     def on_period(self, table: ContextTable) -> None:
         self.core.grant_periodic_tokens(table)
-        self._buckets.rebuild(table.ready())
+        ready = table.ready()
+        self._buckets.rebuild(ready)
+        if self._ledger is not None:
+            for row in ready:
+                self._ledger.activate(row.task_id, row.tokens)
 
     def select(self, ready: Sequence[TaskContext]) -> Optional[TaskContext]:
         if not ready:
             return None
         table_like = _ReadyView(ready)
-        return self.core.select_candidate(table_like)
+        external = (
+            self._ledger.ready_max_tokens() if self._ledger is not None else 0.0
+        )
+        return self.core.select_candidate(table_like, external)
 
     def select_ready(self, table: ContextTable) -> Optional[TaskContext]:
         if not table.has_ready:
             return None
         self._sync(table)
-        row = self._validated(self._buckets.select(), table)
+        external = (
+            self._ledger.ready_max_tokens() if self._ledger is not None else 0.0
+        )
+        row = self._validated(self._buckets.select(external), table)
         return row if row is not None else self.select(table.ready())
 
     def outranks(
@@ -579,7 +648,10 @@ class PremaPolicy(_IncrementalReadyPolicy):
         running: TaskContext,
         ready: Sequence[TaskContext] = (),
     ) -> bool:
-        return self.core.should_preempt(candidate, running, ready)
+        external = (
+            self._ledger.ready_max_tokens() if self._ledger is not None else 0.0
+        )
+        return self.core.should_preempt(candidate, running, ready, external)
 
     def outranks_running(
         self,
@@ -591,7 +663,9 @@ class PremaPolicy(_IncrementalReadyPolicy):
         top = self._buckets.max_tokens_row()
         ready_max = top.tokens if top is not None else running.tokens
         return self.core.should_preempt_given_max(
-            candidate, running, max(ready_max, running.tokens)
+            candidate,
+            running,
+            self._ledger_max(max(ready_max, running.tokens)),
         )
 
 
@@ -618,13 +692,19 @@ _FACTORIES: Dict[str, type] = {
 
 
 def make_policy(
-    name: str, scheduler_config: Optional[SchedulerConfig] = None
+    name: str,
+    scheduler_config: Optional[SchedulerConfig] = None,
+    ledger: Optional[ClusterTokenLedger] = None,
 ) -> Policy:
-    """Instantiate a policy by its paper name (case-insensitive)."""
+    """Instantiate a policy by its paper name (case-insensitive).
+
+    ``ledger`` attaches a cluster-global token ledger to the token
+    policies (TOKEN/PREMA); the predictor-free policies ignore it.
+    """
     cls = _FACTORIES.get(name.upper())
     if cls is None:
         raise KeyError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
     if cls in (TokenPolicy, PremaPolicy):
         core = PremaPolicyCore(scheduler_config)
-        return cls(core)
+        return cls(core, ledger=ledger)
     return cls()

@@ -97,6 +97,38 @@ class _EventKind(enum.IntEnum):
     DISPATCH = 3
 
 
+class DeviceTaskState(enum.Enum):
+    """Explicit per-device lifecycle of an injected task.
+
+    The migration layer used to infer migratability from two sets
+    ("queued" or nothing); with checkpoint migration in play the
+    intermediate states matter -- in particular ``CHECKPOINTING``, whose
+    tasks look READY in the context table while their checkpoint DMA is
+    still in flight, and must not be shipped (the bytes are not durable
+    yet) or double-stolen.
+    """
+
+    #: Injected, arrival event not yet processed.
+    PENDING = "pending"
+    #: Admitted and READY, never dispatched (no checkpoint state).
+    QUEUED = "queued"
+    #: Target of an in-flight post-preemption DISPATCH reservation.
+    RESERVED = "reserved"
+    #: Currently executing on the array.
+    RUNNING = "running"
+    #: Preempted; checkpoint trap/DMA still writing state to DRAM.
+    CHECKPOINTING = "checkpointing"
+    #: Preempted with a durable DRAM checkpoint -- safely migratable.
+    PREEMPTED = "preempted"
+    DONE = "done"
+
+
+#: Lifecycle states a task may be migrated out of (see ``remove_task``).
+MIGRATABLE_STATES = frozenset(
+    {DeviceTaskState.QUEUED, DeviceTaskState.PREEMPTED}
+)
+
+
 @dataclasses.dataclass(frozen=True)
 class SimulationResult:
     """Outcome of one run: completed task runtimes + the NPU timeline."""
@@ -170,6 +202,17 @@ class DeviceSim:
         #: Admitted, READY, never-dispatched tasks in admission order:
         #: the stealable population (modulo the reserved task).
         self._queued: Dict[int, TaskRuntime] = {}
+        #: Admitted, READY, previously-dispatched tasks (they hold
+        #: checkpoint state) in preemption order: the checkpoint-migration
+        #: population, gated by ``_checkpoint_durable_at``.
+        self._preempted: Dict[int, TaskRuntime] = {}
+        #: Cycle at which a preempted task's checkpoint DMA finishes and
+        #: its state becomes durable in DRAM.  Absent for tasks migrated
+        #: *in* (their checkpoint arrived with them, already durable).
+        self._checkpoint_durable_at: Dict[int, float] = {}
+        #: Ids migrated out of this device: the only ids whose stale
+        #: COMPLETE events may legitimately reference a missing runtime.
+        self._migrated_out: set = set()
 
     # ------------------------------------------------------------------
     # Event queue
@@ -283,6 +326,31 @@ class DeviceSim:
             total += max(0.0, context.estimated_cycles - executed)
         return total
 
+    def task_lifecycle(self, task_id: int, now: float) -> DeviceTaskState:
+        """Explicit lifecycle state of an injected task at cycle ``now``.
+
+        This is the migration layer's single source of truth: a task is
+        exactly one of PENDING / QUEUED / RESERVED / RUNNING /
+        CHECKPOINTING / PREEMPTED / DONE, and only QUEUED and PREEMPTED
+        tasks may leave the device.
+        """
+        task = self._runtimes.get(task_id)
+        if task is None:
+            raise KeyError(f"no task {task_id}")
+        if task.is_done:
+            return DeviceTaskState.DONE
+        if task_id == self._running_id:
+            return DeviceTaskState.RUNNING
+        if task_id == self._reserved_task_id:
+            return DeviceTaskState.RESERVED
+        if task_id in self._queued:
+            return DeviceTaskState.QUEUED
+        if task_id in self._preempted:
+            if now < self._checkpoint_durable_at.get(task_id, 0.0):
+                return DeviceTaskState.CHECKPOINTING
+            return DeviceTaskState.PREEMPTED
+        return DeviceTaskState.PENDING
+
     def stealable_tasks(self) -> List[TaskRuntime]:
         """Still-queued tasks safe to migrate: admitted, READY, never
         dispatched, and not the target of a reserved post-preemption
@@ -296,22 +364,50 @@ class DeviceSim:
             if task.task_id != reserved
         ]
 
-    def remove_task(self, task_id: int, now: float) -> TaskRuntime:
-        """Migrate a still-queued task out (work stealing).
+    def migratable_preempted_tasks(self, now: float) -> List[TaskRuntime]:
+        """Preempted tasks whose checkpoint is durable in DRAM at ``now``.
 
-        Waiting time is settled up to ``now`` first, so tokens earned on
-        this device travel with the context row to the new device.
+        Excludes CHECKPOINTING tasks (their state is still streaming to
+        DRAM -- shipping it would race the trap routine) and the reserved
+        post-preemption dispatch target.  O(preempted): the set is
+        maintained at preemption/dispatch/remove.
         """
-        task = self._runtimes.get(task_id)
-        if task is None:
-            raise KeyError(f"no task {task_id}")
-        if task_id not in self._queued or task_id == self._reserved_task_id:
-            raise ValueError(f"task {task_id} is not safely migratable")
+        reserved = self._reserved_task_id
+        return [
+            task
+            for task_id, task in self._preempted.items()
+            if task_id != reserved
+            and now >= self._checkpoint_durable_at.get(task_id, 0.0)
+        ]
+
+    def remove_task(self, task_id: int, now: float) -> TaskRuntime:
+        """Migrate a QUEUED or PREEMPTED task out of this device.
+
+        Waiting time is settled up to ``now`` first (the migration read
+        point of the lazy wait accounting), so tokens and wait earned on
+        this device travel with the context row to the new device;
+        preempted tasks additionally carry their retained progress,
+        pending restore cost, and resident checkpoint bytes on the
+        runtime.  Every other lifecycle state refuses explicitly --
+        RUNNING and RESERVED tasks own (or are promised) the array, and a
+        CHECKPOINTING task's state is not yet durable, so moving any of
+        them would double-book execution state across devices.
+        """
+        state = self.task_lifecycle(task_id, now)
+        if state not in MIGRATABLE_STATES:
+            raise ValueError(
+                f"task {task_id} is {state.value}; only queued or "
+                "(durably checkpointed) preempted tasks can migrate"
+            )
+        task = self._runtimes[task_id]
         task.context.accrue_wait(now)
         self._table.remove(task_id)
         del self._runtimes[task_id]
-        del self._queued[task_id]
+        self._queued.pop(task_id, None)
+        self._preempted.pop(task_id, None)
+        self._checkpoint_durable_at.pop(task_id, None)
         del self._live_admitted[task_id]
+        self._migrated_out.add(task_id)
         self.policy.on_remove(task.context, now)
         return task
 
@@ -338,11 +434,21 @@ class DeviceSim:
     def _on_arrival(self, now: float, task_id: int) -> None:
         heapq.heappop(self._pending_arrivals)
         task = self._runtimes[task_id]
+        if task.context.state is TaskState.MIGRATING:
+            # Mid-flight re-admission: the checkpoint just landed over the
+            # interconnect.  Transit wait was settled by the sender up to
+            # this arrival, so the row re-enters READY with its accrued
+            # wait/tokens intact and its checkpoint already durable here.
+            task.context.state = TaskState.READY
         task.context.last_update_cycles = now
         self._table.add(task.context)
         self._live_admitted[task_id] = task
         if task.first_dispatch_time is None:
             self._queued[task_id] = task
+        else:
+            # Previously dispatched elsewhere: it carries checkpoint
+            # state, so it joins the preempted (not the stealable) set.
+            self._preempted[task_id] = task
         self.policy.on_admit(task.context, now)
         if not self._period_armed:
             # Lazy period clock: first tick one period after the first
@@ -357,7 +463,13 @@ class DeviceSim:
 
     def _on_complete(self, now: float, payload: object) -> None:
         task_id, epoch = payload  # type: ignore[misc]
-        task = self._runtimes[task_id]
+        task = self._runtimes.get(task_id)
+        if task is None:
+            # Only a migrated-away task may leave a dangling COMPLETE
+            # behind; anything else is a bookkeeping bug worth crashing on.
+            if task_id not in self._migrated_out:
+                raise KeyError(f"completion for unknown task {task_id}")
+            return
         if task.epoch != epoch or task.context.state != TaskState.RUNNING:
             return  # stale completion from a preempted dispatch
         self._record_run_segments(task, now)
@@ -410,6 +522,8 @@ class DeviceSim:
     def _dispatch(self, now: float, task: TaskRuntime) -> int:
         completion = task.dispatch(now)
         self._queued.pop(task.task_id, None)
+        self._preempted.pop(task.task_id, None)
+        self._checkpoint_durable_at.pop(task.task_id, None)
         self.policy.on_dispatch(task.context)
         self._push(completion, _EventKind.COMPLETE, (task.task_id, task.epoch))
         return task.task_id
@@ -493,6 +607,12 @@ class DeviceSim:
             killed=isinstance(mechanism, KillMechanism),
         )
         self.policy.on_requeue(running.context)
+        # The victim is READY for accounting (it waits from the boundary
+        # commit on) but its checkpoint is only durable once the trap DMA
+        # finishes at ``free_at`` -- until then it is CHECKPOINTING in the
+        # device lifecycle and must not be migrated.
+        self._preempted[running.task_id] = running
+        self._checkpoint_durable_at[running.task_id] = free_at
         self._npu_reserved_until = free_at
         self._preemption_count += 1
         self._reserved_task_id = candidate_ctx.task_id

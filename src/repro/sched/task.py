@@ -44,6 +44,11 @@ class TaskRuntime:
     #: Monotonic dispatch counter; stale completion events compare epochs.
     epoch: int = 0
 
+    #: Bytes of the most recent checkpoint still resident in DRAM -- what a
+    #: cluster migration must ship.  Zero while running, after a KILL, or
+    #: once the checkpoint is consumed by a dispatch-time restore.
+    checkpoint_bytes_resident: float = 0.0
+
     #: Statistics.
     first_dispatch_time: Optional[float] = None
     completion_time: Optional[float] = None
@@ -51,6 +56,10 @@ class TaskRuntime:
     kill_count: int = 0
     checkpointed_bytes_total: float = 0.0
     wasted_cycles: float = 0.0
+    #: Checkpoint migrations this task underwent (cluster layer).
+    migration_count: int = 0
+    #: Bytes shipped over the interconnect on this task's behalf.
+    migrated_bytes_total: float = 0.0
 
     @property
     def task_id(self) -> int:
@@ -93,6 +102,7 @@ class TaskRuntime:
         self.dispatch_time = now
         self.dispatch_restore = self.restore_pending
         self.restore_pending = 0.0
+        self.checkpoint_bytes_resident = 0.0
         self.epoch += 1
         if self.first_dispatch_time is None:
             self.first_dispatch_time = now
@@ -149,6 +159,7 @@ class TaskRuntime:
             self.kill_count += 1
         self.preemption_count += 1
         self.checkpointed_bytes_total += checkpoint_bytes
+        self.checkpoint_bytes_resident = checkpoint_bytes
         self.retained_offset = retained_offset
         self.restore_pending = restore_latency
         self.dispatch_time = None

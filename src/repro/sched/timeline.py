@@ -129,11 +129,34 @@ class ClusterTimeline:
     per-device invariants still hold device-by-device (one NPU cannot
     overlap itself); across devices, segments legitimately overlap in
     wall-clock time -- that is the parallelism the cluster buys.
+
+    ``transfers`` optionally carries the interconnect transfer records of
+    checkpoint migrations, so one object tells the whole story of a run:
+    what each NPU executed plus what moved between them.
     """
 
-    def __init__(self, device_timelines: Dict[int, Timeline]) -> None:
+    def __init__(
+        self,
+        device_timelines: Dict[int, Timeline],
+        transfers: Tuple = (),
+    ) -> None:
         self._devices: Dict[int, Timeline] = dict(
             sorted(device_timelines.items())
+        )
+        self._transfers = tuple(transfers)
+
+    @property
+    def transfers(self) -> Tuple:
+        """Interconnect transfer records (empty unless migration ran)."""
+        return self._transfers
+
+    def migrated_bytes(self) -> float:
+        return sum(t.num_bytes for t in self._transfers)
+
+    def interconnect_busy_cycles(self) -> float:
+        """Total cycles links spent serving checkpoint transfers."""
+        return sum(
+            t.end_cycles - t.start_cycles for t in self._transfers
         )
 
     @property
@@ -190,4 +213,10 @@ class ClusterTimeline:
         for device_id, timeline in self._devices.items():
             chart = timeline.render_ascii(width, label_by_task)
             sections.append(f"NPU {device_id}\n{chart}")
+        if self._transfers:
+            sections.append(
+                f"interconnect: {len(self._transfers)} transfers, "
+                f"{self.migrated_bytes() / 1024:.1f} KiB, "
+                f"{self.interconnect_busy_cycles():.0f} busy cycles"
+            )
         return "\n".join(sections)

@@ -1,0 +1,34 @@
+"""Regenerate the cluster-routing golden file (see tests/helpers_golden.py).
+
+Usage::
+
+    PYTHONPATH=src python tests/capture_cluster_goldens.py
+
+The committed golden pins every routing policy -- checkpoint migration
+included -- on 2/4/8-device clusters with rotating device schedulers.
+Regenerating it is only justified alongside an intentional, documented
+behavioral change.
+"""
+
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import helpers_golden  # noqa: E402
+
+
+def main() -> None:
+    start = time.perf_counter()
+    payload = helpers_golden.capture_cluster()
+    path = helpers_golden.write_cluster_goldens(payload)
+    elapsed = time.perf_counter() - start
+    print(
+        f"wrote {len(payload['runs'])} cluster golden runs to {path} "
+        f"in {elapsed:.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,7 @@ from typing import Dict, Iterator, Tuple
 
 from repro.npu.config import NPUConfig
 from repro.sched.cluster import ClusterScheduler, RoutingPolicy
+from repro.sched.interconnect import InterconnectConfig
 from repro.sched.policies import POLICY_NAMES
 from repro.sched.prepare import TaskFactory
 from repro.sched.simulator import (
@@ -49,6 +50,9 @@ from repro.workloads.generator import WorkloadGenerator
 
 GOLDEN_PATH = (
     pathlib.Path(__file__).parent / "data" / "golden_hotpath.json.gz"
+)
+CLUSTER_GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "data" / "golden_cluster.json.gz"
 )
 
 SINGLE_SEED = 77
@@ -67,7 +71,18 @@ MODE_MECHANISMS: Tuple[Tuple[str, str], ...] = (
     ("dynamic", "KILL"),
 )
 
-ROUTINGS: Tuple[RoutingPolicy, ...] = tuple(RoutingPolicy)
+#: The routings the hot-path golden file was captured over -- pinned to
+#: the pre-migration set so later routing additions (PREEMPTIVE_MIGRATION
+#: and beyond) extend the *cluster* golden suite instead of invalidating
+#: this one.
+ROUTINGS: Tuple[RoutingPolicy, ...] = (
+    RoutingPolicy.ROUND_ROBIN,
+    RoutingPolicy.LEAST_LOADED,
+    RoutingPolicy.RANDOM,
+    RoutingPolicy.STATIC,
+    RoutingPolicy.ONLINE_PREDICTED,
+    RoutingPolicy.WORK_STEALING,
+)
 
 #: Accounting fields compared with tolerance instead of bit-for-bit.
 TOLERANT_TASK_FIELDS = frozenset({"waited", "waited_since_grant", "tokens"})
@@ -195,6 +210,137 @@ def cluster_runs(factory: TaskFactory) -> Iterator[Tuple[str, object]]:
                 f"{mode}/{mechanism}",
                 _encode_cluster(result),
             )
+
+
+# ----------------------------------------------------------------------
+# Cluster golden suite (PR 3): every routing policy -- checkpoint
+# migration included -- on 2/4/8-device clusters
+# ----------------------------------------------------------------------
+CLUSTER_SUITE_SEED = 81
+CLUSTER_SUITE_NUM_WORKLOADS = 6
+CLUSTER_SUITE_NUM_TASKS = 16
+CLUSTER_SUITE_DEVICE_COUNTS: Tuple[int, ...] = (2, 4, 8)
+CLUSTER_SUITE_ROUTINGS: Tuple[RoutingPolicy, ...] = tuple(RoutingPolicy)
+
+
+def _encode_migration(migration) -> list:
+    return [
+        migration.task_id,
+        migration.from_device,
+        migration.to_device,
+        _hex(migration.time_cycles),
+        migration.kind,
+        _hex(migration.bytes_moved),
+        _hex(migration.arrival_cycles),
+    ]
+
+
+def _encode_transfers(transfers) -> str:
+    digest = hashlib.sha256()
+    for record in transfers:
+        digest.update(
+            (
+                f"{record.task_id}|{record.src_device}|{record.dst_device}|"
+                f"{_hex(record.num_bytes)}|{_hex(record.request_cycles)}|"
+                f"{_hex(record.start_cycles)}|{_hex(record.end_cycles)};"
+            ).encode()
+        )
+    return digest.hexdigest()[:20]
+
+
+def _encode_cluster_v2(result) -> Dict[str, object]:
+    """Cluster encoding with the migration-era fields.
+
+    Superset of :func:`_encode_cluster`: migrations carry kind, payload
+    bytes, and delivery time; interconnect transfers are digested; tasks
+    gain their migration counters (behavioral, compared exactly).
+    """
+    record = _encode_cluster(result)
+    record["migrations"] = [
+        _encode_migration(m) for m in result.migrations
+    ]
+    record["transfers"] = _encode_transfers(result.transfers)
+    for task in result.tasks:
+        encoded = record["tasks"][str(task.task_id)]
+        encoded["migrations"] = task.migration_count
+        encoded["migrated_bytes"] = _hex(task.migrated_bytes_total)
+    return record
+
+
+def cluster_suite_runs(
+    factory: TaskFactory,
+    interconnect: InterconnectConfig = None,
+    global_tokens: bool = None,
+    routings: Tuple[RoutingPolicy, ...] = CLUSTER_SUITE_ROUTINGS,
+    device_counts: Tuple[int, ...] = CLUSTER_SUITE_DEVICE_COUNTS,
+    num_workloads: int = CLUSTER_SUITE_NUM_WORKLOADS,
+) -> Iterator[Tuple[str, object]]:
+    """The cluster golden sweep: workloads x device counts x routings,
+    rotating the device scheduler so every policy and mode-mechanism
+    pair appears.  ``interconnect``/``global_tokens`` default to the
+    scheduler's own defaults; passing explicit values replays the sweep
+    under different fabric assumptions (the infinite-bandwidth
+    equivalence test does)."""
+    workloads = WorkloadGenerator(seed=CLUSTER_SUITE_SEED).generate_many(
+        CLUSTER_SUITE_NUM_WORKLOADS, num_tasks=CLUSTER_SUITE_NUM_TASKS
+    )[:num_workloads]
+    for index, workload in enumerate(workloads):
+        policy_name = POLICY_NAMES[index % len(POLICY_NAMES)]
+        mode, mechanism = MODE_MECHANISMS[index % len(MODE_MECHANISMS)]
+        config = SimulationConfig(
+            npu=factory.config,
+            mode=PreemptionMode(mode),
+            mechanism=mechanism,
+        )
+        for num_devices in device_counts:
+            for routing in routings:
+                scheduler = ClusterScheduler(
+                    num_devices=num_devices,
+                    simulation_config=config,
+                    policy_name=policy_name,
+                    routing=routing,
+                    seed=index,
+                    interconnect=interconnect,
+                    global_tokens=global_tokens,
+                )
+                tasks = factory.build_workload(workload)
+                result = scheduler.run(tasks)
+                yield (
+                    f"cluster/{index:02d}/{num_devices}dev/{routing.value}/"
+                    f"{policy_name}/{mode}/{mechanism}",
+                    _encode_cluster_v2(result),
+                )
+
+
+def capture_cluster(factory: TaskFactory = None) -> Dict[str, object]:
+    """Run the cluster sweep and return the golden payload."""
+    if factory is None:
+        factory = TaskFactory(NPUConfig())
+    runs: Dict[str, object] = {}
+    for key, record in cluster_suite_runs(factory):
+        runs[key] = record
+    return {
+        "format": 1,
+        "note": (
+            "Cluster-routing golden suite (all routings, 2/4/8 devices); "
+            "regenerate only alongside an intentional behavioral change "
+            "(python tests/capture_cluster_goldens.py)."
+        ),
+        "runs": runs,
+    }
+
+
+def write_cluster_goldens(payload: Dict[str, object]) -> pathlib.Path:
+    CLUSTER_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    with gzip.GzipFile(CLUSTER_GOLDEN_PATH, "wb", mtime=0) as handle:
+        handle.write(text.encode())
+    return CLUSTER_GOLDEN_PATH
+
+
+def load_cluster_goldens() -> Dict[str, object]:
+    with gzip.open(CLUSTER_GOLDEN_PATH, "rt") as handle:
+        return json.load(handle)
 
 
 def capture(factory: TaskFactory = None) -> Dict[str, object]:

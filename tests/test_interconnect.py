@@ -1,0 +1,183 @@
+"""The modeled interconnect: presets, contention, conservation.
+
+The conservation property (seeded + hypothesis-driven): for any sequence
+of time-ordered transfer requests, every link serves its transfers FIFO
+without overlap, starts never precede requests, and every transfer's
+duration equals latency + bytes/bandwidth -- bytes in == bytes out, no
+event reordering across a link.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.interconnect import (
+    CONTEXT_ROW_BYTES,
+    Interconnect,
+    InterconnectConfig,
+    TransferRecord,
+)
+
+
+class TestConfig:
+    def test_presets_are_ordered_by_speed(self):
+        pcie3 = InterconnectConfig.pcie_gen3()
+        pcie4 = InterconnectConfig.pcie_gen4()
+        nvlink = InterconnectConfig.nvlink()
+        assert pcie3.bandwidth_bytes_per_cycle < pcie4.bandwidth_bytes_per_cycle
+        assert pcie4.bandwidth_bytes_per_cycle < nvlink.bandwidth_bytes_per_cycle
+        assert nvlink.latency_cycles < pcie3.latency_cycles
+        # PCIe shares one root complex; NVLink is point-to-point.
+        assert pcie3.topology == "bus"
+        assert nvlink.topology == "p2p"
+
+    def test_preset_units_follow_the_clock(self):
+        fast = InterconnectConfig.pcie_gen3(frequency_hz=1400e6)
+        slow = InterconnectConfig.pcie_gen3(frequency_hz=700e6)
+        # Same bytes/second means half the bytes per (faster) cycle.
+        assert fast.bandwidth_bytes_per_cycle == pytest.approx(
+            slow.bandwidth_bytes_per_cycle / 2
+        )
+        # Same seconds of latency means twice the cycles.
+        assert fast.latency_cycles == pytest.approx(slow.latency_cycles * 2)
+
+    def test_infinite_fabric_is_free(self):
+        config = InterconnectConfig.infinite()
+        assert config.transfer_cycles(10e9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(bandwidth_bytes_per_cycle=0.0)
+        with pytest.raises(ValueError):
+            InterconnectConfig(bandwidth_bytes_per_cycle=1.0, latency_cycles=-1)
+        with pytest.raises(ValueError):
+            InterconnectConfig(bandwidth_bytes_per_cycle=1.0, topology="mesh")
+
+
+class TestTransfers:
+    def _fabric(self, topology="p2p"):
+        return Interconnect(
+            InterconnectConfig(
+                bandwidth_bytes_per_cycle=10.0,
+                latency_cycles=100.0,
+                topology=topology,
+            ),
+            num_devices=4,
+        )
+
+    def test_uncontended_transfer(self):
+        fabric = self._fabric()
+        record = fabric.transfer(0, 1, 1000.0, now=50.0, task_id=7)
+        assert record.start_cycles == 50.0
+        assert record.end_cycles == 50.0 + 100.0 + 100.0  # latency + bytes/bw
+        assert record.queueing_cycles == 0.0
+        assert record.transfer_latency_cycles == 200.0
+        assert fabric.total_bytes() == 1000.0
+
+    def test_same_link_contends_fifo(self):
+        fabric = self._fabric()
+        first = fabric.transfer(0, 1, 1000.0, now=0.0)
+        second = fabric.transfer(0, 1, 1000.0, now=10.0)
+        assert second.start_cycles == first.end_cycles
+        assert second.queueing_cycles == first.end_cycles - 10.0
+
+    def test_p2p_links_are_independent(self):
+        fabric = self._fabric("p2p")
+        fabric.transfer(0, 1, 10000.0, now=0.0)
+        other = fabric.transfer(2, 3, 100.0, now=0.0)
+        assert other.start_cycles == 0.0  # different pair, no contention
+
+    def test_bus_serializes_everything(self):
+        fabric = self._fabric("bus")
+        first = fabric.transfer(0, 1, 10000.0, now=0.0)
+        other = fabric.transfer(2, 3, 100.0, now=0.0)
+        assert other.start_cycles == first.end_cycles
+
+    def test_estimate_matches_commit(self):
+        fabric = self._fabric()
+        fabric.transfer(0, 1, 5000.0, now=0.0)
+        estimate = fabric.estimate_arrival(0, 1, 300.0, now=20.0)
+        record = fabric.transfer(0, 1, 300.0, now=20.0)
+        assert record.end_cycles == estimate
+
+    def test_validation(self):
+        fabric = self._fabric()
+        with pytest.raises(ValueError):
+            fabric.transfer(0, 0, 10.0, now=0.0)
+        with pytest.raises(ValueError):
+            fabric.transfer(0, 9, 10.0, now=0.0)
+        with pytest.raises(ValueError):
+            fabric.transfer(0, 1, -1.0, now=0.0)
+        fabric.transfer(0, 1, 10.0, now=100.0)
+        with pytest.raises(ValueError):
+            fabric.transfer(0, 1, 10.0, now=50.0)  # time went backwards
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # src
+            st.integers(min_value=0, max_value=3),   # dst
+            st.floats(min_value=0.0, max_value=1e7), # bytes
+            st.floats(min_value=0.0, max_value=1e4), # inter-request gap
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    topology=st.sampled_from(["p2p", "bus"]),
+    bandwidth=st.floats(min_value=0.5, max_value=500.0),
+    latency=st.floats(min_value=0.0, max_value=5000.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_conservation_property(data, topology, bandwidth, latency):
+    """Bytes in == bytes out and per-link FIFO, for arbitrary request
+    sequences issued in time order (as the cluster loop issues them)."""
+    fabric = Interconnect(
+        InterconnectConfig(
+            bandwidth_bytes_per_cycle=bandwidth,
+            latency_cycles=latency,
+            topology=topology,
+        ),
+        num_devices=4,
+    )
+    now = 0.0
+    requested_bytes = 0.0
+    for src, dst, num_bytes, gap in data:
+        now += gap
+        if src == dst:
+            dst = (dst + 1) % 4
+        fabric.transfer(src, dst, num_bytes, now)
+        requested_bytes += num_bytes
+    fabric.verify_conservation()
+    assert fabric.total_bytes() == pytest.approx(requested_bytes)
+    for record in fabric.transfers:
+        assert record.end_cycles >= record.start_cycles + latency
+        assert record.start_cycles >= record.request_cycles
+    # Per-link delivery order equals request order: no reordering.
+    per_link = {}
+    for record in fabric.transfers:
+        key = (
+            "bus" if topology == "bus"
+            else (record.src_device, record.dst_device)
+        )
+        per_link.setdefault(key, []).append(record)
+    for records in per_link.values():
+        ends = [r.end_cycles for r in records]
+        assert ends == sorted(ends)
+
+
+def test_context_row_floor():
+    """The Fig-4 row (448 bits, Sec VI-F) is the minimum payload."""
+    assert CONTEXT_ROW_BYTES == 448 / 8
+
+
+def test_record_properties():
+    record = TransferRecord(
+        task_id=1, src_device=0, dst_device=1, num_bytes=10.0,
+        request_cycles=5.0, start_cycles=8.0, end_cycles=20.0,
+    )
+    assert record.queueing_cycles == 3.0
+    assert record.transfer_latency_cycles == 15.0
+    assert math.isfinite(record.num_bytes)
