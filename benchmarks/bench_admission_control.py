@@ -1,0 +1,31 @@
+"""Extension bench: SLA-aware admission control at cluster overload."""
+
+from repro.analysis.experiments.admission_control import (
+    format_admission_control,
+    run_admission_control,
+)
+
+
+def test_admission_control(benchmark, config, emit):
+    rows, curve = benchmark.pedantic(
+        run_admission_control,
+        kwargs=dict(config=config),
+        rounds=1,
+        iterations=1,
+    )
+    emit("admission_control", format_admission_control(rows, curve))
+    by_frontend = {r.frontend: r for r in rows}
+    admit_all = by_frontend["admit-all"]
+    feedback = by_frontend["admission+feedback"]
+    # The headline: prediction-driven admission with online correction
+    # protects the interactive tier at overload (rejections counted as
+    # misses) without giving up goodput.
+    assert feedback.interactive_attainment > admit_all.interactive_attainment
+    assert feedback.goodput >= admit_all.goodput * 0.95
+    # The controller is actually exercising its state machine.
+    assert feedback.rejection_rate > 0.0
+    assert feedback.deferrals > 0.0
+    # Online correction converges: corrected late-run MAPE beats both the
+    # raw estimates and the early-run corrected estimates.
+    assert curve.late_mape < curve.raw_mape
+    assert curve.late_mape <= curve.early_mape

@@ -41,6 +41,10 @@ sys.path.insert(
 from repro.npu.config import NPUConfig  # noqa: E402
 from repro.sched.cluster import ClusterScheduler, RoutingPolicy  # noqa: E402
 from repro.sched.policies import make_policy  # noqa: E402
+from repro.serving import (  # noqa: E402
+    AdmissionController,
+    PredictionFeedback,
+)
 from repro.sched.simulator import (  # noqa: E402
     DeviceSim,
     PreemptionMode,
@@ -138,25 +142,40 @@ def measure_cluster(
     num_devices: int = 4,
     seed: int = 33,
     routing: RoutingPolicy = RoutingPolicy.WORK_STEALING,
+    admission: bool = False,
 ) -> Dict[str, float]:
     """Wall time of a cluster run over an aggregate open-arrival trace.
 
     The arrival rate scales with the device count so each device sees
-    the same ~85% utilization as the single-device tiers.
+    the same ~85% utilization as the single-device tiers.  With
+    ``admission`` the run goes through the serving control plane
+    (QoS-tagged arrivals, admission decisions, online feedback) at a
+    mildly overloaded arrival rate, so the frontier heap + decide()
+    path sits under the same regression gate as the rest of the loop.
     """
+    overload = 1.5 if admission else 1.0
     runtimes = synthetic_trace_runtimes(
         num_tasks,
         seed=seed,
         mean_interarrival_cycles=(
-            DEFAULT_MEAN_INTERARRIVAL_CYCLES / num_devices
+            DEFAULT_MEAN_INTERARRIVAL_CYCLES / (num_devices * overload)
+        ),
+        qos_mix=(
+            {"interactive": 0.3, "standard": 0.4, "batch": 0.3}
+            if admission
+            else None
         ),
     )
+    controller = None
+    if admission:
+        controller = AdmissionController(feedback=PredictionFeedback())
     scheduler = ClusterScheduler(
         num_devices=num_devices,
         simulation_config=_simulation_config(),
         policy_name="PREMA",
         routing=routing,
         seed=seed,
+        admission=controller,
     )
     start = time.perf_counter()
     scheduler.run(runtimes)
@@ -186,6 +205,14 @@ def run(tier: str = "full") -> Dict[str, object]:
     )
     record["normalized"] = record["tasks_per_sec"] / calibration_ops
     results["cluster_migration_4dev_500"] = record
+    # The admission-enabled serving path (frontier heap, per-arrival
+    # decide(), feedback observation per completion) also runs in the
+    # small tier so the CI gate watches it.
+    record = measure_cluster(
+        500, routing=RoutingPolicy.ONLINE_PREDICTED, seed=37, admission=True
+    )
+    record["normalized"] = record["tasks_per_sec"] / calibration_ops
+    results["cluster_admission_4dev_500"] = record
     if tier == "full":
         record = measure_single_device(FULL_TIERS[-1], bursty=True)
         record["normalized"] = record["events_per_sec"] / calibration_ops

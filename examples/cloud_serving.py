@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Cloud MLaaS serving scenario: SLA tiers on one shared NPU.
+"""Cloud MLaaS serving scenario: SLA tiers on one shared NPU -- and an
+SLA-aware admission frontend on a small cluster.
 
 Models a Google-Cloud-ML-style service with three pricing tiers (the
 paper's Sec I motivation): a latency-critical "online prediction" tenant
@@ -8,6 +9,12 @@ tenant (low).  Each tier submits an open-loop request stream; the script
 reports per-tier p50/p95 latency and SLA attainment under NP-FCFS vs
 PREMA, showing how a preemptible NPU protects the paid tier without
 stalling the batch tier into starvation.
+
+The second act overloads a 2-NPU cluster with the same tiers tagged as
+serving QoS classes and compares the admit-everything frontend against
+PCS-style predictive admission with online prediction correction
+(`repro.serving`): under overload the admission frontend refuses work it
+could never serve in time, and the paid tier's SLA attainment recovers.
 
 Run:  python examples/cloud_serving.py
 """
@@ -34,16 +41,29 @@ TIERS = (
     ("batch", Priority.LOW, "CNN-VN", 6, 9.0),
 )
 #: Per-tier SLA target, as a multiple of isolated latency (Sec VI-C).
-SLA_MULTIPLier = {"online": 2.0, "interactive": 4.0, "batch": 10.0}
+SLA_MULTIPLIER = {"online": 2.0, "interactive": 4.0, "batch": 10.0}
+#: Serving QoS class per pricing tier (the cluster act's tags).
+QOS_FOR_TIER = {"online": "interactive", "interactive": "standard",
+                "batch": "batch"}
 
 
-def build_requests(config: NPUConfig, seed: int = 7):
+def build_requests(
+    config: NPUConfig, seed: int = 7, scale: int = 1, speedup: float = 1.0
+):
+    """Per-tier open-loop request streams.
+
+    ``scale`` multiplies each tier's request count and ``speedup``
+    divides the inter-arrival gaps -- together they turn the one-NPU
+    scenario into the cluster-overload one.
+    """
     rng = random.Random(seed)
     specs = []
     for tier, priority, benchmark, count, gap_ms in TIERS:
         clock = 0.0
-        for _ in range(count):
-            clock += rng.expovariate(1.0 / config.ms_to_cycles(gap_ms))
+        for _ in range(count * scale):
+            clock += rng.expovariate(
+                speedup / config.ms_to_cycles(gap_ms)
+            )
             specs.append((tier, TaskSpec(
                 task_id=0,  # reassigned below
                 benchmark=benchmark,
@@ -78,13 +98,47 @@ def report(config, label, tiers, tasks):
         met = sum(
             1 for t in selected
             if t.turnaround_cycles
-            <= SLA_MULTIPLier[tier_name] * t.isolated_cycles
+            <= SLA_MULTIPLIER[tier_name] * t.isolated_cycles
         )
         print(
             f"  {tier_name:12s} {np.percentile(latencies, 50):8.2f} "
             f"{np.percentile(latencies, 95):8.2f} "
             f"{met}/{len(selected):>4d}"
         )
+
+
+def serve_cluster(config, factory, specs, admission):
+    """Run the tagged request stream on a 2-NPU cluster."""
+    from repro.sched.cluster import ClusterScheduler, RoutingPolicy
+    from repro.sched.metrics import compute_cluster_metrics
+
+    scheduler = ClusterScheduler(
+        num_devices=2,
+        simulation_config=SimulationConfig(
+            npu=config, mode=PreemptionMode.DYNAMIC
+        ),
+        policy_name="PREMA",
+        routing=RoutingPolicy.ONLINE_PREDICTED,
+        admission=admission,
+    )
+    result = scheduler.run([factory.build_task(spec) for spec in specs])
+    return compute_cluster_metrics(result)
+
+
+def report_cluster(label, metrics):
+    print(f"\n=== {label} ===")
+    print(
+        "  class attainment: "
+        + "  ".join(
+            f"{qos}={rate:.0%}"
+            for qos, rate in sorted(metrics.sla_attainment_by_class.items())
+        )
+    )
+    print(
+        f"  rejected {metrics.rejection_rate:.0%} of arrivals, "
+        f"{metrics.deferral_count} deferrals, goodput "
+        f"{metrics.goodput:.2f} NPUs' worth of SLA-met work"
+    )
 
 
 def main() -> None:
@@ -98,6 +152,30 @@ def main() -> None:
     ):
         tasks = serve(config, factory, specs, policy, mode)
         report(config, label, tiers, tasks)
+
+    # Act two: the same tiers as QoS classes on an overloaded 2-NPU
+    # cluster, admit-everything vs predictive admission + feedback.
+    import dataclasses
+
+    from repro.serving import AdmissionController, PredictionFeedback
+
+    print("\nOverloading a 2-NPU cluster with the same tiers (x6 traffic):")
+    tiers3, specs3 = build_requests(config, seed=11, scale=6, speedup=6.0)
+    tagged = [
+        dataclasses.replace(spec, qos=QOS_FOR_TIER[tier])
+        for tier, spec in zip(tiers3, specs3)
+    ]
+    report_cluster(
+        "admit-all frontend",
+        serve_cluster(config, factory, tagged, admission=None),
+    )
+    report_cluster(
+        "admission + online feedback",
+        serve_cluster(
+            config, factory, tagged,
+            admission=AdmissionController(feedback=PredictionFeedback()),
+        ),
+    )
 
 
 if __name__ == "__main__":

@@ -38,6 +38,13 @@ from repro.sched.metrics import (
 )
 from repro.sched.policies import POLICY_NAMES, make_policy
 from repro.sched.prepare import TaskFactory
+from repro.serving import (
+    AdmissionConfig,
+    AdmissionController,
+    PredictionFeedback,
+    QoSClass,
+    SLOPolicy,
+)
 from repro.sched.simulator import (
     NPUSimulator,
     PreemptionMode,
@@ -72,5 +79,10 @@ __all__ = [
     "aggregate_metrics",
     "sla_violation_rate",
     "tail_latency_cycles",
+    "QoSClass",
+    "SLOPolicy",
+    "AdmissionConfig",
+    "AdmissionController",
+    "PredictionFeedback",
     "__version__",
 ]

@@ -104,6 +104,19 @@ class OraclePredictor:
             raise ValueError("true_cycles must be >= 0")
         self._truth[task_id] = true_cycles
 
+    def observe(self, task) -> None:
+        """Learn a completed task's ground truth (shared observe surface).
+
+        Mirrors :meth:`repro.serving.feedback.PredictionFeedback.observe`
+        so experiment code can plug either learner into the same
+        completion hook: the oracle simply *becomes* exact for every task
+        it has watched finish.  Duck-typed on ``task_id`` /
+        ``isolated_cycles`` / ``is_done``.
+        """
+        if not task.is_done:
+            raise ValueError(f"task {task.task_id} has not completed")
+        self.register(task.task_id, task.isolated_cycles)
+
     def predict_task(self, task_id: int) -> float:
         if task_id not in self._truth:
             raise KeyError(f"oracle has no ground truth for task {task_id}")

@@ -9,7 +9,8 @@
 - :mod:`repro.sched.interconnect` -- modeled inter-NPU fabric (bandwidth,
   latency, per-link FIFO contention) checkpoint migrations cross.
 - :mod:`repro.sched.metrics` -- ANTT/STP/fairness/SLA/tail-latency metrics
-  plus cluster-level queueing-delay and migration metrics.
+  plus cluster-level queueing-delay, migration, and serving (per-class
+  SLA attainment, rejection rate, goodput) metrics.
 - :mod:`repro.sched.timeline` -- execution trace records (Fig 2 style),
   single-device and cluster-wide.
 """

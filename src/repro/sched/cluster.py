@@ -53,18 +53,31 @@ Routing strategies (:class:`RoutingPolicy`):
 All strategies run through the same event loop; for the static strategies
 each device's event sequence is identical to simulating its partition in
 isolation, so pre-existing results remain bit-for-bit reproducible.
+
+An optional SLA-aware frontend (:mod:`repro.serving`) can sit in front of
+the online routings: arrivals then pass through a PCS-style admission
+controller (accept / bounded defer / reject against per-QoS-class SLOs,
+with estimates corrected online from observed completions) before they
+reach a device.  Without a controller the admit-everything behavior is
+preserved bit-for-bit.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import heapq
 import random
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.context import TaskState
 from repro.core.tokens import ClusterTokenLedger
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionRecord,
+)
 from repro.sched.interconnect import (
     CONTEXT_ROW_BYTES,
     Interconnect,
@@ -74,6 +87,7 @@ from repro.sched.interconnect import (
 from repro.sched.policies import make_policy
 from repro.sched.simulator import (
     DeviceSim,
+    PreemptionMode,
     SimulationConfig,
     SimulationResult,
     _EventKind,
@@ -111,6 +125,18 @@ ONLINE_ROUTINGS = frozenset(
     }
 )
 
+#: Policies whose ready-queue order serves higher priorities first, so a
+#: higher-priority arrival does not wait behind queued lower-priority
+#: work.  The admission predictor's ``min_priority`` filter only applies
+#: under these (and only with preemption on); under FCFS/RRB an arrival
+#: genuinely queues behind everything, and filtering would over-admit.
+PRIORITY_DRIVEN_POLICIES = frozenset({"HPF", "TOKEN", "PREMA"})
+
+#: Policies serving the shortest candidate first among equal ranks, so
+#: an arrival only waits behind same-priority rows at most its own size
+#: (the admission predictor's ``sjf_within_cycles`` refinement).
+SHORTEST_FIRST_POLICIES = frozenset({"SJF", "TOKEN", "PREMA"})
+
 
 @dataclasses.dataclass(frozen=True)
 class MigrationRecord:
@@ -142,7 +168,14 @@ class MigrationRecord:
 
 @dataclasses.dataclass(frozen=True)
 class ClusterResult:
-    """Outcome of one cluster run."""
+    """Outcome of one cluster run.
+
+    ``tasks`` holds the tasks the cluster *executed*.  Without admission
+    control that is every offered task; with an
+    :class:`~repro.serving.admission.AdmissionController` attached,
+    rejected arrivals never run and appear in ``rejected_tasks`` instead
+    (``offered_tasks`` reunites both populations for SLA accounting).
+    """
 
     tasks: Tuple[TaskRuntime, ...]
     device_results: Tuple[Optional[SimulationResult], ...]
@@ -153,10 +186,35 @@ class ClusterResult:
     timeline: Optional[ClusterTimeline] = None
     #: Interconnect transfers behind the checkpoint migrations.
     transfers: Tuple[TransferRecord, ...] = ()
+    #: Every admission decision taken, in decision order (empty without
+    #: an admission controller).
+    admission_records: Tuple[AdmissionRecord, ...] = ()
+    #: Arrivals the admission controller refused; they never executed.
+    rejected_tasks: Tuple[TaskRuntime, ...] = ()
 
     @property
     def num_devices(self) -> int:
         return len(self.device_results)
+
+    @property
+    def offered_tasks(self) -> Tuple[TaskRuntime, ...]:
+        """Executed + rejected tasks: everything the frontend was asked."""
+        return self.tasks + self.rejected_tasks
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered tasks the frontend refused."""
+        offered = len(self.tasks) + len(self.rejected_tasks)
+        return len(self.rejected_tasks) / offered if offered else 0.0
+
+    @property
+    def deferral_count(self) -> int:
+        """Total defer decisions (a task may defer more than once)."""
+        return sum(
+            1
+            for record in self.admission_records
+            if record.decision is AdmissionDecision.DEFER
+        )
 
     @property
     def migration_count(self) -> int:
@@ -172,11 +230,14 @@ class ClusterResult:
 
     @property
     def makespan_cycles(self) -> float:
-        return max(
+        """Latest completion across devices (0 when nothing executed --
+        possible only when admission rejected every arrival)."""
+        spans = [
             result.makespan_cycles
             for result in self.device_results
             if result is not None
-        )
+        ]
+        return max(spans) if spans else 0.0
 
     def device_utilization(self) -> List[float]:
         """Busy fraction of each device over the cluster makespan."""
@@ -207,9 +268,15 @@ class ClusterScheduler:
         seed: int = 0,
         interconnect: Optional[InterconnectConfig] = None,
         global_tokens: Optional[bool] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
+        if admission is not None and routing not in ONLINE_ROUTINGS:
+            raise ValueError(
+                "admission control predicts against live device backlogs; "
+                f"use an online routing, not {routing.value}"
+            )
         self.num_devices = num_devices
         self.simulation_config = simulation_config
         self.policy_name = policy_name
@@ -226,6 +293,9 @@ class ClusterScheduler:
         if global_tokens is None:
             global_tokens = routing is RoutingPolicy.PREEMPTIVE_MIGRATION
         self.global_tokens = global_tokens
+        #: Optional SLA-aware frontend (repro.serving).  None preserves
+        #: the admit-everything behavior bit-for-bit.
+        self.admission = admission
 
     # ------------------------------------------------------------------
     # Static routing (the up-front pass)
@@ -301,12 +371,26 @@ class ClusterScheduler:
         assignments: Dict[int, int] = {}
         migrations: List[MigrationRecord] = []
         #: Per-device in-flight checkpoint deliveries: (arrival cycle,
-        #: estimated remaining cycles).  Routing counts them as backlog
-        #: and a device with one pending is not an eligible thief.
-        inflight: Dict[int, List[Tuple[float, float]]] = {
+        #: estimated remaining cycles, task priority).  Routing counts
+        #: them as backlog and a device with one pending is not an
+        #: eligible thief; the admission path filters them by priority
+        #: like the rest of its class-aware backlog.
+        inflight: Dict[int, List[Tuple[float, float, int]]] = {
             index: [] for index in range(self.num_devices)
         }
         total = len(tasks)
+        admission = self.admission
+        # Records accumulate for the controller's lifetime (the feedback
+        # EWMA deliberately keeps learning across runs); slice off this
+        # run's decisions so a reused scheduler reports only its own.
+        records_start = len(admission.records) if admission else 0
+        if admission is not None:
+            use_priority, use_sjf = self.admission_prediction_filters()
+        rejected: List[TaskRuntime] = []
+        #: Admission frontier: a min-heap of (consider_cycles, arrival,
+        #: task_id, attempt, task).  Deferred arrivals re-enter with a
+        #: later consideration time and a bumped attempt count.
+        frontier: List[Tuple[float, float, int, int, TaskRuntime]] = []
         if self.routing in STATIC_ROUTINGS:
             # Static strategies know every placement up-front, so inject
             # all arrivals immediately (in workload order, like the
@@ -322,9 +406,19 @@ class ClusterScheduler:
                 devices[target].inject(task)
             pending: deque = deque()
         else:
-            pending = deque(
-                sorted(tasks, key=lambda t: (t.spec.arrival_cycles, t.task_id))
+            ordered = sorted(
+                tasks, key=lambda t: (t.spec.arrival_cycles, t.task_id)
             )
+            if admission is None:
+                pending = deque(ordered)
+            else:
+                pending = deque()
+                # Sorted by (arrival, task_id) => already a valid heap.
+                frontier = [
+                    (task.spec.arrival_cycles, task.spec.arrival_cycles,
+                     task.task_id, 0, task)
+                    for task in ordered
+                ]
 
         arrival_rank = int(_EventKind.ARRIVAL)
         while True:
@@ -344,23 +438,75 @@ class ClusterScheduler:
             # the device state a real node agent would see at that
             # instant -- including the effects of simultaneous-burst
             # predecessors admitted moments before.
-            arrival_due = bool(pending) and (
-                device_key is None
-                or device_key > (pending[0].spec.arrival_cycles, arrival_rank)
-            )
-            if arrival_due:
-                task = pending.popleft()
-                target = self._route_online(
-                    devices, task.spec.arrival_cycles, inflight
+            if admission is None:
+                arrival_due = bool(pending) and (
+                    device_key is None
+                    or device_key > (pending[0].spec.arrival_cycles, arrival_rank)
                 )
-                assignments[task.task_id] = target
-                devices[target].inject(task)
+            else:
+                arrival_due = bool(frontier) and (
+                    device_key is None
+                    or device_key > (frontier[0][0], arrival_rank)
+                )
+            if arrival_due:
+                if admission is None:
+                    task = pending.popleft()
+                    target = self._route_online(
+                        devices, task.spec.arrival_cycles, inflight
+                    )
+                    assignments[task.task_id] = target
+                    devices[target].inject(task)
+                    continue
+                consider, _, _, attempt, task = heapq.heappop(frontier)
+                # Admission-aware placement + prediction: the decision is
+                # scored against (and the task placed on) the device with
+                # the least *class-aware* backlog -- under a preemptive
+                # priority policy the arrival will not wait behind queued
+                # lower-priority work nor behind same-priority rows a
+                # shortest-first rule would serve after it, and counting
+                # either would over-reject the very class admission
+                # protects.  The filters follow the configured policy
+                # (see admission_prediction_filters); under FCFS/RRB the
+                # prediction is the plain total backlog.
+                min_priority = (
+                    int(task.spec.priority) if use_priority else None
+                )
+                sjf_within = (
+                    admission.corrected_estimate(task) if use_sjf else None
+                )
+                target, backlog = self._route_admission(
+                    devices, consider, inflight, min_priority, sjf_within
+                )
+                record = admission.decide(task, backlog, consider, attempt)
+                if record.decision is AdmissionDecision.ACCEPT:
+                    # admit() rewrites the context estimate to the
+                    # feedback-corrected value first, so routing and
+                    # per-device scheduling see the corrected number.
+                    admission.admit(task)
+                    assignments[task.task_id] = target
+                    devices[target].inject(task, arrival=consider)
+                elif record.decision is AdmissionDecision.DEFER:
+                    heapq.heappush(
+                        frontier,
+                        (consider + admission.config.defer_delay_cycles,
+                         task.spec.arrival_cycles, task.task_id,
+                         attempt + 1, task),
+                    )
+                else:
+                    rejected.append(task)
+                    total -= 1
                 continue
 
             if device_index is None or device_key is None:
                 break  # no events and no arrivals left
             stepped = devices[device_index]
             now = stepped.step()
+
+            if admission is not None and stepped.last_completed is not None:
+                # The observation point of the learning-augmented loop:
+                # release the class budget and fold (estimate, observed)
+                # into the prediction-correction EWMA.
+                admission.on_complete(stepped.last_completed)
 
             # Steal opportunities only appear when a device goes idle
             # (COMPLETE) or stealable work lands on a busy device
@@ -399,39 +545,119 @@ class ClusterScheduler:
             },
             transfers=transfers,
         )
+        if admission is None:
+            executed = tuple(tasks)
+            records: Tuple[AdmissionRecord, ...] = ()
+        else:
+            rejected_ids = {task.task_id for task in rejected}
+            executed = tuple(
+                task for task in tasks if task.task_id not in rejected_ids
+            )
+            records = admission.records[records_start:]
         return ClusterResult(
-            tasks=tuple(tasks),
+            tasks=executed,
             device_results=device_results,
             assignments=assignments,
             routing=self.routing.value,
             migrations=tuple(migrations),
             timeline=timeline,
             transfers=transfers,
+            admission_records=records,
+            rejected_tasks=tuple(rejected),
         )
 
     # ------------------------------------------------------------------
     # Online decisions
     # ------------------------------------------------------------------
+    def admission_prediction_filters(self) -> Tuple[bool, bool]:
+        """(priority filter on, SJF-within-class filter on) for admission.
+
+        The class-aware backlog model is only valid when the per-device
+        policy actually serves that way: the priority filter requires a
+        priority-driven policy *with preemption* (under NP even a HIGH
+        arrival waits out the running task), and the shortest-first
+        refinement requires a policy that ranks by estimated remaining
+        time.  FCFS/RRB get the plain total backlog.
+        """
+        name = self.policy_name.upper()
+        preemptive = self.simulation_config.mode is not PreemptionMode.NP
+        return (
+            preemptive and name in PRIORITY_DRIVEN_POLICIES,
+            name in SHORTEST_FIRST_POLICIES,
+        )
+
+    def _route_admission(
+        self,
+        devices: Sequence[DeviceSim],
+        now: float,
+        inflight: Dict[int, List[Tuple[float, float, int]]],
+        min_priority: Optional[int],
+        sjf_within: Optional[float],
+    ) -> Tuple[int, float]:
+        """Admission-aware placement: least class-aware backlog.
+
+        Ties break toward the least *total* backlog, then the lowest
+        device index -- an interactive arrival usually sees several
+        devices with zero same-class work, and the total keeps those
+        choices load-balanced.  With no filters active this degenerates
+        to exactly :meth:`_route_online`'s rule.  Returns the chosen
+        device and its class-aware backlog (what the arrival is
+        predicted to wait behind).
+        """
+        best_key: Optional[Tuple[float, float, int]] = None
+        best_index = 0
+        best_backlog = 0.0
+        filtered = min_priority is not None or sjf_within is not None
+        for index, device in enumerate(devices):
+            class_backlog = device.predicted_backlog(
+                now, min_priority=min_priority, sjf_within_cycles=sjf_within
+            ) + self._inbound_backlog(
+                inflight, index, now, min_priority=min_priority
+            )
+            if filtered:
+                total_backlog = device.predicted_backlog(
+                    now
+                ) + self._inbound_backlog(inflight, index, now)
+            else:
+                total_backlog = class_backlog
+            key = (class_backlog, total_backlog, index)
+            if best_key is None or key < best_key:
+                best_key, best_index, best_backlog = key, index, class_backlog
+        return best_index, best_backlog
+
     @staticmethod
     def _inbound_backlog(
-        inflight: Dict[int, List[Tuple[float, float]]], device: int, now: float
+        inflight: Dict[int, List[Tuple[float, float, int]]],
+        device: int,
+        now: float,
+        min_priority: Optional[int] = None,
     ) -> float:
         """Estimated cycles of checkpoint deliveries still bound for
-        ``device``; landed entries are pruned as a side effect."""
+        ``device``; landed entries are pruned as a side effect.
+
+        ``min_priority`` mirrors :meth:`DeviceSim.predicted_backlog`'s
+        class-aware filter for the admission path: a delivery the
+        arrival would outrank on landing does not delay it.  Routing
+        always passes None (every inbound byte counts toward placement).
+        """
         entries = inflight[device]
         if not entries:
             return 0.0
-        live = [(end, est) for end, est in entries if end > now]
+        live = [entry for entry in entries if entry[0] > now]
         if len(live) != len(entries):
             inflight[device] = live
-        return sum(est for _, est in live)
+        return sum(
+            est
+            for _, est, priority in live
+            if min_priority is None or priority >= min_priority
+        )
 
     @classmethod
     def _route_online(
         cls,
         devices: Sequence[DeviceSim],
         now: float,
-        inflight: Dict[int, List[Tuple[float, float]]],
+        inflight: Dict[int, List[Tuple[float, float, int]]],
     ) -> int:
         """Least live predicted backlog; ties to the lowest device index.
 
@@ -508,7 +734,7 @@ class ClusterScheduler:
         now: float,
         assignments: Dict[int, int],
         fabric: Interconnect,
-        inflight: Dict[int, List[Tuple[float, float]]],
+        inflight: Dict[int, List[Tuple[float, float, int]]],
         ledger: Optional[ClusterTokenLedger],
     ) -> List[MigrationRecord]:
         """Pull the most starved migratable task to each idle device.
@@ -601,7 +827,8 @@ class ClusterScheduler:
             thief.inject(task, arrival=record.end_cycles)
             assignments[task.task_id] = thief_index
             inflight[thief_index].append(
-                (record.end_cycles, task.context.estimated_remaining_cycles)
+                (record.end_cycles, task.context.estimated_remaining_cycles,
+                 int(task.context.priority))
             )
             moves.append(
                 MigrationRecord(

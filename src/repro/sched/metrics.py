@@ -22,6 +22,10 @@ import numpy as np
 
 from repro.core.tokens import PRIORITY_TOKENS, Priority
 from repro.sched.task import TaskRuntime
+from repro.serving.slo import DEFAULT_SLOS, QoSClass, SLOPolicy, qos_of
+
+#: QoS class by its tag value, for the per-class metric dictionaries.
+_QOS_BY_VALUE = {qos.value: qos for qos in QoSClass}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -215,14 +219,119 @@ class ClusterMetrics:
     #: Mean NTT of tasks that migrated at least once (0 when none): how
     #: much slowdown a migrated task still ends up with.
     post_migration_antt: float = 0.0
+    # -- Serving-control-plane metrics (repro.serving) ------------------
+    #: Fraction of *offered* tasks that completed within their QoS class
+    #: SLO.  Rejected arrivals count against attainment: refusing a task
+    #: is still a missed request, it just fails fast.
+    sla_attainment: float = 0.0
+    #: Attainment by QoS class value (classes with offered tasks only).
+    sla_attainment_by_class: Dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
+    #: :func:`sla_violation_rate` at each class's slowdown target, over
+    #: that class's *completed* tasks (how the executed population fared,
+    #: regardless of admission).
+    sla_violation_rate_by_class: Dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Fraction of offered tasks the admission frontend refused.
+    rejection_rate: float = 0.0
+    #: Total defer decisions across the run.
+    deferral_count: int = 0
+    #: Useful work per cycle: isolated cycles of SLA-met completions
+    #: divided by the makespan (in [0, num_devices]).  The PCS-style
+    #: throughput measure admission must not sacrifice.
+    goodput: float = 0.0
 
 
-def compute_cluster_metrics(result) -> ClusterMetrics:
+def _serving_metrics(
+    result,
+    completed: Sequence[TaskRuntime],
+    rejected: Sequence[TaskRuntime],
+    slos: SLOPolicy,
+) -> Dict[str, object]:
+    """Per-class SLA attainment, rejection rate, and goodput fields.
+
+    Attainment is measured over *offered* tasks (rejections count as
+    missed); the violation-rate view covers completed tasks only, at
+    each class's own slowdown target, through the same
+    :func:`sla_violation_rate` the fig13 experiment uses.
+    """
+    offered_by_class: Dict[str, int] = {}
+    met_by_class: Dict[str, int] = {}
+    completed_by_class: Dict[str, List[TaskRuntime]] = {}
+    met_isolated_cycles = 0.0
+    for task in completed:
+        level = slos.level_for(task.spec)
+        qos = level.qos.value
+        offered_by_class[qos] = offered_by_class.get(qos, 0) + 1
+        completed_by_class.setdefault(qos, []).append(task)
+        if level.met_by(task.turnaround_cycles, task.isolated_cycles):
+            met_by_class[qos] = met_by_class.get(qos, 0) + 1
+            met_isolated_cycles += task.isolated_cycles
+    for task in rejected:
+        qos = qos_of(task.spec).value
+        offered_by_class[qos] = offered_by_class.get(qos, 0) + 1
+    attainment_by_class = {
+        qos: met_by_class.get(qos, 0) / count
+        for qos, count in sorted(offered_by_class.items())
+    }
+    violation_by_class = {
+        qos: sla_violation_rate(
+            tasks, slos.levels[_QOS_BY_VALUE[qos]].slowdown_target
+        )
+        for qos, tasks in sorted(completed_by_class.items())
+    }
+    offered_total = sum(offered_by_class.values())
+    makespan = result.makespan_cycles if completed else 0.0
+    # Prefer the result's own properties (ClusterResult defines both) so
+    # there is one definition of "offered"; fall back for result-likes.
+    rejection_rate = getattr(result, "rejection_rate", None)
+    if rejection_rate is None:
+        rejection_rate = (
+            len(rejected) / offered_total if offered_total else 0.0
+        )
+    return {
+        "sla_attainment": (
+            sum(met_by_class.values()) / offered_total if offered_total else 0.0
+        ),
+        "sla_attainment_by_class": attainment_by_class,
+        "sla_violation_rate_by_class": violation_by_class,
+        "rejection_rate": float(rejection_rate),
+        "deferral_count": int(getattr(result, "deferral_count", 0)),
+        "goodput": met_isolated_cycles / makespan if makespan > 0 else 0.0,
+    }
+
+
+def compute_cluster_metrics(
+    result, slos: Optional[SLOPolicy] = None
+) -> ClusterMetrics:
     """Summarize a :class:`~repro.sched.cluster.ClusterResult`.
 
     Duck-typed on the result's ``tasks``/``migrations``/
     ``device_utilization()`` surface so this module stays import-light.
+    ``slos`` sets the QoS-class objectives the serving fields are scored
+    against (default: :data:`repro.serving.slo.DEFAULT_SLOS`).  A result
+    whose admission frontend rejected *every* arrival yields zeroed
+    workload metrics instead of raising.
     """
+    slos = slos or DEFAULT_SLOS
+    completed = tuple(result.tasks)
+    rejected = tuple(getattr(result, "rejected_tasks", ()))
+    serving = _serving_metrics(result, completed, rejected, slos)
+    if not completed:
+        return ClusterMetrics(
+            makespan_cycles=0.0,
+            antt=0.0,
+            stp=0.0,
+            fairness=0.0,
+            mean_queueing_delay_cycles=0.0,
+            p95_queueing_delay_cycles=0.0,
+            migration_count=0,
+            mean_utilization=0.0,
+            utilization_spread=0.0,
+            **serving,
+        )
     workload = compute_metrics(result.tasks)
     delays = list(queueing_delay_by_task(result.tasks).values())
     utilization = result.device_utilization()
@@ -270,4 +379,5 @@ def compute_cluster_metrics(result) -> ClusterMetrics:
         post_migration_antt=(
             float(np.mean(migrated_ntts)) if migrated_ntts else 0.0
         ),
+        **serving,
     )

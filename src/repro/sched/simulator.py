@@ -189,6 +189,11 @@ class DeviceSim:
         self._now = 0.0
         #: Kind of the most recently processed event (None before any).
         self.last_event_kind: Optional[_EventKind] = None
+        #: Task completed by the most recent step() (None otherwise).
+        #: The cluster layer's completion hook: admission budgeting and
+        #: prediction feedback observe finished tasks through this
+        #: without any per-event callback cost.
+        self.last_completed: Optional[TaskRuntime] = None
         #: Total events processed (introspection / benchmarking).
         self.events_processed = 0
         #: Min-heap of unprocessed ARRIVAL timestamps.  Arrivals fire in
@@ -255,6 +260,7 @@ class DeviceSim:
         now, _, _, kind, payload = heapq.heappop(self._events)
         self._now = now
         self.last_event_kind = kind
+        self.last_completed = None
         self.events_processed += 1
         if kind == _EventKind.ARRIVAL:
             self._on_arrival(now, payload)  # type: ignore[arg-type]
@@ -305,7 +311,12 @@ class DeviceSim:
             )
         )
 
-    def predicted_backlog(self, now: float) -> float:
+    def predicted_backlog(
+        self,
+        now: float,
+        min_priority: Optional[int] = None,
+        sjf_within_cycles: Optional[float] = None,
+    ) -> float:
         """Scheduler-visible predicted cycles left on this device.
 
         Sums ``Time_estimated`` minus accounted progress over every live
@@ -315,10 +326,37 @@ class DeviceSim:
         check refreshes it, so routing and preemption see one state.
         Iterates the admission-ordered live set: completed tasks cost
         nothing, so the read is O(live tasks).
+
+        ``min_priority`` restricts the sum to tasks of at least that
+        priority -- the *class-aware* backlog the admission controller
+        predicts with.  Under the preemptive priority-driven policies an
+        arriving high-priority request neither waits behind queued
+        low-priority work nor behind a running low-priority task (it
+        preempts it at the next boundary), so counting either would
+        over-reject exactly the class admission exists to protect.
+        ``sjf_within_cycles`` refines the same-priority term: PREMA's
+        Algorithm 2 serves the *shortest* candidate first among equal
+        priorities, so an arrival only waits behind same-priority rows
+        whose remaining estimate is at most its own.  None (the default,
+        and the only form routing ever uses) keeps the historical total.
         """
         total = 0.0
         for task in self._live_admitted.values():
             context = task.context
+            if min_priority is not None:
+                level = int(context.priority)
+                if level < min_priority:
+                    continue
+                remaining = max(
+                    0.0, context.estimated_cycles - context.executed_cycles
+                )
+                if (
+                    level == min_priority
+                    and sjf_within_cycles is not None
+                    and task.dispatch_time is None
+                    and remaining > sjf_within_cycles
+                ):
+                    continue
             if task.dispatch_time is not None:
                 executed = task.progress_at(now)
             else:
@@ -474,6 +512,7 @@ class DeviceSim:
             return  # stale completion from a preempted dispatch
         self._record_run_segments(task, now)
         task.complete(now)
+        self.last_completed = task
         self._completed += 1
         self._live_admitted.pop(task_id, None)
         if task_id == self._running_id:

@@ -1,0 +1,51 @@
+"""SLA-aware serving control plane in front of the cluster scheduler.
+
+The paper's whole objective is meeting latency SLAs under multi-tenant
+consolidation (Fig 13 measures SLA satisfaction), yet a frontend that
+admits every arrival unconditionally misses *everyone's* target once the
+cluster is overloaded.  This package is the control plane that closes
+that gap, PCS-style (prediction-driven admission) with learning-augmented
+estimates:
+
+- :mod:`repro.serving.slo` -- QoS classes (``interactive`` / ``standard``
+  / ``batch``), each with an SLA slowdown target, an optional absolute
+  deadline, and an admission budget share;
+- :mod:`repro.serving.admission` -- the admission controller that turns a
+  predicted completion time (per-device backlog + the Algorithm-1
+  estimate) into an accept / defer / reject decision per arrival;
+- :mod:`repro.serving.feedback` -- online prediction correction: a
+  per-model EWMA of the multiplicative estimate error, learned from
+  observed completions, that feeds corrected estimates back into both
+  admission and predictive routing.
+
+Admission is strictly opt-in: a :class:`~repro.sched.cluster.ClusterScheduler`
+constructed without a controller behaves bit-for-bit as before.
+"""
+
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionRecord,
+)
+from repro.serving.feedback import PredictionFeedback
+from repro.serving.slo import (
+    DEFAULT_SLOS,
+    QoSClass,
+    ServiceLevel,
+    SLOPolicy,
+    qos_of,
+)
+
+__all__ = [
+    "QoSClass",
+    "ServiceLevel",
+    "SLOPolicy",
+    "DEFAULT_SLOS",
+    "qos_of",
+    "PredictionFeedback",
+    "AdmissionDecision",
+    "AdmissionRecord",
+    "AdmissionConfig",
+    "AdmissionController",
+]

@@ -1,0 +1,181 @@
+"""Online prediction correction from observed completions.
+
+Algorithm 1's estimates carry a small systematic error (vector-layer
+blindness, partial-tile savings), and trace-driven serving adds its own:
+the estimate attached to a request can be biased per model.  PCS-style
+admission is only as reliable as those estimates, and "Learning-Augmented
+Online Scheduling with Parsimonious Preemption" shows noisy predictions
+are still useful *if corrected online*.  This module is that correction
+layer: a per-model EWMA of the **multiplicative** estimate error
+
+    r = C_single_observed / Time_estimated
+
+learned from every completion the cluster observes.  A corrected
+estimate is simply ``factor * estimate``; before any completion of a
+model has been observed the factor falls back to the global EWMA, and
+before *any* completion at all it is exactly 1.0 (neutral -- the
+uncorrected Algorithm-1 behavior).
+
+The layer also tracks its own accuracy: each observation first scores
+the *pre-observation* corrected estimate against the observed truth
+(absolute percentage error), so :meth:`PredictionFeedback.mape` shows
+whether correction converges as completions accrue -- the
+``admission_control`` experiment's learning curve.
+
+:class:`~repro.core.predictor.OraclePredictor` shares the same
+``observe(task)`` surface, so experiment code can swap the EWMA learner
+for the oracle without touching call sites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorObservation:
+    """One completion's scoring of the predictor (pre-update)."""
+
+    key: str
+    predicted_cycles: float
+    corrected_cycles: float
+    actual_cycles: float
+
+    @property
+    def raw_ape(self) -> float:
+        """Absolute percentage error of the uncorrected estimate."""
+        return abs(self.predicted_cycles - self.actual_cycles) / self.actual_cycles
+
+    @property
+    def corrected_ape(self) -> float:
+        """Absolute percentage error of the corrected estimate."""
+        return abs(self.corrected_cycles - self.actual_cycles) / self.actual_cycles
+
+
+class PredictionFeedback:
+    """Per-model multiplicative error EWMA, learned online.
+
+    ``alpha`` is the EWMA weight of the newest observation; higher adapts
+    faster but is noisier.  Keys are benchmark names by default (each
+    model has its own bias structure); any string key works.
+    """
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._factors: Dict[str, float] = {}
+        self._global_factor: Optional[float] = None
+        self._history: List[ErrorObservation] = []
+
+    # ------------------------------------------------------------------
+    # Reading corrections
+    # ------------------------------------------------------------------
+    @property
+    def observations(self) -> int:
+        return len(self._history)
+
+    @property
+    def history(self) -> Tuple[ErrorObservation, ...]:
+        return tuple(self._history)
+
+    def correction(self, key: str) -> float:
+        """Multiplicative factor for ``key`` (1.0 before any completion)."""
+        factor = self._factors.get(key)
+        if factor is not None:
+            return factor
+        if self._global_factor is not None:
+            return self._global_factor
+        return 1.0
+
+    def correct(self, key: str, estimated_cycles: float) -> float:
+        """Corrected estimate: ``correction(key) * estimated_cycles``."""
+        if estimated_cycles < 0:
+            raise ValueError("estimated_cycles must be >= 0")
+        return self.correction(key) * estimated_cycles
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def record(
+        self, key: str, predicted_cycles: float, actual_cycles: float
+    ) -> ErrorObservation:
+        """Fold one (prediction, observation) pair into the EWMA.
+
+        Scores the pre-update corrected estimate first, so the returned
+        observation (and :meth:`mape`) measures the factor that was
+        actually *used* for this request, not the factor it produced.
+        """
+        if predicted_cycles <= 0 or actual_cycles <= 0:
+            raise ValueError("predicted and actual cycles must be positive")
+        observation = ErrorObservation(
+            key=key,
+            predicted_cycles=predicted_cycles,
+            corrected_cycles=self.correct(key, predicted_cycles),
+            actual_cycles=actual_cycles,
+        )
+        self._history.append(observation)
+        ratio = actual_cycles / predicted_cycles
+        previous = self._factors.get(key)
+        if previous is None:
+            # First sighting of this model: seed from the global factor
+            # (or the raw ratio) instead of decaying from 1.0 -- one
+            # observation of a strongly biased model should move it most
+            # of the way.
+            seed = self._global_factor if self._global_factor is not None else ratio
+            self._factors[key] = (1.0 - self.alpha) * seed + self.alpha * ratio
+        else:
+            self._factors[key] = (1.0 - self.alpha) * previous + self.alpha * ratio
+        if self._global_factor is None:
+            self._global_factor = ratio
+        else:
+            self._global_factor = (
+                (1.0 - self.alpha) * self._global_factor + self.alpha * ratio
+            )
+        return observation
+
+    def observe(self, task, predicted_cycles: Optional[float] = None) -> None:
+        """Learn from a completed task (the shared observe() surface).
+
+        ``predicted_cycles`` overrides the scheduler-visible estimate --
+        the admission controller passes the *raw* Algorithm-1 estimate it
+        stashed before overwriting the context with the corrected one.
+        The observed truth is the task's ground-truth isolated time,
+        which a real serving system measures from executed cycles.
+        """
+        if not task.is_done:
+            raise ValueError(f"task {task.task_id} has not completed")
+        predicted = (
+            task.context.estimated_cycles
+            if predicted_cycles is None
+            else predicted_cycles
+        )
+        self.record(task.spec.benchmark, predicted, task.isolated_cycles)
+
+    # ------------------------------------------------------------------
+    # Accuracy reporting
+    # ------------------------------------------------------------------
+    def mape(
+        self, first: Optional[int] = None, last: Optional[int] = None
+    ) -> float:
+        """Mean absolute percentage error of the corrected estimates.
+
+        ``first=n`` restricts to the first n observations, ``last=n`` to
+        the most recent n -- comparing the two shows whether online
+        correction is converging.  Raises when the window is empty.
+        """
+        window: Sequence[ErrorObservation] = self._history
+        if first is not None:
+            window = window[:first]
+        if last is not None:
+            window = window[len(window) - last:] if last <= len(window) else window
+        if not window:
+            raise ValueError("no observations in the requested window")
+        return sum(o.corrected_ape for o in window) / len(window)
+
+    def raw_mape(self) -> float:
+        """MAPE of the uncorrected estimates over every observation."""
+        if not self._history:
+            raise ValueError("no observations recorded")
+        return sum(o.raw_ape for o in self._history) / len(self._history)

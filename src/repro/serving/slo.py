@@ -1,0 +1,161 @@
+"""QoS classes and service-level objectives (SLOs) for cluster serving.
+
+The paper evaluates SLA satisfaction as a *global* target sweep
+(turnaround <= N x C_single, Sec VI-C).  A real MLaaS frontend instead
+sells differentiated tiers -- Google Cloud ML's "online" vs "batch"
+prediction is the paper's own Sec I motivation -- so this module gives
+every request a **QoS class** with its own service-level objective:
+
+- ``interactive``: latency-critical online prediction.  Tight slowdown
+  target, never budget-limited.
+- ``standard``: ordinary interactive traffic.  Moderate target.
+- ``batch``: throughput-oriented offline work.  Loose target, and a
+  bounded *admission budget share* so a batch flood cannot starve the
+  paid tiers (the PCS-style isolation knob).
+
+A class tag travels on :class:`~repro.workloads.specs.TaskSpec` (the
+``qos`` field); untagged tasks fall back to a priority-derived default so
+every pre-existing workload is already classified: HIGH -> interactive,
+MEDIUM -> standard, LOW -> batch, mirroring how the paper's priorities
+encode user-facing urgency.
+
+An SLO can also carry an **absolute deadline** (cycles after arrival);
+a task meets its SLO only if it satisfies both the slowdown multiplier
+and, when set, the deadline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Mapping, Optional
+
+from repro.core.tokens import Priority
+
+
+class QoSClass(enum.Enum):
+    INTERACTIVE = "interactive"
+    STANDARD = "standard"
+    BATCH = "batch"
+
+
+#: Priority-derived default class for untagged tasks.
+QOS_FOR_PRIORITY: Mapping[Priority, QoSClass] = {
+    Priority.HIGH: QoSClass.INTERACTIVE,
+    Priority.MEDIUM: QoSClass.STANDARD,
+    Priority.LOW: QoSClass.BATCH,
+}
+
+#: Canonical scheduler priority per class -- how a serving frontend maps
+#: a pricing tier onto the paper's user-defined priorities (Sec I).
+PRIORITY_FOR_QOS: Mapping[QoSClass, Priority] = {
+    qos: priority for priority, qos in QOS_FOR_PRIORITY.items()
+}
+
+
+def qos_of(spec) -> QoSClass:
+    """Resolve a task spec's QoS class (explicit tag or priority default).
+
+    Duck-typed on ``spec.qos`` / ``spec.priority`` so it accepts both
+    :class:`~repro.workloads.specs.TaskSpec` and runtime-like objects.
+    Raises ``ValueError`` for an unknown tag.
+    """
+    tag = getattr(spec, "qos", None)
+    if tag is None:
+        return QOS_FOR_PRIORITY[spec.priority]
+    try:
+        return QoSClass(tag)
+    except ValueError:
+        known = ", ".join(c.value for c in QoSClass)
+        raise ValueError(
+            f"unknown QoS class {tag!r} (expected one of: {known})"
+        ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceLevel:
+    """One class's objective and admission entitlements.
+
+    ``slowdown_target`` is the paper's SLA multiplier N: the task meets
+    its SLO when turnaround <= N x C_single.  ``deadline_cycles`` (when
+    set) additionally bounds turnaround in absolute cycles from arrival.
+    ``admission_share`` caps the fraction of the cluster's *outstanding
+    admitted estimated work* this class may occupy while the cluster is
+    loaded; 1.0 means never budget-limited.
+    """
+
+    qos: QoSClass
+    slowdown_target: float
+    deadline_cycles: Optional[float] = None
+    admission_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown_target <= 0:
+            raise ValueError("slowdown_target must be positive")
+        if self.deadline_cycles is not None and self.deadline_cycles <= 0:
+            raise ValueError("deadline_cycles must be positive")
+        if not 0.0 < self.admission_share <= 1.0:
+            raise ValueError("admission_share must be in (0, 1]")
+
+    def met_by(self, turnaround_cycles: float, isolated_cycles: float) -> bool:
+        """Did a completed task with these times meet this SLO?"""
+        if turnaround_cycles > self.slowdown_target * isolated_cycles:
+            return False
+        if (
+            self.deadline_cycles is not None
+            and turnaround_cycles > self.deadline_cycles
+        ):
+            return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOPolicy:
+    """The cluster's service-level objectives, one per QoS class."""
+
+    levels: Mapping[QoSClass, ServiceLevel]
+
+    def __post_init__(self) -> None:
+        for qos in QoSClass:
+            if qos not in self.levels:
+                raise ValueError(f"missing service level for {qos.value}")
+        for qos, level in self.levels.items():
+            if level.qos is not qos:
+                raise ValueError(
+                    f"service level for {qos.value} is tagged {level.qos.value}"
+                )
+
+    def level_for(self, spec) -> ServiceLevel:
+        return self.levels[qos_of(spec)]
+
+    def task_met_slo(self, task) -> bool:
+        """Did a completed :class:`TaskRuntime` meet its class SLO?"""
+        return self.level_for(task.spec).met_by(
+            task.turnaround_cycles, task.isolated_cycles
+        )
+
+
+def default_slos() -> SLOPolicy:
+    """The default three-tier objective set.
+
+    Slowdown targets sit inside the paper's Fig 13 sweep range (N in
+    2..20): interactive at 4x, standard at 8x, batch at 16x.  Batch gets
+    at most 40% and standard at most 70% of outstanding admitted work;
+    interactive is never budget-limited.
+    """
+    levels: Dict[QoSClass, ServiceLevel] = {
+        QoSClass.INTERACTIVE: ServiceLevel(
+            QoSClass.INTERACTIVE, slowdown_target=4.0, admission_share=1.0
+        ),
+        QoSClass.STANDARD: ServiceLevel(
+            QoSClass.STANDARD, slowdown_target=8.0, admission_share=0.7
+        ),
+        QoSClass.BATCH: ServiceLevel(
+            QoSClass.BATCH, slowdown_target=16.0, admission_share=0.4
+        ),
+    }
+    return SLOPolicy(levels=levels)
+
+
+#: Shared default policy instance (immutable).
+DEFAULT_SLOS = default_slos()

@@ -32,6 +32,11 @@ class TaskSpec:
     arrival_cycles: float
     input_len: Optional[int] = None
     actual_output_len: Optional[int] = None
+    #: Serving QoS class tag ("interactive" / "standard" / "batch", see
+    #: :mod:`repro.serving.slo`).  None means priority-derived default;
+    #: membership is validated at resolution (`qos_of`), not here, so the
+    #: workload layer stays independent of the serving layer.
+    qos: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.task_id < 0:

@@ -26,8 +26,9 @@ compiler.
 
 from __future__ import annotations
 
+import dataclasses
 import random
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.context import TaskContext
 from repro.models.zoo import CNN_BENCHMARKS
@@ -114,6 +115,45 @@ class TraceGenerator(WorkloadGenerator):
         return int(self._rng.expovariate(1.0 / (mean - 1.0)))
 
 
+def assign_qos(
+    workload: WorkloadSpec,
+    mix: Dict[str, float],
+    seed: int = 0,
+    align_priority: bool = True,
+) -> WorkloadSpec:
+    """Tag each task with a QoS class drawn from ``mix`` (class -> weight).
+
+    Returns a new :class:`WorkloadSpec` whose specs carry explicit
+    ``qos`` tags; the draw uses its *own* RNG stream so tagging composes
+    with any seeded trace without perturbing the arrival/attribute
+    sequence (the seeded-reproducibility contract of ``_build_tasks``).
+    Weights need not sum to 1.
+
+    ``align_priority`` (default on) additionally rewrites each task's
+    scheduler priority to its class's canonical one -- a serving frontend
+    maps the pricing tier onto the paper's user-defined priorities
+    (interactive -> HIGH, standard -> MEDIUM, batch -> LOW), so the
+    per-device policy fights for the same tasks the SLOs protect.
+    """
+    from repro.serving.slo import PRIORITY_FOR_QOS, QoSClass
+
+    if not mix:
+        raise ValueError("mix must be non-empty")
+    classes = sorted(mix)
+    weights = [mix[name] for name in classes]
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ValueError("mix weights must be non-negative and sum > 0")
+    rng = random.Random(seed ^ 0x0905)
+    tagged = []
+    for spec in workload.tasks:
+        qos = rng.choices(classes, weights=weights)[0]
+        replacements = {"qos": qos}
+        if align_priority:
+            replacements["priority"] = PRIORITY_FOR_QOS[QoSClass(qos)]
+        tagged.append(dataclasses.replace(spec, **replacements))
+    return dataclasses.replace(workload, tasks=tuple(tagged))
+
+
 # ----------------------------------------------------------------------
 # Synthetic runtimes: scheduler benchmarking without the compiler
 # ----------------------------------------------------------------------
@@ -198,6 +238,8 @@ def synthetic_trace_runtimes(
     estimate_error: float = 0.15,
     bursty: bool = False,
     benchmarks: Sequence[str] = CNN_BENCHMARKS,
+    qos_mix: Optional[Dict[str, float]] = None,
+    estimate_bias: Optional[Dict[str, float]] = None,
 ) -> List[TaskRuntime]:
     """One ready-to-run open-arrival trace of synthetic tasks.
 
@@ -207,6 +249,15 @@ def synthetic_trace_runtimes(
     information asymmetry, without running Algorithm 1).  CNN benchmark
     names avoid the RNN sequence-length machinery, so building the trace
     touches no model, compiler, or profiler code.
+
+    ``qos_mix`` tags tasks with serving QoS classes via :func:`assign_qos`
+    (its own RNG stream -- arrivals and attributes are unchanged).
+    ``estimate_bias`` multiplies the scheduler-visible estimate of the
+    named benchmarks by a fixed factor (e.g. ``{"CNN-AN": 0.6}`` makes
+    every CNN-AN estimate a systematic 40% underestimate) -- the
+    deterministic per-model miscalibration the online feedback layer
+    exists to learn away.  Both default to off, leaving existing traces
+    bit-for-bit identical.
     """
     generator = TraceGenerator(
         seed=seed, benchmarks=tuple(benchmarks), profiles={}
@@ -219,11 +270,15 @@ def synthetic_trace_runtimes(
         workload = generator.generate_poisson(
             num_tasks, mean_interarrival_cycles
         )
+    if qos_mix is not None:
+        workload = assign_qos(workload, qos_mix, seed=seed)
     rng = random.Random(seed + 0x5EED)
     runtimes = []
     for spec in workload.tasks:
         isolated = mean_service_cycles * (10.0 ** rng.uniform(-0.6, 0.6))
         error = 1.0 + rng.uniform(-estimate_error, estimate_error)
+        if estimate_bias is not None:
+            error *= estimate_bias.get(spec.benchmark, 1.0)
         runtimes.append(
             synthetic_runtime(spec, isolated, estimated_cycles=isolated * error)
         )

@@ -1,0 +1,57 @@
+"""The admission_control experiment's headline claims (quick ensemble)."""
+
+import pytest
+
+from repro.analysis.experiments.admission_control import (
+    format_admission_control,
+    run_admission_control,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_admission_control(quick=True)
+
+
+class TestAdmissionControlExperiment:
+    def test_headline_interactive_attainment(self, outcome):
+        """Admission + feedback beats admit-all on interactive SLA
+        attainment at 2x overload, with rejections counted as misses."""
+        rows, _ = outcome
+        by_frontend = {r.frontend: r for r in rows}
+        admit_all = by_frontend["admit-all"]
+        feedback = by_frontend["admission+feedback"]
+        assert feedback.interactive_attainment > admit_all.interactive_attainment
+        # The controller is genuinely refusing and deferring work.
+        assert feedback.rejection_rate > 0.05
+        assert feedback.deferrals > 0
+
+    def test_goodput_not_sacrificed(self, outcome):
+        """Refusing hopeless work must not cost useful throughput."""
+        rows, _ = outcome
+        by_frontend = {r.frontend: r for r in rows}
+        assert by_frontend["admission+feedback"].goodput >= (
+            by_frontend["admit-all"].goodput * 0.95
+        )
+
+    def test_admit_all_never_rejects(self, outcome):
+        rows, _ = outcome
+        admit_all = next(r for r in rows if r.frontend == "admit-all")
+        assert admit_all.rejection_rate == 0.0
+        assert admit_all.deferrals == 0.0
+
+    def test_prediction_correction_converges(self, outcome):
+        """Corrected MAPE beats raw, and decreases as completions accrue."""
+        _, curve = outcome
+        assert curve.observations > 0
+        assert curve.early_mape < curve.raw_mape
+        assert curve.late_mape < curve.raw_mape
+        assert curve.late_mape <= curve.early_mape
+
+    def test_format(self, outcome):
+        rows, curve = outcome
+        text = format_admission_control(rows, curve)
+        assert "admission control" in text
+        assert "admit-all" in text
+        assert "admission+feedback" in text
+        assert "MAPE" in text

@@ -30,6 +30,11 @@ class TestExamples:
         assert "online" in result.stdout
         assert "SLA met" in result.stdout
         assert "PREMA (preemptible NPU)" in result.stdout
+        # Act two: QoS classes + admission on the overloaded cluster.
+        assert "admit-all frontend" in result.stdout
+        assert "admission + online feedback" in result.stdout
+        assert "class attainment" in result.stdout
+        assert "rejected" in result.stdout
 
     def test_preemption_lab(self):
         result = run_example("preemption_lab.py", "0.5")

@@ -185,3 +185,76 @@ class TestAggregation:
     def test_empty_ensemble_rejected(self):
         with pytest.raises(ValueError):
             aggregate_metrics([])
+
+
+class TestSlaEdgeCases:
+    def test_empty_task_list_rejected(self):
+        """An empty population has no violation rate: explicit error, not
+        a silent 0.0 that would read as 'SLA perfect'."""
+        with pytest.raises(ValueError, match="at least one task"):
+            sla_violation_rate([], 2.0)
+
+    def test_incomplete_task_rejected(self):
+        task = make_done_task(0, 100.0, 200.0)
+        task.completion_time = None
+        with pytest.raises(ValueError, match="not completed"):
+            sla_violation_rate([task], 2.0)
+
+
+class FakeClusterResult:
+    """Duck-typed stand-in for ClusterResult (serving-metric math)."""
+
+    def __init__(self, tasks, rejected=(), makespan=1000.0,
+                 deferral_count=0):
+        for task in tasks:
+            task.first_dispatch_time = task.spec.arrival_cycles
+        self.tasks = tuple(tasks)
+        self.rejected_tasks = tuple(rejected)
+        self.makespan_cycles = makespan
+        self.migrations = ()
+        self.deferral_count = deferral_count
+
+    def device_utilization(self):
+        return [0.5, 0.5]
+
+
+class TestClusterServingMetrics:
+    def test_per_class_attainment_counts_rejections(self):
+        from repro.sched.metrics import compute_cluster_metrics
+
+        completed = [
+            # Interactive (HIGH): default target 4x -> met / missed.
+            make_done_task(0, 100.0, 300.0, priority=Priority.HIGH),
+            make_done_task(1, 100.0, 900.0, priority=Priority.HIGH),
+            # Batch (LOW): default target 16x -> met.
+            make_done_task(2, 100.0, 1500.0, priority=Priority.LOW),
+        ]
+        rejected = [make_done_task(3, 100.0, 1.0, priority=Priority.HIGH)]
+        rejected[0].completion_time = None
+        result = FakeClusterResult(completed, rejected, makespan=1000.0,
+                                   deferral_count=5)
+        metrics = compute_cluster_metrics(result)
+        # Interactive: 1 met of 3 offered (one completed-missed, one
+        # rejected); batch: 1 of 1.
+        assert metrics.sla_attainment_by_class["interactive"] == \
+            pytest.approx(1.0 / 3.0)
+        assert metrics.sla_attainment_by_class["batch"] == 1.0
+        assert metrics.sla_attainment == pytest.approx(2.0 / 4.0)
+        # Violation rates cover completed tasks only.
+        assert metrics.sla_violation_rate_by_class["interactive"] == \
+            pytest.approx(0.5)
+        assert metrics.sla_violation_rate_by_class["batch"] == 0.0
+        assert metrics.rejection_rate == pytest.approx(0.25)
+        assert metrics.deferral_count == 5
+        # Goodput: met isolated cycles (100 + 100) per makespan cycle.
+        assert metrics.goodput == pytest.approx(0.2)
+
+    def test_explicit_qos_tag_overrides_priority(self):
+        from repro.sched.metrics import compute_cluster_metrics
+
+        import dataclasses as _dc
+        task = make_done_task(0, 100.0, 500.0, priority=Priority.HIGH)
+        task.spec = _dc.replace(task.spec, qos="batch")
+        metrics = compute_cluster_metrics(FakeClusterResult([task]))
+        # 5x slowdown: misses interactive's 4x but meets batch's 16x.
+        assert metrics.sla_attainment_by_class == {"batch": 1.0}

@@ -1,0 +1,423 @@
+"""Unit tests for the serving control plane (slo / feedback / admission)."""
+
+import pytest
+
+from repro.core.context import TaskContext
+from repro.core.predictor import OraclePredictor
+from repro.core.tokens import Priority
+from repro.sched.task import TaskRuntime
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serving.feedback import PredictionFeedback
+from repro.serving.slo import (
+    DEFAULT_SLOS,
+    PRIORITY_FOR_QOS,
+    QOS_FOR_PRIORITY,
+    QoSClass,
+    ServiceLevel,
+    SLOPolicy,
+    qos_of,
+)
+from repro.workloads.specs import TaskSpec
+
+
+class FakeProfile:
+    def __init__(self, total_cycles):
+        self.total_cycles = total_cycles
+
+
+def make_task(task_id=0, priority=Priority.MEDIUM, qos=None,
+              benchmark="CNN-AN", estimated=1000.0, isolated=1000.0,
+              arrival=0.0):
+    spec = TaskSpec(
+        task_id=task_id, benchmark=benchmark, batch=1, priority=priority,
+        arrival_cycles=arrival, qos=qos,
+    )
+    context = TaskContext(
+        task_id=task_id, priority=priority, benchmark=benchmark,
+        estimated_cycles=estimated, last_update_cycles=arrival,
+    )
+    return TaskRuntime(
+        spec=spec, profile=FakeProfile(isolated), context=context,
+    )
+
+
+def complete(task, turnaround):
+    task.completion_time = task.spec.arrival_cycles + turnaround
+    return task
+
+
+# ----------------------------------------------------------------------
+# QoS classes / SLOs
+# ----------------------------------------------------------------------
+class TestQoS:
+    def test_explicit_tag_wins(self):
+        spec = TaskSpec(task_id=0, benchmark="CNN-AN", batch=1,
+                        priority=Priority.LOW, arrival_cycles=0.0,
+                        qos="interactive")
+        assert qos_of(spec) is QoSClass.INTERACTIVE
+
+    def test_priority_default(self):
+        for priority, qos in QOS_FOR_PRIORITY.items():
+            spec = TaskSpec(task_id=0, benchmark="CNN-AN", batch=1,
+                            priority=priority, arrival_cycles=0.0)
+            assert qos_of(spec) is qos
+
+    def test_priority_map_is_involution(self):
+        for priority, qos in QOS_FOR_PRIORITY.items():
+            assert PRIORITY_FOR_QOS[qos] is priority
+
+    def test_unknown_tag_rejected(self):
+        spec = TaskSpec(task_id=0, benchmark="CNN-AN", batch=1,
+                        priority=Priority.LOW, arrival_cycles=0.0,
+                        qos="platinum")
+        with pytest.raises(ValueError, match="platinum"):
+            qos_of(spec)
+
+    def test_met_by_slowdown_and_deadline(self):
+        level = ServiceLevel(QoSClass.INTERACTIVE, slowdown_target=2.0,
+                             deadline_cycles=500.0)
+        assert level.met_by(turnaround_cycles=400.0, isolated_cycles=300.0)
+        # Slowdown ok, deadline violated.
+        assert not level.met_by(turnaround_cycles=600.0, isolated_cycles=400.0)
+        # Deadline ok, slowdown violated.
+        assert not level.met_by(turnaround_cycles=450.0, isolated_cycles=100.0)
+
+    def test_service_level_validation(self):
+        with pytest.raises(ValueError):
+            ServiceLevel(QoSClass.BATCH, slowdown_target=0.0)
+        with pytest.raises(ValueError):
+            ServiceLevel(QoSClass.BATCH, slowdown_target=2.0,
+                         deadline_cycles=-1.0)
+        with pytest.raises(ValueError):
+            ServiceLevel(QoSClass.BATCH, slowdown_target=2.0,
+                         admission_share=0.0)
+
+    def test_policy_requires_every_class(self):
+        with pytest.raises(ValueError, match="missing service level"):
+            SLOPolicy(levels={
+                QoSClass.INTERACTIVE: ServiceLevel(QoSClass.INTERACTIVE, 2.0),
+            })
+
+    def test_policy_rejects_mistagged_level(self):
+        levels = dict(DEFAULT_SLOS.levels)
+        levels[QoSClass.BATCH] = ServiceLevel(QoSClass.STANDARD, 2.0)
+        with pytest.raises(ValueError, match="tagged"):
+            SLOPolicy(levels=levels)
+
+    def test_task_met_slo_uses_class(self):
+        task = complete(make_task(priority=Priority.HIGH, isolated=100.0),
+                        turnaround=350.0)
+        # Interactive default target is 4x -> 3.5x slowdown is met.
+        assert DEFAULT_SLOS.task_met_slo(task)
+        tight = complete(make_task(priority=Priority.HIGH, isolated=100.0),
+                         turnaround=450.0)
+        assert not DEFAULT_SLOS.task_met_slo(tight)
+
+
+# ----------------------------------------------------------------------
+# Prediction feedback
+# ----------------------------------------------------------------------
+class TestFeedback:
+    def test_neutral_before_any_observation(self):
+        feedback = PredictionFeedback()
+        assert feedback.correction("CNN-AN") == 1.0
+        assert feedback.correct("CNN-AN", 500.0) == 500.0
+        assert feedback.observations == 0
+
+    def test_learns_multiplicative_bias(self):
+        feedback = PredictionFeedback(alpha=0.5)
+        for _ in range(12):
+            feedback.record("CNN-AN", predicted_cycles=500.0,
+                            actual_cycles=1000.0)
+        # Consistent 2x underestimate converges toward factor 2.
+        assert feedback.correction("CNN-AN") == pytest.approx(2.0, rel=0.01)
+        assert feedback.correct("CNN-AN", 500.0) == pytest.approx(1000.0,
+                                                                  rel=0.01)
+
+    def test_unseen_model_falls_back_to_global(self):
+        feedback = PredictionFeedback(alpha=1.0)
+        feedback.record("CNN-AN", 500.0, 1000.0)
+        assert feedback.correction("CNN-GN") == pytest.approx(2.0)
+
+    def test_mape_windows(self):
+        feedback = PredictionFeedback(alpha=0.5)
+        for _ in range(20):
+            feedback.record("CNN-AN", 500.0, 1000.0)
+        # Correction converges, so late MAPE < early MAPE < raw MAPE.
+        assert feedback.mape(last=5) < feedback.mape(first=5)
+        assert feedback.mape(first=5) < feedback.raw_mape()
+        assert feedback.raw_mape() == pytest.approx(0.5)
+
+    def test_mape_empty_window_raises(self):
+        feedback = PredictionFeedback()
+        with pytest.raises(ValueError):
+            feedback.mape()
+        with pytest.raises(ValueError):
+            feedback.raw_mape()
+
+    def test_observe_requires_completion(self):
+        feedback = PredictionFeedback()
+        with pytest.raises(ValueError, match="not completed"):
+            feedback.observe(make_task())
+
+    def test_observe_uses_override_estimate(self):
+        feedback = PredictionFeedback(alpha=1.0)
+        task = complete(
+            make_task(estimated=800.0, isolated=1000.0), turnaround=1200.0
+        )
+        feedback.observe(task, predicted_cycles=500.0)
+        assert feedback.correction("CNN-AN") == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictionFeedback(alpha=0.0)
+        feedback = PredictionFeedback()
+        with pytest.raises(ValueError):
+            feedback.record("CNN-AN", 0.0, 100.0)
+        with pytest.raises(ValueError):
+            feedback.correct("CNN-AN", -1.0)
+
+
+class TestOracleObserve:
+    def test_observe_registers_ground_truth(self):
+        oracle = OraclePredictor()
+        task = complete(make_task(task_id=7, isolated=1234.0),
+                        turnaround=2000.0)
+        oracle.observe(task)
+        assert 7 in oracle
+        assert oracle.predict_task(7) == pytest.approx(1234.0)
+
+    def test_observe_requires_completion(self):
+        oracle = OraclePredictor()
+        with pytest.raises(ValueError, match="not completed"):
+            oracle.observe(make_task(task_id=7))
+
+    def test_shared_surface_with_feedback(self):
+        """Either learner plugs into the same completion hook."""
+        task = complete(make_task(task_id=3, estimated=900.0,
+                                  isolated=1000.0), turnaround=1500.0)
+        for learner in (OraclePredictor(), PredictionFeedback()):
+            learner.observe(task)
+
+
+# ----------------------------------------------------------------------
+# Admission controller
+# ----------------------------------------------------------------------
+class TestAdmissionDecisions:
+    def test_accepts_within_slo(self):
+        controller = AdmissionController()
+        task = make_task(priority=Priority.HIGH, estimated=1000.0)
+        record = controller.decide(task, backlog_cycles=1000.0, now=0.0)
+        # Predicted slowdown 2.0 against the interactive 4x target.
+        assert record.decision is AdmissionDecision.ACCEPT
+        assert record.predicted_slowdown == pytest.approx(2.0)
+        assert record.qos == "interactive"
+
+    def test_defers_then_rejects(self):
+        """A task can't defer forever: bounded retries, then reject."""
+        config = AdmissionConfig(max_defers=2)
+        controller = AdmissionController(config)
+        task = make_task(priority=Priority.HIGH, estimated=1000.0)
+        backlog = 1e7  # hopeless
+        decisions = [
+            controller.decide(task, backlog, now=float(i), attempt=i).decision
+            for i in range(4)
+        ]
+        assert decisions == [
+            AdmissionDecision.DEFER,
+            AdmissionDecision.DEFER,
+            AdmissionDecision.REJECT,
+            AdmissionDecision.REJECT,
+        ]
+
+    def test_hopeless_task_rejected_without_futile_defers(self):
+        """Waited time alone busting the target -> immediate reject:
+        slowdown only grows with time, so no defer can ever help."""
+        controller = AdmissionController(AdmissionConfig(max_defers=3))
+        task = make_task(priority=Priority.HIGH, estimated=1000.0,
+                         arrival=0.0)
+        # Interactive target 4x; waited 3001 > (4-1)*1000 even with an
+        # empty cluster.
+        record = controller.decide(task, backlog_cycles=0.0, now=3001.0)
+        assert record.decision is AdmissionDecision.REJECT
+        assert record.attempt == 0
+
+    def test_expired_deadline_rejected_without_defers(self):
+        slos = SLOPolicy(levels={
+            **DEFAULT_SLOS.levels,
+            QoSClass.INTERACTIVE: ServiceLevel(
+                QoSClass.INTERACTIVE, slowdown_target=1e9,
+                deadline_cycles=2000.0,
+            ),
+        })
+        controller = AdmissionController(AdmissionConfig(slos=slos))
+        task = make_task(priority=Priority.HIGH, estimated=1000.0)
+        record = controller.decide(task, backlog_cycles=0.0, now=1500.0)
+        assert record.decision is AdmissionDecision.REJECT
+
+    def test_zero_defers_rejects_immediately(self):
+        controller = AdmissionController(AdmissionConfig(max_defers=0))
+        task = make_task(priority=Priority.HIGH, estimated=1000.0)
+        record = controller.decide(task, backlog_cycles=1e7, now=0.0)
+        assert record.decision is AdmissionDecision.REJECT
+
+    def test_waited_time_counts_against_slo(self):
+        controller = AdmissionController()
+        task = make_task(priority=Priority.HIGH, estimated=1000.0,
+                         arrival=0.0)
+        # Backlog pushes the prediction past the 4x interactive target
+        # while the waited time alone (2000 = (target-2)*est) does not:
+        # over-SLO but not hopeless, so retries being exhausted is what
+        # forces the reject.
+        record = controller.decide(task, backlog_cycles=2000.0, now=2000.0,
+                                   attempt=controller.config.max_defers)
+        assert record.decision is AdmissionDecision.REJECT
+        assert record.predicted_slowdown == pytest.approx(5.0)
+
+    def test_deadline_slo_enforced(self):
+        slos = SLOPolicy(levels={
+            **DEFAULT_SLOS.levels,
+            QoSClass.INTERACTIVE: ServiceLevel(
+                QoSClass.INTERACTIVE, slowdown_target=100.0,
+                deadline_cycles=1500.0,
+            ),
+        })
+        controller = AdmissionController(
+            AdmissionConfig(slos=slos, max_defers=0)
+        )
+        task = make_task(priority=Priority.HIGH, estimated=1000.0)
+        assert controller.decide(
+            task, backlog_cycles=400.0, now=0.0
+        ).decision is AdmissionDecision.ACCEPT
+        late = make_task(task_id=1, priority=Priority.HIGH, estimated=1000.0)
+        assert controller.decide(
+            late, backlog_cycles=600.0, now=0.0
+        ).decision is AdmissionDecision.REJECT
+
+    def test_records_accumulate(self):
+        controller = AdmissionController()
+        task = make_task(priority=Priority.HIGH, estimated=1000.0)
+        controller.decide(task, 0.0, now=0.0)
+        controller.decide(task, 1e9, now=1.0)
+        assert len(controller.records) == 2
+        assert controller.decision_count(AdmissionDecision.ACCEPT) == 1
+        assert controller.decision_count(AdmissionDecision.DEFER) == 1
+
+
+class TestAdmissionBudgets:
+    def _controller(self, floor=0.0):
+        return AdmissionController(
+            AdmissionConfig(budget_floor_cycles=floor, max_defers=0)
+        )
+
+    def test_batch_capped_at_share(self):
+        controller = self._controller()
+        # Fill the ledger with accepted interactive work.
+        for task_id in range(6):
+            task = make_task(task_id=task_id, priority=Priority.HIGH,
+                             estimated=1000.0)
+            controller.admit(task)
+        assert controller.outstanding_cycles() == pytest.approx(6000.0)
+        # Batch's default share is 0.4: a 5000-cycle batch arrival would
+        # hold 5/11 > 0.4 of outstanding work -> budget-limited.
+        batch = make_task(task_id=10, priority=Priority.LOW, estimated=5000.0)
+        record = controller.decide(batch, backlog_cycles=0.0, now=0.0)
+        assert record.decision is AdmissionDecision.REJECT
+        assert record.budget_limited
+        # A smaller batch task fits under the share.
+        small = make_task(task_id=11, priority=Priority.LOW, estimated=1000.0)
+        assert controller.decide(
+            small, backlog_cycles=0.0, now=0.0
+        ).decision is AdmissionDecision.ACCEPT
+
+    def test_interactive_never_budget_limited(self):
+        controller = self._controller()
+        task = make_task(task_id=0, priority=Priority.HIGH, estimated=1e9)
+        record = controller.decide(task, backlog_cycles=0.0, now=0.0)
+        assert record.decision is AdmissionDecision.ACCEPT
+
+    def test_floor_disables_budget_when_nearly_empty(self):
+        controller = self._controller(floor=1e7)
+        # Some interactive work outstanding, but the total sits below
+        # the floor: budgets must not bind.
+        controller.admit(make_task(task_id=5, priority=Priority.HIGH,
+                                   estimated=1000.0))
+        batch = make_task(task_id=0, priority=Priority.LOW, estimated=5000.0)
+        assert controller.decide(
+            batch, backlog_cycles=0.0, now=0.0
+        ).decision is AdmissionDecision.ACCEPT
+
+    def test_lone_class_fills_idle_cluster(self):
+        """Work conservation: with no other class outstanding, a capped
+        class is admitted regardless of floor or share."""
+        controller = self._controller(floor=0.0)
+        for task_id in range(3):
+            batch = make_task(task_id=task_id, priority=Priority.LOW,
+                              estimated=1e7)
+            record = controller.decide(batch, backlog_cycles=0.0, now=0.0)
+            assert record.decision is AdmissionDecision.ACCEPT
+            assert not record.budget_limited
+            controller.admit(batch)
+
+    def test_completion_releases_budget(self):
+        controller = self._controller()
+        task = make_task(task_id=0, priority=Priority.LOW, estimated=1000.0)
+        controller.admit(task)
+        assert controller.outstanding_cycles("batch") == pytest.approx(1000.0)
+        controller.on_complete(complete(task, turnaround=2000.0))
+        assert controller.outstanding_cycles("batch") == 0.0
+
+    def test_unknown_completion_ignored(self):
+        controller = self._controller()
+        controller.on_complete(complete(make_task(task_id=99),
+                                        turnaround=10.0))
+        assert controller.outstanding_cycles() == 0.0
+
+
+class TestAdmissionFeedbackCoupling:
+    def test_admit_applies_correction_to_context(self):
+        feedback = PredictionFeedback(alpha=1.0)
+        feedback.record("CNN-AN", 500.0, 1000.0)  # learned 2x factor
+        controller = AdmissionController(feedback=feedback)
+        task = make_task(estimated=600.0)
+        controller.admit(task)
+        assert task.context.estimated_cycles == pytest.approx(1200.0)
+
+    def test_admit_without_feedback_leaves_context(self):
+        controller = AdmissionController()
+        task = make_task(estimated=600.0)
+        controller.admit(task)
+        assert task.context.estimated_cycles == pytest.approx(600.0)
+
+    def test_on_complete_observes_raw_estimate(self):
+        feedback = PredictionFeedback(alpha=1.0)
+        controller = AdmissionController(feedback=feedback)
+        task = make_task(estimated=500.0, isolated=1000.0)
+        controller.admit(task)
+        controller.on_complete(complete(task, turnaround=1500.0))
+        # The observation used the raw 500-cycle estimate (not the
+        # corrected context value), so the learned factor is exactly 2.
+        assert feedback.correction("CNN-AN") == pytest.approx(2.0)
+
+    def test_decide_uses_corrected_denominator(self):
+        feedback = PredictionFeedback(alpha=1.0)
+        feedback.record("CNN-AN", 500.0, 1000.0)
+        controller = AdmissionController(feedback=feedback)
+        task = make_task(priority=Priority.HIGH, estimated=1000.0)
+        record = controller.decide(task, backlog_cycles=2000.0, now=0.0)
+        # Corrected estimate 2000: slowdown (2000+2000)/2000 = 2.
+        assert record.predicted_slowdown == pytest.approx(2.0)
+
+
+class TestAdmissionConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_defers=-1)
+        with pytest.raises(ValueError):
+            AdmissionConfig(defer_delay_cycles=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(budget_floor_cycles=-1.0)

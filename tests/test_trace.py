@@ -126,3 +126,90 @@ class TestSyntheticRuntimes:
         runtimes = synthetic_trace_runtimes(2000, seed=6)
         mean_service = sum(r.isolated_cycles for r in runtimes) / len(runtimes)
         assert 0.5 < mean_service / DEFAULT_MEAN_INTERARRIVAL_CYCLES < 1.0
+
+
+class TestQosTagging:
+    def test_assign_qos_tags_every_task(self):
+        from repro.workloads.trace import assign_qos
+
+        workload = make_generator(seed=3).generate_poisson(40)
+        tagged = assign_qos(
+            workload, {"interactive": 1.0, "batch": 1.0}, seed=5
+        )
+        assert all(t.qos in ("interactive", "batch") for t in tagged.tasks)
+        assert {t.qos for t in tagged.tasks} == {"interactive", "batch"}
+
+    def test_tagging_preserves_arrivals_and_attributes(self):
+        from repro.workloads.trace import assign_qos
+
+        workload = make_generator(seed=3).generate_poisson(40)
+        tagged = assign_qos(workload, {"standard": 1.0}, seed=5)
+        for before, after in zip(workload.tasks, tagged.tasks):
+            assert after.arrival_cycles == before.arrival_cycles
+            assert after.benchmark == before.benchmark
+            assert after.batch == before.batch
+
+    def test_align_priority_matches_class(self):
+        from repro.core.tokens import Priority
+        from repro.workloads.trace import assign_qos
+
+        workload = make_generator(seed=3).generate_poisson(30)
+        tagged = assign_qos(
+            workload, {"interactive": 1.0, "batch": 2.0}, seed=7
+        )
+        expected = {"interactive": Priority.HIGH, "batch": Priority.LOW}
+        for task in tagged.tasks:
+            assert task.priority is expected[task.qos]
+
+    def test_align_priority_off_keeps_priorities(self):
+        from repro.workloads.trace import assign_qos
+
+        workload = make_generator(seed=3).generate_poisson(30)
+        tagged = assign_qos(
+            workload, {"batch": 1.0}, seed=7, align_priority=False
+        )
+        for before, after in zip(workload.tasks, tagged.tasks):
+            assert after.priority is before.priority
+
+    def test_bad_mix_rejected(self):
+        from repro.workloads.trace import assign_qos
+
+        workload = make_generator(seed=3).generate_poisson(4)
+        with pytest.raises(ValueError):
+            assign_qos(workload, {}, seed=1)
+        with pytest.raises(ValueError):
+            assign_qos(workload, {"batch": -1.0}, seed=1)
+
+    def test_synthetic_runtimes_unchanged_without_tagging(self):
+        """qos_mix/estimate_bias default off => bit-identical traces."""
+        plain = synthetic_trace_runtimes(20, seed=11)
+        again = synthetic_trace_runtimes(20, seed=11)
+        for a, b in zip(plain, again):
+            assert a.spec == b.spec
+            assert a.context.estimated_cycles == b.context.estimated_cycles
+            assert a.spec.qos is None
+
+    def test_estimate_bias_scales_named_benchmarks_only(self):
+        plain = synthetic_trace_runtimes(40, seed=11)
+        biased = synthetic_trace_runtimes(
+            40, seed=11, estimate_bias={"CNN-AN": 0.5}
+        )
+        for a, b in zip(plain, biased):
+            assert a.spec == b.spec
+            if a.spec.benchmark == "CNN-AN":
+                assert b.context.estimated_cycles == pytest.approx(
+                    a.context.estimated_cycles * 0.5
+                )
+            else:
+                assert b.context.estimated_cycles == \
+                    a.context.estimated_cycles
+
+    def test_qos_mix_keeps_arrival_stream(self):
+        plain = synthetic_trace_runtimes(25, seed=13)
+        tagged = synthetic_trace_runtimes(
+            25, seed=13, qos_mix={"interactive": 1.0, "standard": 1.0}
+        )
+        for a, b in zip(plain, tagged):
+            assert b.spec.arrival_cycles == a.spec.arrival_cycles
+            assert b.spec.benchmark == a.spec.benchmark
+            assert b.spec.qos in ("interactive", "standard")
