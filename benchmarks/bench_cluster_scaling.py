@@ -1,8 +1,26 @@
-"""Extension bench: multi-NPU node-level scheduling (Sec II-C future work)."""
+"""Extension bench: multi-NPU node-level scheduling (Sec II-C future work).
+
+Two measurements: the original quality sweep (ANTT/makespan across
+router x device-scheduler combinations on 1/2/4 NPUs) and, since the
+O(log d) control-plane PR, a datacenter-tier cost sweep -- per-event
+cluster-loop cost at 4/64/256 devices under fixed per-device load,
+indexed loop vs the preserved pre-index linear-scan loop.  The cost
+sweep's JSON lands in ``benchmarks/results/BENCH_cluster_scaling.json``
+(uploaded as a CI artifact by the bench-smoke job).
+"""
+
+import json
+import pathlib
 
 from repro.analysis.experiments.cluster_scaling import (
     format_cluster_scaling,
+    format_control_plane,
     run_cluster_scaling,
+    run_control_plane_scaling,
+)
+
+CONTROL_PLANE_RESULTS = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_cluster_scaling.json"
 )
 
 
@@ -36,3 +54,29 @@ def test_cluster_scaling(benchmark, config, factory, emit):
     # Scaling out helps: 4 devices strictly beat 1 on ANTT.
     assert by_key[(4, "work-stealing", "PREMA")].antt < \
         by_key[(1, "work-stealing", "PREMA")].antt
+
+
+def test_control_plane_scaling(benchmark, emit):
+    """Per-event cost flat in d; the 256-device tier beats the pre-index
+    loop by the PR's >= 5x acceptance margin (measured ~40x)."""
+    rows = benchmark.pedantic(
+        run_control_plane_scaling,
+        rounds=1,
+        iterations=1,
+    )
+    emit("cluster_control_plane", format_control_plane(rows))
+    CONTROL_PLANE_RESULTS.parent.mkdir(exist_ok=True)
+    CONTROL_PLANE_RESULTS.write_text(
+        json.dumps(
+            [row.__dict__ for row in rows], indent=2, sort_keys=True
+        )
+        + "\n"
+    )
+    by_key = {(r.num_devices, r.indexed): r for r in rows}
+    # Flat per-event cost in the fleet size (fixed per-device load): the
+    # indexed loop may not grow beyond 3x from 4 to 64 devices.
+    assert by_key[(64, True)].us_per_event <= \
+        3.0 * by_key[(4, True)].us_per_event
+    # The 256-device tier: >= 5x throughput over the pre-index loop.
+    assert by_key[(256, True)].tasks_per_sec >= \
+        5.0 * by_key[(256, False)].tasks_per_sec

@@ -32,7 +32,7 @@ import pathlib
 import platform
 import sys
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
@@ -143,6 +143,7 @@ def measure_cluster(
     seed: int = 33,
     routing: RoutingPolicy = RoutingPolicy.WORK_STEALING,
     admission: bool = False,
+    use_indexes: Optional[bool] = None,
 ) -> Dict[str, float]:
     """Wall time of a cluster run over an aggregate open-arrival trace.
 
@@ -176,9 +177,10 @@ def measure_cluster(
         routing=routing,
         seed=seed,
         admission=controller,
+        use_indexes=use_indexes,
     )
     start = time.perf_counter()
-    scheduler.run(runtimes)
+    result = scheduler.run(runtimes)
     seconds = time.perf_counter() - start
     return {
         "tasks": num_tasks,
@@ -186,6 +188,8 @@ def measure_cluster(
         "routing": routing.value,
         "seconds": round(seconds, 6),
         "tasks_per_sec": num_tasks / seconds,
+        "events": result.events_processed,
+        "us_per_event": 1e6 * seconds / result.events_processed,
     }
 
 
@@ -213,11 +217,27 @@ def run(tier: str = "full") -> Dict[str, object]:
     )
     record["normalized"] = record["tasks_per_sec"] / calibration_ops
     results["cluster_admission_4dev_500"] = record
+    # The datacenter tier: 64 work-stealing devices at the same
+    # per-device load.  Runs in the small tier so the CI gate watches
+    # the O(log d) control plane (event heap, backlog index, candidate
+    # sets) -- the pre-index loop was ~6x slower here and would trip
+    # the 30% gate instantly.
+    record = measure_cluster(2000, num_devices=64, seed=39)
+    record["normalized"] = record["tasks_per_sec"] / calibration_ops
+    results["cluster_ws_64dev_2000"] = record
     if tier == "full":
         record = measure_single_device(FULL_TIERS[-1], bursty=True)
         record["normalized"] = record["events_per_sec"] / calibration_ops
         results[f"single_bursty_{FULL_TIERS[-1]}"] = record
         results["cluster_ws_4dev_2000"] = measure_cluster(2000)
+        # 256 devices, indexed vs the preserved pre-index linear-scan
+        # loop: the before/after headline (~40x at this tier).
+        results["cluster_ws_256dev_2560"] = measure_cluster(
+            2560, num_devices=256, seed=41
+        )
+        results["cluster_ws_256dev_2560_linear"] = measure_cluster(
+            2560, num_devices=256, seed=41, use_indexes=False
+        )
     return {
         "meta": {
             "tier": tier,
@@ -287,12 +307,24 @@ def update_baseline(payload: Dict[str, object]) -> None:
         for name, record in payload["tiers"].items()
         if "normalized" in record
     }
+    # Ratchet policy: an existing entry's floor may only move *up* from
+    # a regeneration; lowering one requires deleting it here by hand
+    # alongside a written justification (a floor that quietly drops
+    # stops gating the regression it was installed to catch).
+    if BASELINE_PATH.exists():
+        previous = json.loads(BASELINE_PATH.read_text())["normalized"]
+        for name, reference in previous.items():
+            if name in normalized:
+                normalized[name] = max(normalized[name], reference)
     BASELINE_PATH.write_text(
         json.dumps(
             {
                 "note": (
                     "Machine-normalized events/sec (events per calibration "
-                    "op); regenerate with bench_hotpath.py --update-baseline"
+                    "op); regenerate with bench_hotpath.py "
+                    "--update-baseline, which only ever ratchets existing "
+                    "floors upward (never down without deleting the entry "
+                    "by hand + a writeup)."
                 ),
                 "normalized": normalized,
             },

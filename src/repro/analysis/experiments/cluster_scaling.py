@@ -18,6 +18,7 @@ Two headline questions:
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -29,6 +30,10 @@ from repro.sched.metrics import compute_cluster_metrics
 from repro.sched.prepare import TaskFactory
 from repro.sched.simulator import PreemptionMode, SimulationConfig
 from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.trace import (
+    DEFAULT_MEAN_INTERARRIVAL_CYCLES,
+    synthetic_trace_runtimes,
+)
 
 #: The evaluated (router, device policy, preemption mode) combinations:
 #: the Kubernetes-default blind baseline, then predictive routing in its
@@ -109,6 +114,100 @@ def run_cluster_scaling(
                 )
             )
     return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlPlaneRow:
+    """One (devices, loop variant) control-plane cost measurement."""
+
+    num_devices: int
+    routing: str
+    indexed: bool
+    tasks: int
+    events: int
+    seconds: float
+    us_per_event: float
+    tasks_per_sec: float
+
+
+def run_control_plane_scaling(
+    device_counts: Sequence[int] = (4, 64, 256),
+    linear_device_counts: Sequence[int] = (4, 256),
+    tasks_per_device: int = 10,
+    routing: RoutingPolicy = RoutingPolicy.WORK_STEALING,
+    seed: int = 47,
+) -> List[ControlPlaneRow]:
+    """Per-event cost of the cluster loop as the fleet grows.
+
+    Synthetic open-arrival traces (no model building) at *fixed
+    per-device load* -- the arrival rate scales with the fleet -- so
+    per-device scheduler work per event is constant and any growth in
+    the measured per-event cost is control-plane overhead.  The indexed
+    loop (`_ClusterIndexes`, O(log d) per event) runs at every device
+    count; the preserved pre-index linear-scan loop
+    (``use_indexes=False``: O(d) next-event scan and termination sum,
+    O(d x live) routing, O(d^2) steal scans) runs at the endpoints of
+    ``linear_device_counts`` as the before/after comparison.
+    """
+    rows: List[ControlPlaneRow] = []
+    for num_devices in device_counts:
+        variants = [True]
+        if num_devices in linear_device_counts:
+            variants.append(False)
+        for indexed in variants:
+            num_tasks = num_devices * tasks_per_device
+            runtimes = synthetic_trace_runtimes(
+                num_tasks,
+                seed=seed,
+                mean_interarrival_cycles=(
+                    DEFAULT_MEAN_INTERARRIVAL_CYCLES / num_devices
+                ),
+            )
+            scheduler = ClusterScheduler(
+                num_devices=num_devices,
+                simulation_config=SimulationConfig(
+                    npu=NPUConfig(),
+                    mode=PreemptionMode.DYNAMIC,
+                    mechanism="CHECKPOINT",
+                ),
+                policy_name="PREMA",
+                routing=routing,
+                seed=seed,
+                use_indexes=indexed,
+            )
+            start = time.perf_counter()
+            result = scheduler.run(runtimes)
+            seconds = time.perf_counter() - start
+            rows.append(
+                ControlPlaneRow(
+                    num_devices=num_devices,
+                    routing=routing.value,
+                    indexed=indexed,
+                    tasks=num_tasks,
+                    events=result.events_processed,
+                    seconds=seconds,
+                    us_per_event=1e6 * seconds / result.events_processed,
+                    tasks_per_sec=num_tasks / seconds,
+                )
+            )
+    return rows
+
+
+def format_control_plane(rows: Sequence[ControlPlaneRow]) -> str:
+    return format_table(
+        ("devices", "routing", "loop", "tasks", "events", "us_per_event",
+         "tasks_per_sec"),
+        [
+            (r.num_devices, r.routing,
+             "indexed" if r.indexed else "linear-scan", r.tasks, r.events,
+             r.us_per_event, r.tasks_per_sec)
+            for r in rows
+        ],
+        title=(
+            "Cluster control plane: per-event cost vs fleet size "
+            "(O(log d) indexes vs the pre-index linear scans)"
+        ),
+    )
 
 
 def format_cluster_scaling(rows: Sequence[ClusterRow]) -> str:

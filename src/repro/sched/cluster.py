@@ -137,6 +137,13 @@ PRIORITY_DRIVEN_POLICIES = frozenset({"HPF", "TOKEN", "PREMA"})
 #: (the admission predictor's ``sjf_within_cycles`` refinement).
 SHORTEST_FIRST_POLICIES = frozenset({"SJF", "TOKEN", "PREMA"})
 
+#: Fleet size at which the O(log d) control plane pays for itself.  The
+#: indexed and linear loops are decision-identical, so the default is a
+#: pure cost choice: below this, enumerating the fleet is cheaper than
+#: maintaining the index (measured crossover ~4-8 devices; the paper's
+#: 1-4 NPU node settings keep the historical loop).
+INDEXED_CONTROL_PLANE_MIN_DEVICES = 8
+
 
 @dataclasses.dataclass(frozen=True)
 class MigrationRecord:
@@ -191,6 +198,9 @@ class ClusterResult:
     admission_records: Tuple[AdmissionRecord, ...] = ()
     #: Arrivals the admission controller refused; they never executed.
     rejected_tasks: Tuple[TaskRuntime, ...] = ()
+    #: Total device events processed across the fleet (introspection /
+    #: benchmarking: per-event control-plane cost = wall time / this).
+    events_processed: int = 0
 
     @property
     def num_devices(self) -> int:
@@ -251,12 +261,241 @@ class ClusterResult:
         return utilization
 
 
+class _ClusterIndexes:
+    """O(log d)-per-event control-plane indexes over a device fleet.
+
+    Three structures replace the cluster loop's per-event linear scans.
+    Each is *re-plumbing only*: every consultation returns exactly what
+    the reference scan over all devices returns (the golden suites and
+    ``tests/test_cluster_indexes.py`` pin this), it just stops paying
+    O(d) -- or, for work stealing, O(d^2) -- to find it.
+
+    - **Device-event heap** -- a lazy-deletion min-heap of ``(time,
+      kind-rank, device)`` entries mirroring each device's
+      ``next_event_key()``.  Devices invalidate/refresh their entry
+      through :attr:`DeviceSim.on_next_event_change`; stale entries are
+      discarded when they surface (the PR-2 policy-heap discipline).
+      Ties at equal ``(time, kind)`` break to the lowest device index,
+      exactly like the linear scan.
+    - **Backlog-bound heap** -- a lazy-deletion min-heap of ``(backlog
+      lower bound, device)`` entries keyed on
+      :meth:`DeviceSim.backlog_lower_bound`, refreshed at every device
+      mutation (inject / step / migration edges).  Routing runs a
+      best-first search: pop candidates in bound order, compute the
+      *exact* ``predicted_backlog(now) + inbound`` for each, and stop as
+      soon as the heap top can no longer beat the best exact key --
+      sound because every unexamined device's exact key is at least its
+      bound key.  The argmin (ties to the lowest index) is therefore
+      identical to the full scan's, float-for-float, while only devices
+      whose bound undercuts the winner are ever touched.
+    - **Candidate device sets** -- ``idle_candidates`` (devices whose
+      time-independent idle clauses hold, a superset of the truly idle),
+      ``steal_candidates`` (devices holding queued work), and
+      ``source_candidates`` (queued or preempted work).  ``_steal`` /
+      ``_migrate`` iterate these in device order and re-check the exact
+      time-dependent predicates per candidate, so the common no-idle
+      event costs O(1) instead of an O(d) fleet enumeration.
+
+    With ``verify=True`` every consultation additionally runs the
+    reference scan and raises on any divergence (the property tests'
+    index-vs-linear-scan harness).
+    """
+
+    def __init__(self, devices: Sequence[DeviceSim], verify: bool = False) -> None:
+        self._devices = devices
+        self.verify = verify
+        num = len(devices)
+        self._event_key: List[Optional[Tuple[float, int]]] = [None] * num
+        self._event_heap: List[Tuple[float, int, int]] = []
+        self._backlog_bound: List[float] = [0.0] * num
+        # Pre-seeded with every device at bound 0.0 (an ascending list is
+        # already a valid heap); refresh() only pushes on bound *moves*.
+        self._backlog_heap: List[Tuple[float, int]] = [
+            (0.0, index) for index in range(num)
+        ]
+        self._heap_cap = 4 * num + 64
+        self.idle_candidates: set = set()
+        self.steal_candidates: set = set()
+        self.source_candidates: set = set()
+        for device in devices:
+            device.on_next_event_change = self._on_event_change
+            self._on_event_change(device)
+            self.refresh(device)
+
+    # ------------------------------------------------------------------
+    # Device-event heap
+    # ------------------------------------------------------------------
+    def _on_event_change(self, device: DeviceSim) -> None:
+        index = device.device_id
+        key = device.next_event_key()
+        self._event_key[index] = key
+        if key is not None:
+            heapq.heappush(self._event_heap, (key[0], key[1], index))
+            if len(self._event_heap) > self._heap_cap:
+                self._event_heap = [
+                    (current[0], current[1], idx)
+                    for idx, current in enumerate(self._event_key)
+                    if current is not None
+                ]
+                heapq.heapify(self._event_heap)
+
+    def peek_next_device(
+        self,
+    ) -> Tuple[Optional[int], Optional[Tuple[float, int]]]:
+        """(device index, (time, kind-rank)) of the earliest device event.
+
+        Lazy deletion: entries whose key no longer matches the device's
+        live ``next_event_key()`` are dropped as they surface.  Returns
+        ``(None, None)`` when every device is dormant.
+        """
+        heap = self._event_heap
+        keys = self._event_key
+        found: Tuple[Optional[int], Optional[Tuple[float, int]]] = (None, None)
+        while heap:
+            time_, rank, index = heap[0]
+            if keys[index] != (time_, rank):
+                heapq.heappop(heap)
+                continue
+            found = (index, (time_, rank))
+            break
+        if self.verify:
+            reference: Tuple[Optional[int], Optional[Tuple[float, int]]] = (
+                None,
+                None,
+            )
+            for index, device in enumerate(self._devices):
+                key = device.next_event_key()
+                if key is not None and (
+                    reference[1] is None or key < reference[1]
+                ):
+                    reference = (index, key)
+            if reference != found:
+                raise AssertionError(
+                    f"event heap peeked {found}, reference scan {reference}"
+                )
+        return found
+
+    # ------------------------------------------------------------------
+    # Backlog index + candidate sets
+    # ------------------------------------------------------------------
+    def refresh(self, device: DeviceSim) -> None:
+        """Re-key every per-device structure after a device mutation.
+
+        O(live) for the backlog bound (the same cost one reference-scan
+        visit paid), O(1) set updates.  Must run after every ``step``,
+        ``inject``, and ``remove_task`` so the bound invariant (bound <=
+        exact backlog at any later instant) and the candidate supersets
+        stay valid.
+        """
+        index = device.device_id
+        bound = device.backlog_lower_bound()
+        if bound != self._backlog_bound[index]:
+            # An unchanged bound leaves the device's resident heap entry
+            # valid (entries are validated by value), so only actual
+            # moves pay a push.
+            self._backlog_bound[index] = bound
+            heapq.heappush(self._backlog_heap, (bound, index))
+            if len(self._backlog_heap) > self._heap_cap:
+                self._backlog_heap = [
+                    (value, idx)
+                    for idx, value in enumerate(self._backlog_bound)
+                ]
+                heapq.heapify(self._backlog_heap)
+        if device.maybe_idle:
+            self.idle_candidates.add(index)
+        else:
+            self.idle_candidates.discard(index)
+        if device.has_queued:
+            self.steal_candidates.add(index)
+            self.source_candidates.add(index)
+        else:
+            self.steal_candidates.discard(index)
+            if device.has_preempted:
+                self.source_candidates.add(index)
+            else:
+                self.source_candidates.discard(index)
+
+    def route_min_backlog(self, now: float, inbound) -> Tuple[int, float]:
+        """Device with the least ``predicted_backlog(now) + inbound(d)``;
+        ties break to the lowest device index.  Returns (device, its
+        exact backlog) -- the same pair the linear scan derives.
+
+        Best-first search over the bound heap: examined candidates get
+        their exact backlog computed (and are re-pushed unchanged); the
+        search stops once the top bound entry cannot beat the best exact
+        key, which covers every unexamined device since exact >= bound.
+        """
+        heap = self._backlog_heap
+        bounds = self._backlog_bound
+        devices = self._devices
+        examined: List[Tuple[float, int]] = []
+        best_key: Optional[Tuple[float, int]] = None
+        best_backlog = 0.0
+        while heap:
+            bound, index = heap[0]
+            if bounds[index] != bound:
+                heapq.heappop(heap)
+                continue
+            if best_key is not None and (bound, index) >= best_key:
+                break
+            examined.append(heapq.heappop(heap))
+            backlog = devices[index].predicted_backlog(now) + inbound(index)
+            key = (backlog, index)
+            if best_key is None or key < best_key:
+                best_key, best_backlog = key, backlog
+        for entry in examined:
+            heapq.heappush(heap, entry)
+        if best_key is None:
+            raise RuntimeError("backlog index has no live device entries")
+        if self.verify:
+            reference = min(
+                range(len(devices)),
+                key=lambda d: (
+                    devices[d].predicted_backlog(now) + inbound(d),
+                    d,
+                ),
+            )
+            if reference != best_key[1]:
+                raise AssertionError(
+                    f"backlog index routed to device {best_key[1]}, "
+                    f"reference scan to {reference}"
+                )
+        return best_key[1], best_backlog
+
+    def verify_candidate_sets(self, now: float) -> None:
+        """Reference check: the sets cover every true candidate."""
+        for index, device in enumerate(self._devices):
+            if device.is_idle(now) and index not in self.idle_candidates:
+                raise AssertionError(
+                    f"idle device {index} missing from idle_candidates"
+                )
+            if device.stealable_tasks() and index not in self.steal_candidates:
+                raise AssertionError(
+                    f"device {index} with stealable work missing from "
+                    "steal_candidates"
+                )
+            if (
+                device.stealable_tasks()
+                or device.migratable_preempted_tasks(now)
+            ) and index not in self.source_candidates:
+                raise AssertionError(
+                    f"device {index} with migratable work missing from "
+                    "source_candidates"
+                )
+
+
 class ClusterScheduler:
     """Serve one request stream across N preemptible NPUs.
 
     One shared event loop drives every device; dispatch decisions fire at
     task-arrival events (and, under work stealing, at device-idle edges
-    after any event).
+    after any event).  The control plane runs on the O(log d)
+    :class:`_ClusterIndexes` for fleets of
+    ``INDEXED_CONTROL_PLANE_MIN_DEVICES`` and larger (both loops make
+    identical decisions, so the default is purely the measured cost
+    crossover); ``use_indexes`` forces either loop, and
+    ``verify_indexes=True`` runs both on every consultation and raises
+    on any divergence.
     """
 
     def __init__(
@@ -269,6 +508,8 @@ class ClusterScheduler:
         interconnect: Optional[InterconnectConfig] = None,
         global_tokens: Optional[bool] = None,
         admission: Optional[AdmissionController] = None,
+        use_indexes: Optional[bool] = None,
+        verify_indexes: bool = False,
     ) -> None:
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
@@ -296,6 +537,19 @@ class ClusterScheduler:
         #: Optional SLA-aware frontend (repro.serving).  None preserves
         #: the admit-everything behavior bit-for-bit.
         self.admission = admission
+        #: O(log d) control plane (_ClusterIndexes).  Defaults on for
+        #: fleets of INDEXED_CONTROL_PLANE_MIN_DEVICES and larger (the
+        #: measured crossover); False falls back to the pre-index linear
+        #: scans -- bit-for-bit identical decisions, kept as the
+        #: equivalence reference and benchmark baseline.
+        if use_indexes is None:
+            use_indexes = num_devices >= INDEXED_CONTROL_PLANE_MIN_DEVICES
+        self.use_indexes = use_indexes
+        #: Cross-check every index consultation against the reference
+        #: scan (property-test harness; implies use_indexes).
+        self.verify_indexes = verify_indexes
+        if verify_indexes:
+            self.use_indexes = True
 
     # ------------------------------------------------------------------
     # Static routing (the up-front pass)
@@ -347,9 +601,16 @@ class ClusterScheduler:
     def run(self, tasks: Sequence[TaskRuntime]) -> ClusterResult:
         if not tasks:
             raise ValueError("need at least one task")
-        ids = [task.task_id for task in tasks]
-        if len(set(ids)) != len(ids):
-            raise ValueError("duplicate task ids in workload")
+        # Guard against task-id collisions up front: a duplicate would
+        # silently overwrite its twin's row in `assignments` and leave
+        # the completion count short of `total`, hanging the loop.
+        seen_ids: set = set()
+        for task in tasks:
+            if task.task_id in seen_ids:
+                raise ValueError(
+                    f"duplicate task id {task.task_id} in workload"
+                )
+            seen_ids.add(task.task_id)
 
         # The ledger only exists for policies that read tokens: attaching
         # one to HPF/SJF/FCFS would just accumulate dead entries (their
@@ -368,6 +629,12 @@ class ClusterScheduler:
             )
             for index in range(self.num_devices)
         ]
+        # The O(log d) control plane.  Built before any injection so the
+        # event-change hook sees every arrival; None runs the reference
+        # linear-scan loop (the pre-index behavior, decision-identical).
+        indexes: Optional[_ClusterIndexes] = None
+        if self.use_indexes:
+            indexes = _ClusterIndexes(devices, verify=self.verify_indexes)
         assignments: Dict[int, int] = {}
         migrations: List[MigrationRecord] = []
         #: Per-device in-flight checkpoint deliveries: (arrival cycle,
@@ -404,6 +671,8 @@ class ClusterScheduler:
                 target = static_assignments[task.task_id]
                 assignments[task.task_id] = target
                 devices[target].inject(task)
+                if indexes is not None:
+                    indexes.refresh(devices[target])
             pending: deque = deque()
         else:
             ordered = sorted(
@@ -421,15 +690,23 @@ class ClusterScheduler:
                 ]
 
         arrival_rank = int(_EventKind.ARRIVAL)
+        #: Running completion counter -- the O(1) termination check.  The
+        #: reference loop keeps the historical O(d) sum below.
+        completed_total = 0
         while True:
             # Earliest device event by (time, kind); ties break to the
             # lowest device index.
             device_index: Optional[int] = None
             device_key: Optional[Tuple[float, int]] = None
-            for index, device in enumerate(devices):
-                key = device.next_event_key()
-                if key is not None and (device_key is None or key < device_key):
-                    device_index, device_key = index, key
+            if indexes is not None:
+                device_index, device_key = indexes.peek_next_device()
+            else:
+                for index, device in enumerate(devices):
+                    key = device.next_event_key()
+                    if key is not None and (
+                        device_key is None or key < device_key
+                    ):
+                        device_index, device_key = index, key
 
             # Route the next arrival only once every device event that
             # logically precedes it has fired: earlier timestamps, plus
@@ -452,10 +729,12 @@ class ClusterScheduler:
                 if admission is None:
                     task = pending.popleft()
                     target = self._route_online(
-                        devices, task.spec.arrival_cycles, inflight
+                        devices, task.spec.arrival_cycles, inflight, indexes
                     )
                     assignments[task.task_id] = target
                     devices[target].inject(task)
+                    if indexes is not None:
+                        indexes.refresh(devices[target])
                     continue
                 consider, _, _, attempt, task = heapq.heappop(frontier)
                 # Admission-aware placement + prediction: the decision is
@@ -468,14 +747,12 @@ class ClusterScheduler:
                 # protects.  The filters follow the configured policy
                 # (see admission_prediction_filters); under FCFS/RRB the
                 # prediction is the plain total backlog.
-                min_priority = (
-                    int(task.spec.priority) if use_priority else None
-                )
-                sjf_within = (
-                    admission.corrected_estimate(task) if use_sjf else None
+                min_priority, sjf_within = admission.placement_query(
+                    task, use_priority, use_sjf
                 )
                 target, backlog = self._route_admission(
-                    devices, consider, inflight, min_priority, sjf_within
+                    devices, consider, inflight, min_priority, sjf_within,
+                    indexes,
                 )
                 record = admission.decide(task, backlog, consider, attempt)
                 if record.decision is AdmissionDecision.ACCEPT:
@@ -485,6 +762,8 @@ class ClusterScheduler:
                     admission.admit(task)
                     assignments[task.task_id] = target
                     devices[target].inject(task, arrival=consider)
+                    if indexes is not None:
+                        indexes.refresh(devices[target])
                 elif record.decision is AdmissionDecision.DEFER:
                     heapq.heappush(
                         frontier,
@@ -501,6 +780,10 @@ class ClusterScheduler:
                 break  # no events and no arrivals left
             stepped = devices[device_index]
             now = stepped.step()
+            if indexes is not None:
+                indexes.refresh(stepped)
+            if stepped.last_completed is not None:
+                completed_total += 1
 
             if admission is not None and stepped.last_completed is not None:
                 # The observation point of the learning-augmented loop:
@@ -516,21 +799,28 @@ class ClusterScheduler:
                 stepped.last_event_kind
                 in (_EventKind.COMPLETE, _EventKind.ARRIVAL)
             ):
-                migrations.extend(self._steal(devices, now, assignments))
+                migrations.extend(
+                    self._steal(devices, now, assignments, indexes)
+                )
             elif self.routing is RoutingPolicy.PREEMPTIVE_MIGRATION:
                 # Migration opportunities additionally appear when a
                 # preemption commits (PERIOD/DISPATCH wakes) and when a
                 # checkpoint becomes durable (the reserved DISPATCH at
-                # trap end), so scan after every event; the scan is
-                # O(devices) idle peeks unless someone is actually idle.
+                # trap end), so check after every event; with the indexes
+                # that check is an O(1) idle-candidate peek, and only
+                # actually-idle devices trigger a candidate walk.
                 assert fabric is not None
                 migrations.extend(
                     self._migrate(
-                        devices, now, assignments, fabric, inflight, ledger
+                        devices, now, assignments, fabric, inflight, ledger,
+                        indexes,
                     )
                 )
 
-            if sum(device.completed_count for device in devices) >= total:
+            if indexes is not None:
+                if completed_total >= total:
+                    break
+            elif sum(device.completed_count for device in devices) >= total:
                 break
 
         device_results = tuple(device.result() for device in devices)
@@ -564,6 +854,9 @@ class ClusterScheduler:
             transfers=transfers,
             admission_records=records,
             rejected_tasks=tuple(rejected),
+            events_processed=sum(
+                device.events_processed for device in devices
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -593,6 +886,7 @@ class ClusterScheduler:
         inflight: Dict[int, List[Tuple[float, float, int]]],
         min_priority: Optional[int],
         sjf_within: Optional[float],
+        indexes: Optional[_ClusterIndexes] = None,
     ) -> Tuple[int, float]:
         """Admission-aware placement: least class-aware backlog.
 
@@ -600,14 +894,20 @@ class ClusterScheduler:
         device index -- an interactive arrival usually sees several
         devices with zero same-class work, and the total keeps those
         choices load-balanced.  With no filters active this degenerates
-        to exactly :meth:`_route_online`'s rule.  Returns the chosen
-        device and its class-aware backlog (what the arrival is
-        predicted to wait behind).
+        to exactly :meth:`_route_online`'s rule -- and is then served
+        from the backlog index; filtered predictions depend on the
+        arrival's own class and estimate, so they take the class-aware
+        linear fallback.  Returns the chosen device and its class-aware
+        backlog (what the arrival is predicted to wait behind).
         """
+        filtered = min_priority is not None or sjf_within is not None
+        if indexes is not None and not filtered:
+            return indexes.route_min_backlog(
+                now, lambda d: self._inbound_backlog(inflight, d, now)
+            )
         best_key: Optional[Tuple[float, float, int]] = None
         best_index = 0
         best_backlog = 0.0
-        filtered = min_priority is not None or sjf_within is not None
         for index, device in enumerate(devices):
             class_backlog = device.predicted_backlog(
                 now, min_priority=min_priority, sjf_within_cycles=sjf_within
@@ -658,13 +958,21 @@ class ClusterScheduler:
         devices: Sequence[DeviceSim],
         now: float,
         inflight: Dict[int, List[Tuple[float, float, int]]],
+        indexes: Optional[_ClusterIndexes] = None,
     ) -> int:
         """Least live predicted backlog; ties to the lowest device index.
 
         In-flight checkpoint migrations count toward their destination's
         backlog -- the node agent routed them, so it knows they are
-        coming even though the device has not admitted them yet.
+        coming even though the device has not admitted them yet.  With
+        indexes the argmin comes from the backlog-bound best-first
+        search (identical float semantics, candidate devices only).
         """
+        if indexes is not None:
+            index, _ = indexes.route_min_backlog(
+                now, lambda d: cls._inbound_backlog(inflight, d, now)
+            )
+            return index
         return min(
             range(len(devices)),
             key=lambda d: (
@@ -679,6 +987,7 @@ class ClusterScheduler:
         devices: Sequence[DeviceSim],
         now: float,
         assignments: Dict[int, int],
+        indexes: Optional[_ClusterIndexes] = None,
     ) -> List[MigrationRecord]:
         """Migrate queued work from backlogged devices to idle ones.
 
@@ -687,17 +996,39 @@ class ClusterScheduler:
         drain naturally).  Victim: largest live predicted backlog among
         devices holding stealable tasks; stolen task: largest estimated
         remaining work (ties to the lowest task id).
+
+        With indexes, thieves come from the idle-candidate set (a
+        superset of the truly idle; `is_idle(now)` still decides) and
+        victims from the steal-candidate set, both walked in ascending
+        device order like the reference fleet enumeration -- the common
+        nobody-idle event is an O(1) set peek instead of an O(d) scan,
+        and a steal never touches a device without queued work.
         """
         moves: List[MigrationRecord] = []
-        for thief_index, thief in enumerate(devices):
+        if indexes is not None:
+            if indexes.verify:
+                indexes.verify_candidate_sets(now)
+            if not indexes.idle_candidates:
+                return moves
+            thieves: Sequence[int] = sorted(indexes.idle_candidates)
+        else:
+            thieves = range(len(devices))
+        for thief_index in thieves:
+            thief = devices[thief_index]
             if not thief.is_idle(now):
                 continue
             victim_index: Optional[int] = None
             victim_backlog = 0.0
             victim_tasks: List[TaskRuntime] = []
-            for index, device in enumerate(devices):
+            victims: Sequence[int] = (
+                sorted(indexes.steal_candidates)
+                if indexes is not None
+                else range(len(devices))
+            )
+            for index in victims:
                 if index == thief_index:
                     continue
+                device = devices[index]
                 candidates = device.stealable_tasks()
                 if not candidates:
                     continue
@@ -714,6 +1045,9 @@ class ClusterScheduler:
             )
             victim.remove_task(stolen.task_id, now)
             thief.inject(stolen, arrival=now)
+            if indexes is not None:
+                indexes.refresh(victim)
+                indexes.refresh(thief)
             assignments[stolen.task_id] = thief_index
             moves.append(
                 MigrationRecord(
@@ -736,6 +1070,7 @@ class ClusterScheduler:
         fabric: Interconnect,
         inflight: Dict[int, List[Tuple[float, float, int]]],
         ledger: Optional[ClusterTokenLedger],
+        indexes: Optional[_ClusterIndexes] = None,
     ) -> List[MigrationRecord]:
         """Pull the most starved migratable task to each idle device.
 
@@ -753,10 +1088,22 @@ class ClusterScheduler:
         take the highest priority, then most tokens (the most
         slowdown-compensated row), then longest estimated remaining work.
         This is what lets a preempted high-priority victim resume on a
-        sibling NPU instead of waiting behind its preemptor.
+        sibling NPU instead of waiting behind its preemptor.  With
+        indexes, thieves walk the idle-candidate set and sources the
+        migration-source set (devices holding queued *or* preempted
+        work), in ascending device order like the reference enumeration.
         """
         moves: List[MigrationRecord] = []
-        for thief_index, thief in enumerate(devices):
+        if indexes is not None:
+            if indexes.verify:
+                indexes.verify_candidate_sets(now)
+            if not indexes.idle_candidates:
+                return moves
+            thieves: Sequence[int] = sorted(indexes.idle_candidates)
+        else:
+            thieves = range(len(devices))
+        for thief_index in thieves:
+            thief = devices[thief_index]
             if not thief.is_idle(now):
                 continue
             # Prune landed deliveries, then gate on *presence* of live
@@ -769,9 +1116,15 @@ class ClusterScheduler:
             best_key: Optional[Tuple[float, float, float, int]] = None
             best_source: Optional[int] = None
             best_payload = 0.0
-            for index, device in enumerate(devices):
+            sources: Sequence[int] = (
+                sorted(indexes.source_candidates)
+                if indexes is not None
+                else range(len(devices))
+            )
+            for index in sources:
                 if index == thief_index:
                     continue
+                device = devices[index]
                 candidates = device.stealable_tasks()
                 candidates += device.migratable_preempted_tasks(now)
                 if not candidates:
@@ -825,6 +1178,9 @@ class ClusterScheduler:
             task.migration_count += 1
             task.migrated_bytes_total += best_payload
             thief.inject(task, arrival=record.end_cycles)
+            if indexes is not None:
+                indexes.refresh(source)
+                indexes.refresh(thief)
             assignments[task.task_id] = thief_index
             inflight[thief_index].append(
                 (record.end_cycles, task.context.estimated_remaining_cycles,

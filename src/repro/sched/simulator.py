@@ -49,7 +49,7 @@ import dataclasses
 import enum
 import heapq
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.context import ContextTable, TaskState
 from repro.core.mechanism import MechanismChoice, select_mechanism
@@ -218,6 +218,29 @@ class DeviceSim:
         #: Ids migrated out of this device: the only ids whose stale
         #: COMPLETE events may legitimately reference a missing runtime.
         self._migrated_out: set = set()
+        #: Cluster notification hook: invoked (with this device) whenever
+        #: the head of the event queue -- the ``next_event_key()`` value
+        #: -- changes.  The cluster loop's global device-event heap
+        #: refreshes its lazy-deletion entries through this instead of
+        #: re-scanning every device per event; ``None`` (the default, and
+        #: the single-NPU batch path) costs nothing.
+        self.on_next_event_change: Optional[Callable[["DeviceSim"], None]] = None
+        self._notified_key: Optional[Tuple[float, int]] = None
+
+    def _notify_event_change(self) -> None:
+        """Fire :attr:`on_next_event_change` if the head key moved.
+
+        Called once per external mutation (:meth:`inject`, :meth:`step`);
+        intermediate pushes inside one event's handlers coalesce into at
+        most one notification.
+        """
+        callback = self.on_next_event_change
+        if callback is None:
+            return
+        key = self.next_event_key()
+        if key != self._notified_key:
+            self._notified_key = key
+            callback(self)
 
     # ------------------------------------------------------------------
     # Event queue
@@ -239,6 +262,7 @@ class DeviceSim:
         self._runtimes[task.task_id] = task
         heapq.heappush(self._pending_arrivals, when)
         self._push(when, _EventKind.ARRIVAL, task.task_id)
+        self._notify_event_change()
 
     def next_event_time(self) -> Optional[float]:
         """Timestamp of the next pending event (None when dormant)."""
@@ -270,6 +294,7 @@ class DeviceSim:
             self._on_period(now)
         elif kind == _EventKind.DISPATCH:
             self._on_dispatch(now, payload)  # type: ignore[arg-type]
+        self._notify_event_change()
         return now
 
     # ------------------------------------------------------------------
@@ -290,6 +315,38 @@ class DeviceSim:
     @property
     def has_live_tasks(self) -> bool:
         return self._completed < len(self._runtimes)
+
+    @property
+    def maybe_idle(self) -> bool:
+        """The time-independent clauses of :meth:`is_idle` (O(1) fields).
+
+        ``is_idle(now)`` implies ``maybe_idle`` for every ``now`` a
+        cluster loop can observe: the two time-dependent clauses it adds
+        (the NPU-reservation window and a due-but-unprocessed arrival)
+        only ever *remove* idleness.  The cluster's idle-candidate set is
+        therefore keyed on this property and re-checks ``is_idle(now)``
+        on consumption.
+        """
+        return (
+            self._running_id is None
+            and self._reserved_task_id is None
+            and not self._table.has_ready
+        )
+
+    @property
+    def has_queued(self) -> bool:
+        """Any admitted, READY, never-dispatched task resident (O(1)).
+
+        A superset test for :meth:`stealable_tasks` being non-empty (the
+        reserved dispatch target still filters at read time).
+        """
+        return bool(self._queued)
+
+    @property
+    def has_preempted(self) -> bool:
+        """Any preempted task resident (O(1)); durability still gates
+        :meth:`migratable_preempted_tasks` at read time."""
+        return bool(self._preempted)
 
     def is_idle(self, now: float) -> bool:
         """No running task, empty ready queue, no reservation in flight,
@@ -340,6 +397,8 @@ class DeviceSim:
         whose remaining estimate is at most its own.  None (the default,
         and the only form routing ever uses) keeps the historical total.
         """
+        if min_priority is None and sjf_within_cycles is None:
+            return self._backlog_sum(lambda task: task.progress_at(now))
         total = 0.0
         for task in self._live_admitted.values():
             context = task.context
@@ -363,6 +422,47 @@ class DeviceSim:
                 executed = context.executed_cycles
             total += max(0.0, context.estimated_cycles - executed)
         return total
+
+    def _backlog_sum(self, running_executed) -> float:
+        """The unfiltered admission-order backlog summation.
+
+        The single loop behind both :meth:`predicted_backlog`'s
+        unfiltered read and :meth:`backlog_lower_bound` -- the backlog
+        index's bit-for-bit guarantee requires those two to perform the
+        *identical* IEEE-754 summation with only the running task's
+        executed-cycles source swapped, so they must not drift apart as
+        separate copies.  ``running_executed(task)`` supplies that
+        source for dispatched tasks.
+        """
+        total = 0.0
+        for task in self._live_admitted.values():
+            context = task.context
+            if task.dispatch_time is not None:
+                executed = running_executed(task)
+            else:
+                executed = context.executed_cycles
+            total += max(0.0, context.estimated_cycles - executed)
+        return total
+
+    def backlog_lower_bound(self) -> float:
+        """A floor under :meth:`predicted_backlog` valid until the next
+        device mutation -- the key of the cluster's backlog index.
+
+        ``predicted_backlog(now)`` differs from the settled state only in
+        the running task's term, which shrinks as ``now`` advances but
+        never below ``max(0, Time_estimated - total profile cycles)``
+        (progress caps at the profile end, and the COMPLETE event that
+        would remove the task fires before any later routing decision).
+        Substituting that floor for the running task's term -- in the
+        *same* admission-order IEEE-754 summation, where replacing one
+        non-negative term by a smaller one can only lower every partial
+        sum -- yields a bound that provably never exceeds the exact
+        backlog at any reachable ``now``, so a best-first search over
+        these bounds reproduces the linear scan's argmin bit-for-bit.
+        In-flight checkpoint deliveries (also non-negative add-ons) are
+        deliberately excluded for the same reason.
+        """
+        return self._backlog_sum(lambda task: task.profile.total_cycles)
 
     def task_lifecycle(self, task_id: int, now: float) -> DeviceTaskState:
         """Explicit lifecycle state of an injected task at cycle ``now``.

@@ -139,6 +139,24 @@ class AdmissionController:
             return raw
         return self.feedback.correct(task.spec.benchmark, raw)
 
+    def placement_query(
+        self, task, use_priority: bool, use_sjf: bool
+    ) -> Tuple[Optional[int], Optional[float]]:
+        """The routing surface: this arrival's class-aware backlog filters.
+
+        Returns ``(min_priority, sjf_within_cycles)`` for
+        :meth:`DeviceSim.predicted_backlog` -- the arrival's own priority
+        level and feedback-corrected estimate, under the filters the
+        cluster says its per-device policy honors
+        (:meth:`ClusterScheduler.admission_prediction_filters`).
+        ``(None, None)`` means the prediction is the plain total backlog,
+        which the cluster may then serve from its O(log d) backlog index
+        instead of the class-aware linear fallback.
+        """
+        min_priority = int(task.spec.priority) if use_priority else None
+        sjf_within = self.corrected_estimate(task) if use_sjf else None
+        return min_priority, sjf_within
+
     def decide(
         self,
         task,

@@ -1,0 +1,76 @@
+"""Cluster control-plane cost must not grow with the fleet size.
+
+The companion to `tests/test_hotpath_scaling.py` one level up: that test
+pins per-event cost flat in *trace length* on one device; this one pins
+it flat in *device count* across the cluster loop.  At fixed per-device
+load (arrival rate scaled with the fleet) the work an O(log d) control
+plane does per event is dominated by the per-device scheduler, so the
+measured cost from 4 to 64 devices must stay within a small constant --
+the pre-index loop's O(d) next-event scan, O(d x live) routing scan, and
+O(d) termination sum made it grow roughly linearly instead.
+
+Runs the *default* configuration, which resolves the control plane per
+fleet size (linear loop below INDEXED_CONTROL_PLANE_MIN_DEVICES,
+indexes at and above it) -- the flatness claim is about what users get
+without tuning anything.
+"""
+
+import time
+
+from repro.npu.config import NPUConfig
+from repro.sched.cluster import ClusterScheduler, RoutingPolicy
+from repro.sched.simulator import PreemptionMode, SimulationConfig
+from repro.workloads.trace import (
+    DEFAULT_MEAN_INTERARRIVAL_CYCLES,
+    synthetic_trace_runtimes,
+)
+
+#: Generous bound: post-index the measured 4 -> 64 device ratio is ~1x;
+#: the pre-index loop measured >5x.  Anything above this means per-event
+#: control-plane cost has started scaling with the fleet again.
+MAX_PER_EVENT_GROWTH = 3.0
+
+TASKS_PER_DEVICE = 50
+
+
+def _config() -> SimulationConfig:
+    return SimulationConfig(
+        npu=NPUConfig(),
+        mode=PreemptionMode.DYNAMIC,
+        mechanism="CHECKPOINT",
+    )
+
+
+def _us_per_event(num_devices: int, seed: int = 31) -> float:
+    best = float("inf")
+    for attempt in range(2):  # best-of-2 absorbs scheduler hiccups
+        runtimes = synthetic_trace_runtimes(
+            num_devices * TASKS_PER_DEVICE,
+            seed=seed + attempt,
+            mean_interarrival_cycles=(
+                DEFAULT_MEAN_INTERARRIVAL_CYCLES / num_devices
+            ),
+        )
+        scheduler = ClusterScheduler(
+            num_devices=num_devices,
+            simulation_config=_config(),
+            policy_name="PREMA",
+            routing=RoutingPolicy.WORK_STEALING,
+            seed=seed,
+        )
+        start = time.perf_counter()
+        result = scheduler.run(runtimes)
+        elapsed = time.perf_counter() - start
+        assert len(result.tasks) == num_devices * TASKS_PER_DEVICE
+        best = min(best, 1e6 * elapsed / result.events_processed)
+    return best
+
+
+def test_per_event_cost_flat_from_4_to_64_devices():
+    small = _us_per_event(4)
+    large = _us_per_event(64)
+    assert large <= small * MAX_PER_EVENT_GROWTH, (
+        f"per-event cost grew {large / small:.1f}x from 4 to 64 devices "
+        f"({small:.1f} -> {large:.1f} us/event): the cluster control "
+        "plane is scaling with the fleet size again"
+    )
