@@ -40,6 +40,7 @@ sys.path.insert(
 
 from repro.npu.config import NPUConfig  # noqa: E402
 from repro.sched.cluster import ClusterScheduler, RoutingPolicy  # noqa: E402
+from repro.sched.job import BatchConfig  # noqa: E402
 from repro.sched.policies import make_policy  # noqa: E402
 from repro.serving import (  # noqa: E402
     AdmissionController,
@@ -144,6 +145,7 @@ def measure_cluster(
     routing: RoutingPolicy = RoutingPolicy.WORK_STEALING,
     admission: bool = False,
     use_indexes: Optional[bool] = None,
+    batching: Optional[BatchConfig] = None,
 ) -> Dict[str, float]:
     """Wall time of a cluster run over an aggregate open-arrival trace.
 
@@ -153,8 +155,10 @@ def measure_cluster(
     (QoS-tagged arrivals, admission decisions, online feedback) at a
     mildly overloaded arrival rate, so the frontier heap + decide()
     path sits under the same regression gate as the rest of the loop.
+    With ``batching`` the run takes the gang event loop instead (batch
+    windows, runtime merge, stage partition, activation DMA).
     """
-    overload = 1.5 if admission else 1.0
+    overload = 1.5 if (admission or batching is not None) else 1.0
     runtimes = synthetic_trace_runtimes(
         num_tasks,
         seed=seed,
@@ -178,6 +182,7 @@ def measure_cluster(
         seed=seed,
         admission=controller,
         use_indexes=use_indexes,
+        batching=batching,
     )
     start = time.perf_counter()
     result = scheduler.run(runtimes)
@@ -217,6 +222,23 @@ def run(tier: str = "full") -> Dict[str, object]:
     )
     record["normalized"] = record["tasks_per_sec"] / calibration_ops
     results["cluster_admission_4dev_500"] = record
+    # The gang event loop (router batching + 2-stage pipeline sharding):
+    # batch-window flushes, runtime merge, stage partition, and
+    # activation DMA all on the dispatch path, under the same gate.
+    record = measure_cluster(
+        500,
+        routing=RoutingPolicy.ONLINE_PREDICTED,
+        seed=43,
+        batching=BatchConfig(
+            window_cycles=5e6,
+            max_batch=8,
+            marginal_fraction=0.6,
+            shard_stages=2,
+            min_shard_cycles=4e6,
+        ),
+    )
+    record["normalized"] = record["tasks_per_sec"] / calibration_ops
+    results["sharded_pipeline_4dev"] = record
     # The datacenter tier: 64 work-stealing devices at the same
     # per-device load.  Runs in the small tier so the CI gate watches
     # the O(log d) control plane (event heap, backlog index, candidate

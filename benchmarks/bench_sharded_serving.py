@@ -1,0 +1,52 @@
+"""Extension bench: router batching + pipeline-sharded gang dispatch.
+
+Runs the ``sharded_serving`` experiment's quick ensemble (3 seeds, 200
+tasks, 4 NPUs at 2.5x overload over an NVLink-class fabric) and asserts
+its headline ordering: batching -- with and without pipeline sharding on
+top -- beats one-task-one-device dispatch on aggregate throughput, and
+sharding does not give the tail latency back.  The row set lands in
+``benchmarks/results/BENCH_sharded_serving.json`` (uploaded as a CI
+artifact by the bench-smoke job, like ``BENCH_cluster_scaling.json``).
+"""
+
+import json
+import pathlib
+
+from repro.analysis.experiments.sharded_serving import (
+    format_sharded_serving,
+    run_sharded_serving,
+)
+
+RESULTS = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_sharded_serving.json"
+)
+
+
+def test_sharded_serving(benchmark, config, emit):
+    rows = benchmark.pedantic(
+        run_sharded_serving,
+        kwargs=dict(config=config, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit("sharded_serving", format_sharded_serving(rows))
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(
+        json.dumps(
+            [row.__dict__ for row in rows], indent=2, sort_keys=True
+        )
+        + "\n"
+    )
+    by_mode = {r.mode: r for r in rows}
+    single = by_mode["single-device"]
+    # Router batching pays for itself at overload...
+    assert by_mode["batched"].tasks_per_sec > single.tasks_per_sec
+    # ...and sharding the merged dispatches keeps the win while
+    # recovering the tail that batching alone gives up.
+    assert by_mode["sharded+batched"].tasks_per_sec > single.tasks_per_sec
+    assert by_mode["sharded+batched"].p99_turnaround_ms <= \
+        by_mode["batched"].p99_turnaround_ms * 1.05
+    # The levers actually engaged (guards against silently measuring
+    # three identical configurations).
+    assert by_mode["batched"].mean_batch_size > 1.2
+    assert by_mode["sharded+batched"].sharded_dispatches > 0.0

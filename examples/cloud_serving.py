@@ -16,6 +16,11 @@ PCS-style predictive admission with online prediction correction
 (`repro.serving`): under overload the admission frontend refuses work it
 could never serve in time, and the paid tier's SLA attainment recovers.
 
+The third act keeps the admission frontend and turns on router
+batching (`repro.sched.job.BatchConfig`): compatible same-model
+requests coalesce into one dispatch, so goodput rises and the frontend
+rejects less -- without giving back the interactive tier's attainment.
+
 Run:  python examples/cloud_serving.py
 """
 
@@ -107,7 +112,7 @@ def report(config, label, tiers, tasks):
         )
 
 
-def serve_cluster(config, factory, specs, admission):
+def serve_cluster(config, factory, specs, admission, batching=None):
     """Run the tagged request stream on a 2-NPU cluster."""
     from repro.sched.cluster import ClusterScheduler, RoutingPolicy
     from repro.sched.metrics import compute_cluster_metrics
@@ -120,6 +125,7 @@ def serve_cluster(config, factory, specs, admission):
         policy_name="PREMA",
         routing=RoutingPolicy.ONLINE_PREDICTED,
         admission=admission,
+        batching=batching,
     )
     result = scheduler.run([factory.build_task(spec) for spec in specs])
     return compute_cluster_metrics(result)
@@ -139,6 +145,11 @@ def report_cluster(label, metrics):
         f"{metrics.deferral_count} deferrals, goodput "
         f"{metrics.goodput:.2f} NPUs' worth of SLA-met work"
     )
+    if metrics.batch_count:
+        print(
+            f"  {metrics.batch_count} batched dispatches, mean size "
+            f"{metrics.mean_batch_size:.1f}"
+        )
 
 
 def main() -> None:
@@ -174,6 +185,28 @@ def main() -> None:
         serve_cluster(
             config, factory, tagged,
             admission=AdmissionController(feedback=PredictionFeedback()),
+        ),
+    )
+
+    # Act three: same overload, admission kept, plus router batching --
+    # compatible same-model requests coalesce into one dispatch (each
+    # joining request costs only the marginal fraction of its solo
+    # cycles), so the same two NPUs serve more SLA-met work and the
+    # frontend no longer has to refuse as much of it.  The window stays
+    # short (1 ms) and pairs-only so the latency-critical class keeps
+    # its attainment: a longer/deeper window trades it away.
+    from repro.sched.job import BatchConfig
+
+    report_cluster(
+        "admission + router batching",
+        serve_cluster(
+            config, factory, tagged,
+            admission=AdmissionController(feedback=PredictionFeedback()),
+            batching=BatchConfig(
+                window_cycles=config.ms_to_cycles(1.0),
+                max_batch=2,
+                marginal_fraction=0.6,
+            ),
         ),
     )
 

@@ -29,7 +29,7 @@ from repro.isa.instructions import (
     StoreTile,
     VectorOp,
 )
-from repro.models.graph import Graph, Node
+from repro.models.graph import Graph, Node, balanced_partition
 from repro.models.layers import LayerKind
 from repro.npu.config import NPUConfig
 from repro.npu.tiling import GemmShape, TilePlan
@@ -204,3 +204,30 @@ def compile_model(
         for node in graph
     )
     return CompiledModel(name=graph.name, batch=batch, layers=layers)
+
+
+def partition_model(
+    model: CompiledModel, num_stages: int
+) -> Tuple[CompiledModel, ...]:
+    """Cut a compiled model into contiguous pipeline-stage submodels.
+
+    Stages are balanced by compiled MAC mass (the same cut rule as
+    :meth:`~repro.models.graph.Graph.partition`, applied after lowering so
+    sequence-unrolled RNNs partition over their true unrolled layers).
+    Each stage is a self-contained :class:`CompiledModel` whose layers
+    keep their original ``node_index``, so profiles and stage boundaries
+    stay traceable back to the source graph.
+    """
+    if not model.layers:
+        raise ValueError("cannot partition a model with no layers")
+    ranges = balanced_partition(
+        [layer.macs for layer in model.layers], num_stages
+    )
+    return tuple(
+        CompiledModel(
+            name=f"{model.name}@s{index}",
+            batch=model.batch,
+            layers=model.layers[start:end],
+        )
+        for index, (start, end) in enumerate(ranges)
+    )

@@ -9,9 +9,59 @@ fast on dimension bugs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.models.layers import InputSpec, Layer, LayerKind
+
+
+def balanced_partition(
+    weights: Sequence[float], num_stages: int
+) -> Tuple[Tuple[int, int], ...]:
+    """Cut a weight sequence into contiguous stages of near-equal mass.
+
+    Returns ``num_stages`` half-open ``(start, end)`` index ranges that
+    cover the sequence in order, each non-empty.  Cuts greedily track the
+    ideal equal-mass boundaries, so a pipeline-parallel partition lands
+    each stage within one item's weight of perfect balance -- good enough
+    for stage graphs, where the item granularity (a whole layer) dominates
+    any residual imbalance a DP-optimal cut could recover.
+    """
+    masses = [float(w) for w in weights]
+    count = len(masses)
+    if num_stages <= 0:
+        raise ValueError("num_stages must be positive")
+    if num_stages > count:
+        raise ValueError(
+            f"cannot cut {count} items into {num_stages} non-empty stages"
+        )
+    if any(mass < 0 for mass in masses):
+        raise ValueError("weights must be non-negative")
+    total = sum(masses)
+    if total <= 0:
+        # Degenerate mass: fall back to an even split by item count.
+        masses = [1.0] * count
+        total = float(count)
+    cuts = [0]
+    prefix = 0.0
+    index = 0
+    for stage in range(1, num_stages):
+        target = total * stage / num_stages
+        lowest = cuts[-1] + 1  # this stage keeps at least one item
+        highest = count - (num_stages - stage)  # one item per later stage
+        while index < lowest:
+            prefix += masses[index]
+            index += 1
+        # Ties advance (<=): a zero-mass item never improves the distance
+        # to target, but leaving it behind would pin the cut in front of
+        # every zero-weight layer (pooling, softmax) for no benefit.
+        while index < highest and (
+            abs(prefix + masses[index] - target) <= abs(prefix - target)
+        ):
+            prefix += masses[index]
+            index += 1
+        cuts.append(index)
+    cuts.append(count)
+    return tuple((cuts[i], cuts[i + 1]) for i in range(num_stages))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,6 +178,26 @@ class Graph:
     def consumers(self, name: str) -> List[Node]:
         """Nodes that read the named node's output (graph analysis helper)."""
         return [n for n in self._nodes if name in n.input_names]
+
+    def partition(
+        self, num_stages: int, batch: int = 1
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Cut the graph into ``num_stages`` contiguous pipeline stages.
+
+        Stages are balanced by per-node MAC mass (the dominant cost on a
+        systolic NPU); vector-only nodes carry zero mass and ride with
+        whichever neighbor the cut assigns them to.  Returns half-open
+        ``(start, end)`` node-index ranges, in topological order --
+        contiguity is what makes a stage a valid pipeline segment, since
+        nodes only ever read earlier nodes' outputs.
+        """
+        if not self._nodes:
+            raise ValueError("cannot partition an empty graph")
+        weights = [
+            node.layer.macs(list(node.input_specs), batch)
+            for node in self._nodes
+        ]
+        return balanced_partition(weights, num_stages)
 
     def validate(self) -> None:
         """Re-run shape inference over the whole graph (defensive check)."""

@@ -5,7 +5,10 @@
 - :mod:`repro.sched.simulator` -- the event-driven multi-task simulator
   (stepwise :class:`DeviceSim` + batch :class:`NPUSimulator`).
 - :mod:`repro.sched.cluster` -- event-driven multi-NPU cluster scheduling
-  with static/online/work-stealing/checkpoint-migration routing.
+  with static/online/work-stealing/checkpoint-migration routing, router
+  batching, and pipeline-sharded gang dispatch.
+- :mod:`repro.sched.job` -- the job surface: gang-of-slices execution
+  (:class:`Job`, :class:`DeviceSlice`, :class:`BatchConfig`).
 - :mod:`repro.sched.interconnect` -- modeled inter-NPU fabric (bandwidth,
   latency, per-link FIFO contention) checkpoint migrations cross.
 - :mod:`repro.sched.metrics` -- ANTT/STP/fairness/SLA/tail-latency metrics
@@ -16,10 +19,19 @@
 """
 
 from repro.sched.cluster import (
+    BatchRecord,
+    ClusterConfig,
     ClusterResult,
     ClusterScheduler,
     MigrationRecord,
     RoutingPolicy,
+)
+from repro.sched.job import (
+    BatchConfig,
+    DeviceSlice,
+    Job,
+    JobState,
+    StagePlan,
 )
 from repro.sched.interconnect import (
     Interconnect,
@@ -55,9 +67,16 @@ __all__ = [
     "WorkloadMetrics",
     "compute_metrics",
     "ClusterScheduler",
+    "ClusterConfig",
     "ClusterResult",
     "RoutingPolicy",
     "MigrationRecord",
+    "BatchRecord",
+    "Job",
+    "JobState",
+    "DeviceSlice",
+    "StagePlan",
+    "BatchConfig",
     "Interconnect",
     "InterconnectConfig",
     "TransferRecord",

@@ -84,6 +84,17 @@ from repro.sched.interconnect import (
     InterconnectConfig,
     TransferRecord,
 )
+from repro.sched.job import (
+    BatchConfig,
+    Job,
+    JobState,
+    StagePlan,
+    batch_key,
+    merge_runtimes,
+    partition_runtime,
+    settle_member,
+    stage_runtime,
+)
 from repro.sched.policies import make_policy
 from repro.sched.simulator import (
     DeviceSim,
@@ -106,23 +117,38 @@ class RoutingPolicy(enum.Enum):
     PREEMPTIVE_MIGRATION = "preemptive-migration"
 
 
+#: The single source of truth for routing classification.  Every member
+#: of :class:`RoutingPolicy` MUST appear here exactly once; the module
+#: refuses to import otherwise, so adding a routing can never silently
+#: miss a static/online classification again.
+_ROUTING_KIND: Dict[RoutingPolicy, str] = {
+    RoutingPolicy.ROUND_ROBIN: "static",
+    RoutingPolicy.LEAST_LOADED: "static",
+    RoutingPolicy.RANDOM: "static",
+    RoutingPolicy.STATIC: "static",
+    RoutingPolicy.ONLINE_PREDICTED: "online",
+    RoutingPolicy.WORK_STEALING: "online",
+    RoutingPolicy.PREEMPTIVE_MIGRATION: "online",
+}
+
+_UNCLASSIFIED = [p for p in RoutingPolicy if p not in _ROUTING_KIND]
+if _UNCLASSIFIED:  # pragma: no cover - tripped only by a bad enum edit
+    raise RuntimeError(
+        "RoutingPolicy members missing a static/online classification in "
+        f"_ROUTING_KIND: {[p.value for p in _UNCLASSIFIED]}"
+    )
+_BAD_KINDS = {kind for kind in _ROUTING_KIND.values()} - {"static", "online"}
+if _BAD_KINDS:  # pragma: no cover - tripped only by a bad table edit
+    raise RuntimeError(f"unknown routing kinds in _ROUTING_KIND: {_BAD_KINDS}")
+
 #: Strategies resolved by one up-front routing pass (arrival order).
 STATIC_ROUTINGS = frozenset(
-    {
-        RoutingPolicy.ROUND_ROBIN,
-        RoutingPolicy.LEAST_LOADED,
-        RoutingPolicy.RANDOM,
-        RoutingPolicy.STATIC,
-    }
+    policy for policy, kind in _ROUTING_KIND.items() if kind == "static"
 )
 
 #: Strategies deciding per-arrival against live device state.
 ONLINE_ROUTINGS = frozenset(
-    {
-        RoutingPolicy.ONLINE_PREDICTED,
-        RoutingPolicy.WORK_STEALING,
-        RoutingPolicy.PREEMPTIVE_MIGRATION,
-    }
+    policy for policy, kind in _ROUTING_KIND.items() if kind == "online"
 )
 
 #: Policies whose ready-queue order serves higher priorities first, so a
@@ -143,6 +169,40 @@ SHORTEST_FIRST_POLICIES = frozenset({"SJF", "TOKEN", "PREMA"})
 #: maintaining the index (measured crossover ~4-8 devices; the paper's
 #: 1-4 NPU node settings keep the historical loop).
 INDEXED_CONTROL_PLANE_MIN_DEVICES = 8
+
+#: Sentinel distinguishing "caller did not pass this legacy keyword"
+#: from any legitimate value (None included).
+_UNSET = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a :class:`ClusterScheduler` needs beyond the fleet shape.
+
+    The preferred construction surface: ``ClusterScheduler(n, sim_config,
+    config=ClusterConfig(...))``.  The scheduler's historical keyword
+    sprawl (``policy_name=``, ``routing=``, ...) remains as a deprecated
+    compatibility path that assembles one of these internally; new knobs
+    (``batching``) land here first.
+
+    ``interconnect`` None means a PCIe-gen3 bus at the NPU clock;
+    ``global_tokens`` None means "on exactly for PREEMPTIVE_MIGRATION";
+    ``use_indexes`` None means "on from
+    ``INDEXED_CONTROL_PLANE_MIN_DEVICES`` devices up" -- the same
+    defaults the legacy keywords resolved.
+    """
+
+    policy_name: str = "PREMA"
+    routing: RoutingPolicy = RoutingPolicy.LEAST_LOADED
+    seed: int = 0
+    interconnect: Optional[InterconnectConfig] = None
+    global_tokens: Optional[bool] = None
+    admission: Optional[AdmissionController] = None
+    use_indexes: Optional[bool] = None
+    verify_indexes: bool = False
+    #: Router-level batching / pipeline sharding (repro.sched.job).  None
+    #: keeps the task-per-dispatch behavior bit-for-bit.
+    batching: Optional[BatchConfig] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -174,6 +234,28 @@ class MigrationRecord:
 
 
 @dataclasses.dataclass(frozen=True)
+class BatchRecord:
+    """One router dispatch under the gang loop (batched or solo).
+
+    ``proxy_task_id`` is the runtime the devices actually executed (a
+    merged batch proxy, or the lone member itself); ``member_task_ids``
+    are the end-user requests settled from it.  ``devices`` are the
+    gang's reserved stage placements at dispatch (stage order) -- slices
+    may later move via stealing/migration.
+    """
+
+    proxy_task_id: int
+    member_task_ids: Tuple[int, ...]
+    dispatch_cycles: float
+    num_stages: int
+    devices: Tuple[int, ...]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.member_task_ids)
+
+
+@dataclasses.dataclass(frozen=True)
 class ClusterResult:
     """Outcome of one cluster run.
 
@@ -201,10 +283,44 @@ class ClusterResult:
     #: Total device events processed across the fleet (introspection /
     #: benchmarking: per-event control-plane cost = wall time / this).
     events_processed: int = 0
+    #: The jobs this run executed, when driven through the job surface
+    #: (run_jobs / batching).  Empty for plain task runs.
+    jobs: Tuple[Job, ...] = ()
+    #: One record per router dispatch under the gang loop (solo dispatches
+    #: included, so mean batch size is directly computable).
+    batches: Tuple[BatchRecord, ...] = ()
 
     @property
     def num_devices(self) -> int:
         return len(self.device_results)
+
+    @property
+    def batch_count(self) -> int:
+        """Router dispatches that coalesced more than one request."""
+        return sum(1 for batch in self.batches if batch.batch_size > 1)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean requests per router dispatch (1.0 when batching is off)."""
+        if not self.batches:
+            return 1.0 if self.tasks else 0.0
+        return sum(batch.batch_size for batch in self.batches) / len(
+            self.batches
+        )
+
+    @property
+    def sharded_job_count(self) -> int:
+        """Dispatches that ran as multi-slice pipeline gangs."""
+        return sum(1 for batch in self.batches if batch.num_stages > 1)
+
+    @property
+    def activation_bytes_total(self) -> float:
+        """Inter-stage boundary bytes shipped over the fabric."""
+        return sum(
+            record.num_bytes
+            for record in self.transfers
+            if record.purpose == "activation"
+        )
 
     @property
     def offered_tasks(self) -> Tuple[TaskRuntime, ...]:
@@ -484,6 +600,38 @@ class _ClusterIndexes:
                 )
 
 
+class _GangRun:
+    """One in-flight router dispatch: a proxy runtime cut into stage slices.
+
+    ``jobs`` are the member jobs this dispatch serves (one for a solo or
+    pre-cut dispatch, several for a coalesced batch).  ``proxy`` is the
+    runtime the devices actually execute -- a member's own runtime, or
+    the merged batch runtime.  ``owner`` is set only for a pre-cut
+    multi-stage job so its :class:`~repro.sched.job.DeviceSlice` records
+    can be filled in as stages materialize.
+    """
+
+    __slots__ = ("jobs", "owner", "proxy", "plans", "slice_ids", "devices",
+                 "runtimes")
+
+    def __init__(
+        self,
+        jobs: List[Job],
+        owner: Optional[Job],
+        proxy: TaskRuntime,
+        plans: List[StagePlan],
+        slice_ids: List[int],
+        devices: List[int],
+    ) -> None:
+        self.jobs = jobs
+        self.owner = owner
+        self.proxy = proxy
+        self.plans = plans
+        self.slice_ids = slice_ids
+        self.devices = devices
+        self.runtimes: List[Optional[TaskRuntime]] = [None] * len(plans)
+
+
 class ClusterScheduler:
     """Serve one request stream across N preemptible NPUs.
 
@@ -502,54 +650,100 @@ class ClusterScheduler:
         self,
         num_devices: int,
         simulation_config: SimulationConfig,
-        policy_name: str = "PREMA",
-        routing: RoutingPolicy = RoutingPolicy.LEAST_LOADED,
-        seed: int = 0,
-        interconnect: Optional[InterconnectConfig] = None,
-        global_tokens: Optional[bool] = None,
-        admission: Optional[AdmissionController] = None,
-        use_indexes: Optional[bool] = None,
-        verify_indexes: bool = False,
+        policy_name=_UNSET,
+        routing=_UNSET,
+        seed=_UNSET,
+        interconnect=_UNSET,
+        global_tokens=_UNSET,
+        admission=_UNSET,
+        use_indexes=_UNSET,
+        verify_indexes=_UNSET,
+        config: Optional[ClusterConfig] = None,
+        batching=_UNSET,
     ) -> None:
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
-        if admission is not None and routing not in ONLINE_ROUTINGS:
+        legacy = {
+            name: value
+            for name, value in (
+                ("policy_name", policy_name),
+                ("routing", routing),
+                ("seed", seed),
+                ("interconnect", interconnect),
+                ("global_tokens", global_tokens),
+                ("admission", admission),
+                ("use_indexes", use_indexes),
+                ("verify_indexes", verify_indexes),
+                ("batching", batching),
+            )
+            if value is not _UNSET
+        }
+        if config is None:
+            # Deprecated keyword surface: assemble the config the old
+            # arguments described.  Kept so pre-ClusterConfig call sites
+            # (and the golden suites) construct byte-identical schedulers.
+            config = ClusterConfig(**legacy)
+        elif legacy:
+            raise ValueError(
+                "pass either config= or the legacy keywords, not both: "
+                f"{sorted(legacy)}"
+            )
+        if (
+            config.admission is not None
+            and config.routing not in ONLINE_ROUTINGS
+        ):
             raise ValueError(
                 "admission control predicts against live device backlogs; "
-                f"use an online routing, not {routing.value}"
+                f"use an online routing, not {config.routing.value}"
+            )
+        if (
+            config.batching is not None
+            and config.routing not in ONLINE_ROUTINGS
+        ):
+            raise ValueError(
+                "router batching/sharding dispatches against live device "
+                f"backlogs; use an online routing, not {config.routing.value}"
             )
         self.num_devices = num_devices
         self.simulation_config = simulation_config
-        self.policy_name = policy_name
-        self.routing = routing
-        self._seed = seed
-        #: Fabric checkpoint migrations cross.  Defaults to a PCIe-gen3
-        #: bus at the NPU's clock; only PREEMPTIVE_MIGRATION ever uses it.
-        self.interconnect = interconnect or InterconnectConfig.pcie_gen3(
+        self.config = config
+        self.policy_name = config.policy_name
+        self.routing = config.routing
+        self._seed = config.seed
+        #: Fabric checkpoint migrations and inter-stage activations cross.
+        #: Defaults to a PCIe-gen3 bus at the NPU's clock; only
+        #: PREEMPTIVE_MIGRATION and sharded gangs ever use it.
+        self.interconnect = config.interconnect or InterconnectConfig.pcie_gen3(
             simulation_config.npu.frequency_hz
         )
         #: Cluster-global token thresholds (ClusterTokenLedger).  Defaults
         #: to on exactly for PREEMPTIVE_MIGRATION; every pre-existing
         #: routing keeps the per-device paper semantics bit-for-bit.
+        global_tokens = config.global_tokens
         if global_tokens is None:
-            global_tokens = routing is RoutingPolicy.PREEMPTIVE_MIGRATION
+            global_tokens = (
+                config.routing is RoutingPolicy.PREEMPTIVE_MIGRATION
+            )
         self.global_tokens = global_tokens
         #: Optional SLA-aware frontend (repro.serving).  None preserves
         #: the admit-everything behavior bit-for-bit.
-        self.admission = admission
+        self.admission = config.admission
         #: O(log d) control plane (_ClusterIndexes).  Defaults on for
         #: fleets of INDEXED_CONTROL_PLANE_MIN_DEVICES and larger (the
         #: measured crossover); False falls back to the pre-index linear
         #: scans -- bit-for-bit identical decisions, kept as the
         #: equivalence reference and benchmark baseline.
+        use_indexes = config.use_indexes
         if use_indexes is None:
             use_indexes = num_devices >= INDEXED_CONTROL_PLANE_MIN_DEVICES
         self.use_indexes = use_indexes
         #: Cross-check every index consultation against the reference
         #: scan (property-test harness; implies use_indexes).
-        self.verify_indexes = verify_indexes
-        if verify_indexes:
+        self.verify_indexes = config.verify_indexes
+        if config.verify_indexes:
             self.use_indexes = True
+        #: Router-level batching / pipeline sharding (None = off).
+        self.batching = config.batching
 
     # ------------------------------------------------------------------
     # Static routing (the up-front pass)
@@ -596,9 +790,66 @@ class ClusterScheduler:
         return assignments
 
     # ------------------------------------------------------------------
-    # Execution: the shared cluster event loop
+    # Execution: the public surfaces
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[TaskRuntime]) -> ClusterResult:
+        """Serve a task stream (the historical per-request surface).
+
+        Without batching configured this is *the* legacy event loop,
+        bit-for-bit (the golden suites run through here).  With
+        ``ClusterConfig.batching`` set, each task is promoted to a
+        single-slice job and served by the gang loop, where the router
+        may coalesce and shard dispatches.
+        """
+        if self.batching is None:
+            return self._run_tasks(tasks)
+        return self.run_jobs([Job.single(task) for task in tasks])
+
+    def run_jobs(self, jobs: Sequence[Job]) -> ClusterResult:
+        """Serve a job stream (the gang-of-slices surface).
+
+        A stream of single-slice jobs with batching off replays the
+        legacy task path exactly -- same events, same floats -- and the
+        jobs are settled from their runtimes afterwards.  Any multi-slice
+        job, or any batching config, engages the gang loop, which
+        requires an online routing (gang placement reads live backlogs).
+        """
+        if not jobs:
+            raise ValueError("need at least one job")
+        seen: set = set()
+        for job in jobs:
+            for member in job.requests:
+                if member.task_id in seen:
+                    raise ValueError(
+                        f"duplicate task id {member.task_id} across jobs"
+                    )
+                seen.add(member.task_id)
+        if self.batching is None and all(job.is_single for job in jobs):
+            result = self._run_tasks([job.source for job in jobs])
+            rejected_ids = {task.task_id for task in result.rejected_tasks}
+            for job in jobs:
+                if job.source.task_id in rejected_ids:
+                    job.state = JobState.REJECTED
+                else:
+                    job.state = JobState.DONE
+                    job.dispatch_time = job.source.first_dispatch_time
+                    job.completion_time = job.source.completion_time
+                    job.slices[0].device_id = result.assignments.get(
+                        job.source.task_id
+                    )
+            return dataclasses.replace(result, jobs=tuple(jobs))
+        if self.routing not in ONLINE_ROUTINGS:
+            raise ValueError(
+                "multi-slice jobs and router batching dispatch against live "
+                f"device backlogs; use an online routing, not "
+                f"{self.routing.value}"
+            )
+        return self._run_gangs(jobs)
+
+    # ------------------------------------------------------------------
+    # Execution: the legacy shared event loop (tasks only)
+    # ------------------------------------------------------------------
+    def _run_tasks(self, tasks: Sequence[TaskRuntime]) -> ClusterResult:
         if not tasks:
             raise ValueError("need at least one task")
         # Guard against task-id collisions up front: a duplicate would
@@ -857,6 +1108,470 @@ class ClusterScheduler:
             events_processed=sum(
                 device.events_processed for device in devices
             ),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution: the gang event loop (jobs, batching, sharding)
+    # ------------------------------------------------------------------
+    def _run_gangs(self, jobs: Sequence[Job]) -> ClusterResult:
+        """The job-surface event loop: coalesce, shard, pipeline, settle.
+
+        Same chronology discipline as :meth:`_run_tasks` -- device events,
+        batch-window flushes and router arrivals interleave in timestamp
+        order (ties: completions, then flushes, then arrivals) -- plus
+        three new mechanics:
+
+        - **Coalescing**: the first arrival of a batch key opens a window;
+          compatible arrivals join until the window closes or
+          ``max_batch`` fills, then the members merge into one proxy
+          runtime (:func:`~repro.sched.job.merge_runtimes`).
+        - **Gang dispatch**: a dispatch whose plan has multiple stages
+          reserves one device per stage (least predicted backlog,
+          distinct while the fleet allows) and injects stage 0.  Each
+          stage completion ships the boundary activations to the next
+          stage's device over the contended fabric (DMA-out), charges the
+          landing cost as the successor's dispatch restore (DMA-in), and
+          injects the successor -- the MockSim DMA-in/compute/DMA-out
+          idiom, with slices remaining ordinary preemptible tasks.
+        - **Settlement**: the final stage's completion settles every
+          member request from the proxy (wait accrual, completion time,
+          admission budget release + feedback observation).
+        """
+        batching = self.batching
+        ordered = sorted(jobs, key=lambda j: (j.arrival_cycles, j.job_id))
+        ledger: Optional[ClusterTokenLedger] = None
+        if self.global_tokens and make_policy(self.policy_name).uses_tokens:
+            ledger = ClusterTokenLedger()
+        needs_fabric = (
+            self.routing is RoutingPolicy.PREEMPTIVE_MIGRATION
+            or any(job.num_stages > 1 for job in jobs)
+            or (batching is not None and batching.shard_stages > 1)
+        )
+        fabric: Optional[Interconnect] = None
+        if needs_fabric:
+            fabric = Interconnect(self.interconnect, self.num_devices)
+        devices = [
+            DeviceSim(
+                self.simulation_config,
+                make_policy(self.policy_name, ledger=ledger),
+                device_id=index,
+            )
+            for index in range(self.num_devices)
+        ]
+        indexes: Optional[_ClusterIndexes] = None
+        if self.use_indexes:
+            indexes = _ClusterIndexes(devices, verify=self.verify_indexes)
+        assignments: Dict[int, int] = {}
+        migrations: List[MigrationRecord] = []
+        inflight: Dict[int, List[Tuple[float, float, int]]] = {
+            index: [] for index in range(self.num_devices)
+        }
+        admission = self.admission
+        records_start = len(admission.records) if admission else 0
+        if admission is not None:
+            use_priority, use_sjf = self.admission_prediction_filters()
+        bandwidth = self.simulation_config.npu.bandwidth_bytes_per_cycle
+
+        frontier: List[Tuple[float, float, int, int, Job]] = []
+        if admission is None:
+            pending: deque = deque(ordered)
+        else:
+            pending = deque()
+            # Sorted by (arrival, job_id) => already a valid heap.
+            frontier = [
+                (job.arrival_cycles, job.arrival_cycles, job.job_id, 0, job)
+                for job in ordered
+            ]
+
+        # Fresh ids for merged proxies and later-stage slices, above every
+        # offered id so they can never collide with a request.
+        next_id = 1 + max(
+            max(m.task_id for job in jobs for m in job.requests),
+            max(job.job_id for job in jobs),
+        )
+
+        coalesce = (
+            batching is not None
+            and batching.max_batch > 1
+            and batching.window_cycles > 0
+        )
+        open_batches: Dict[Tuple, List[Job]] = {}
+        open_deadline: Dict[Tuple, float] = {}
+        flush_heap: List[Tuple[float, int, Tuple]] = []
+        flush_seq = 0
+
+        slice_map: Dict[int, Tuple[_GangRun, int]] = {}
+        batch_records: List[BatchRecord] = []
+        total_jobs = len(jobs)
+        settled = 0
+        arrival_rank = int(_EventKind.ARRIVAL)
+
+        def route_stage(now: float, used: set) -> int:
+            """Least-backlog device for one gang stage, avoiding devices
+            already reserved by this gang while the fleet allows."""
+            candidates = [
+                d for d in range(self.num_devices) if d not in used
+            ] or list(range(self.num_devices))
+            return min(
+                candidates,
+                key=lambda d: (
+                    devices[d].predicted_backlog(now)
+                    + self._inbound_backlog(inflight, d, now),
+                    d,
+                ),
+            )
+
+        def dispatch_gang(
+            members: List[Job], now: float, preferred: Optional[int] = None
+        ) -> None:
+            nonlocal next_id
+            owner: Optional[Job] = None
+            if len(members) == 1 and members[0].num_stages > 1:
+                owner = members[0]
+                proxy = owner.source
+                plans: List[StagePlan] = [s.stage for s in owner.slices]
+            else:
+                if len(members) == 1:
+                    proxy = members[0].source
+                else:
+                    assert batching is not None
+                    proxy = merge_runtimes(
+                        [job.source for job in members],
+                        task_id=next_id,
+                        now=now,
+                        marginal_fraction=batching.marginal_fraction,
+                    )
+                    next_id += 1
+                shard = 1
+                if batching is not None and batching.shard_stages > 1:
+                    # Scheduler-visible decision: shard when the dispatch
+                    # *looks* big enough to amortize the boundary DMAs.
+                    if (
+                        proxy.context.estimated_cycles
+                        >= batching.min_shard_cycles
+                    ):
+                        shard = min(batching.shard_stages, self.num_devices)
+                if shard > 1:
+                    plans = partition_runtime(proxy, shard)
+                else:
+                    plans = [
+                        StagePlan(
+                            index=0,
+                            profile=proxy.profile,
+                            estimated_cycles=max(
+                                proxy.context.estimated_cycles, 1e-9
+                            ),
+                            activation_bytes=0.0,
+                        )
+                    ]
+            slice_ids = [proxy.task_id]
+            for _ in plans[1:]:
+                slice_ids.append(next_id)
+                next_id += 1
+            reserved: List[int] = []
+            used: set = set()
+            for stage in range(len(plans)):
+                if stage == 0 and preferred is not None:
+                    device = preferred
+                else:
+                    device = route_stage(now, used)
+                used.add(device)
+                reserved.append(device)
+            gang = _GangRun(members, owner, proxy, plans, slice_ids, reserved)
+            if len(plans) == 1:
+                stage0: TaskRuntime = proxy
+            else:
+                stage0 = stage_runtime(proxy, plans[0], slice_ids[0], now)
+                if owner is not None:
+                    owner.slices[0].runtime = stage0
+            gang.runtimes[0] = stage0
+            if owner is not None:
+                owner.slices[0].device_id = reserved[0]
+            devices[reserved[0]].inject(stage0, arrival=now)
+            if indexes is not None:
+                indexes.refresh(devices[reserved[0]])
+            assignments[slice_ids[0]] = reserved[0]
+            slice_map[slice_ids[0]] = (gang, 0)
+            member_ids = []
+            for job in members:
+                job.state = JobState.DISPATCHED
+                job.dispatch_time = now
+                for member in job.requests:
+                    member_ids.append(member.task_id)
+                    assignments.setdefault(member.task_id, reserved[0])
+            batch_records.append(
+                BatchRecord(
+                    proxy_task_id=slice_ids[0],
+                    member_task_ids=tuple(member_ids),
+                    dispatch_cycles=now,
+                    num_stages=len(plans),
+                    devices=tuple(reserved),
+                )
+            )
+
+        def enqueue_job(
+            job: Job, now: float, preferred: Optional[int] = None
+        ) -> None:
+            nonlocal flush_seq
+            if coalesce and job.is_single:
+                assert batching is not None
+                key = batch_key(job.source.spec)
+                open_jobs = open_batches.get(key)
+                if open_jobs is not None:
+                    open_jobs.append(job)
+                    if len(open_jobs) >= batching.max_batch:
+                        del open_batches[key]
+                        del open_deadline[key]
+                        dispatch_gang(open_jobs, now)
+                    return
+                open_batches[key] = [job]
+                deadline = now + batching.window_cycles
+                open_deadline[key] = deadline
+                heapq.heappush(flush_heap, (deadline, flush_seq, key))
+                flush_seq += 1
+                return
+            dispatch_gang([job], now, preferred)
+
+        def advance_gang(gang: "_GangRun", stage: int, now: float) -> None:
+            """Ship stage ``stage``'s boundary tensor and start the next.
+
+            DMA-out is the fabric transfer (contended, FIFO per link);
+            DMA-in is the landing cost charged as the successor slice's
+            dispatch restore.  A successor landing on the same device
+            skips both -- the tensor is already resident.
+            """
+            nxt = stage + 1
+            plan = gang.plans[nxt]
+            src = assignments[gang.slice_ids[stage]]
+            dst = gang.devices[nxt]
+            activation = gang.plans[stage].activation_bytes
+            slice_id = gang.slice_ids[nxt]
+            if src != dst and fabric is not None:
+                record = fabric.transfer(
+                    src, dst, activation, now,
+                    task_id=slice_id, purpose="activation",
+                )
+                arrival = record.end_cycles
+                restore = activation / bandwidth
+                inflight[dst].append(
+                    (arrival, plan.estimated_cycles,
+                     int(gang.proxy.context.priority))
+                )
+                gang.proxy.migrated_bytes_total += activation
+            else:
+                arrival, restore = now, 0.0
+            runtime = stage_runtime(
+                gang.proxy, plan, slice_id, arrival, restore
+            )
+            gang.runtimes[nxt] = runtime
+            if gang.owner is not None:
+                gang.owner.slices[nxt].runtime = runtime
+                gang.owner.slices[nxt].device_id = dst
+            devices[dst].inject(runtime, arrival=arrival)
+            if indexes is not None:
+                indexes.refresh(devices[dst])
+            assignments[slice_id] = dst
+            slice_map[slice_id] = (gang, nxt)
+
+        def settle_gang(gang: "_GangRun", now: float) -> int:
+            first = gang.runtimes[0]
+            first_dispatch = (
+                first.first_dispatch_time if first is not None else now
+            )
+            count = 0
+            for job in gang.jobs:
+                for member in job.requests:
+                    if not member.is_done:
+                        settle_member(member, now, first_dispatch)
+                    if admission is not None:
+                        admission.on_complete(member)
+                job.state = JobState.DONE
+                job.completion_time = now
+                count += 1
+            return count
+
+        while True:
+            device_index: Optional[int] = None
+            device_key: Optional[Tuple[float, int]] = None
+            if indexes is not None:
+                device_index, device_key = indexes.peek_next_device()
+            else:
+                for index, device in enumerate(devices):
+                    key = device.next_event_key()
+                    if key is not None and (
+                        device_key is None or key < device_key
+                    ):
+                        device_index, device_key = index, key
+
+            next_arrival: Optional[float] = None
+            if admission is None:
+                if pending:
+                    next_arrival = pending[0].arrival_cycles
+            elif frontier:
+                next_arrival = frontier[0][0]
+
+            # Batch-window flushes fire after same-time completions (the
+            # flush sees settled devices) and before same-time arrivals
+            # (an arrival at exactly the deadline misses its batch).
+            flush_at: Optional[float] = None
+            flush_key: Optional[Tuple] = None
+            while flush_heap:
+                at, _, key = flush_heap[0]
+                if key not in open_batches or open_deadline[key] != at:
+                    heapq.heappop(flush_heap)  # flushed early at max_batch
+                    continue
+                flush_at, flush_key = at, key
+                break
+            flush_due = flush_at is not None and (
+                device_key is None
+                or device_key >= (flush_at, arrival_rank)
+            )
+            if (
+                flush_due
+                and next_arrival is not None
+                and flush_at is not None
+                and next_arrival < flush_at
+            ):
+                flush_due = False  # an earlier router arrival goes first
+            if flush_due:
+                assert flush_at is not None and flush_key is not None
+                heapq.heappop(flush_heap)
+                members = open_batches.pop(flush_key)
+                del open_deadline[flush_key]
+                dispatch_gang(members, flush_at)
+                continue
+
+            arrival_due = next_arrival is not None and (
+                device_key is None
+                or device_key > (next_arrival, arrival_rank)
+            )
+            if arrival_due:
+                if admission is None:
+                    job = pending.popleft()
+                    enqueue_job(job, job.arrival_cycles)
+                    continue
+                consider, _, _, attempt, job = heapq.heappop(frontier)
+                task = job.source
+                min_priority, sjf_within = admission.placement_query(
+                    task, use_priority, use_sjf
+                )
+                target, backlog = self._route_admission(
+                    devices, consider, inflight, min_priority, sjf_within,
+                    indexes,
+                )
+                # Batch-aware prediction: a request that would join an
+                # open batch occupies the device for only the marginal
+                # fraction of its estimate.
+                scale = 1.0
+                if (
+                    coalesce
+                    and job.is_single
+                    and batch_key(task.spec) in open_batches
+                ):
+                    assert batching is not None
+                    scale = batching.marginal_fraction
+                record = admission.decide(
+                    task, backlog, consider, attempt, marginal_scale=scale
+                )
+                if record.decision is AdmissionDecision.ACCEPT:
+                    admission.admit(task)
+                    enqueue_job(job, consider, preferred=target)
+                elif record.decision is AdmissionDecision.DEFER:
+                    heapq.heappush(
+                        frontier,
+                        (consider + admission.config.defer_delay_cycles,
+                         job.arrival_cycles, job.job_id, attempt + 1, job),
+                    )
+                else:
+                    job.state = JobState.REJECTED
+                    settled += 1
+                continue
+
+            if device_index is None or device_key is None:
+                break  # no events, no arrivals, no open windows
+            stepped = devices[device_index]
+            now = stepped.step()
+            if indexes is not None:
+                indexes.refresh(stepped)
+
+            completed = stepped.last_completed
+            if completed is not None:
+                entry = slice_map.get(completed.task_id)
+                if entry is not None:
+                    gang, stage = entry
+                    if stage + 1 < len(gang.plans):
+                        advance_gang(gang, stage, now)
+                    else:
+                        settled += settle_gang(gang, now)
+
+            if self.routing == RoutingPolicy.WORK_STEALING and (
+                stepped.last_event_kind
+                in (_EventKind.COMPLETE, _EventKind.ARRIVAL)
+            ):
+                migrations.extend(
+                    self._steal(devices, now, assignments, indexes)
+                )
+            elif self.routing is RoutingPolicy.PREEMPTIVE_MIGRATION:
+                assert fabric is not None
+                migrations.extend(
+                    self._migrate(
+                        devices, now, assignments, fabric, inflight, ledger,
+                        indexes,
+                    )
+                )
+
+            if settled >= total_jobs:
+                break
+
+        if settled < total_jobs:
+            unsettled = [
+                job.job_id for job in jobs if job.state
+                in (JobState.PENDING, JobState.DISPATCHED)
+            ]
+            raise RuntimeError(
+                f"gang loop quiesced with unsettled jobs: {unsettled}"
+            )
+
+        device_results = tuple(device.result() for device in devices)
+        transfers = fabric.transfers if fabric is not None else ()
+        timeline = ClusterTimeline(
+            {
+                index: device.timeline
+                for index, device in enumerate(devices)
+                if device.num_tasks > 0 or len(device.timeline) > 0
+            },
+            transfers=transfers,
+        )
+        executed = tuple(
+            member
+            for job in jobs
+            if job.state is JobState.DONE
+            for member in job.requests
+        )
+        rejected = tuple(
+            member
+            for job in jobs
+            if job.state is JobState.REJECTED
+            for member in job.requests
+        )
+        records: Tuple[AdmissionRecord, ...] = ()
+        if admission is not None:
+            records = admission.records[records_start:]
+        return ClusterResult(
+            tasks=executed,
+            device_results=device_results,
+            assignments=assignments,
+            routing=self.routing.value,
+            migrations=tuple(migrations),
+            timeline=timeline,
+            transfers=transfers,
+            admission_records=records,
+            rejected_tasks=rejected,
+            events_processed=sum(
+                device.events_processed for device in devices
+            ),
+            jobs=tuple(jobs),
+            batches=tuple(batch_records),
         )
 
     # ------------------------------------------------------------------

@@ -139,6 +139,10 @@ class TransferRecord:
     start_cycles: float
     #: When the payload is fully resident at the destination.
     end_cycles: float
+    #: What the payload is: ``"checkpoint"`` (a migrating task's saved
+    #: state + context row) or ``"activation"`` (a sharded job's
+    #: inter-stage boundary tensor, the pipeline DMA-out).
+    purpose: str = "checkpoint"
 
     @property
     def queueing_cycles(self) -> float:
@@ -182,7 +186,13 @@ class Interconnect:
         return start + self.config.transfer_cycles(num_bytes)
 
     def transfer(
-        self, src: int, dst: int, num_bytes: float, now: float, task_id: int = -1
+        self,
+        src: int,
+        dst: int,
+        num_bytes: float,
+        now: float,
+        task_id: int = -1,
+        purpose: str = "checkpoint",
     ) -> TransferRecord:
         """Commit one transfer; returns its scheduled record."""
         for device in (src, dst):
@@ -209,6 +219,7 @@ class Interconnect:
             request_cycles=now,
             start_cycles=start,
             end_cycles=end,
+            purpose=purpose,
         )
         self._records.append(record)
         return record

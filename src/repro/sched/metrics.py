@@ -242,6 +242,16 @@ class ClusterMetrics:
     #: divided by the makespan (in [0, num_devices]).  The PCS-style
     #: throughput measure admission must not sacrifice.
     goodput: float = 0.0
+    # -- Job-surface metrics (router batching + pipeline sharding) ------
+    #: Dispatches that coalesced more than one request.
+    batch_count: int = 0
+    #: Mean requests per dispatch (1.0 when nothing coalesced; 0 when the
+    #: run completed no work).
+    mean_batch_size: float = 0.0
+    #: Dispatches executed as multi-device pipeline gangs.
+    sharded_job_count: int = 0
+    #: Inter-stage activation bytes shipped over the fabric.
+    activation_bytes_total: float = 0.0
 
 
 def _serving_metrics(
@@ -303,6 +313,33 @@ def _serving_metrics(
     }
 
 
+def _job_metrics(result) -> Dict[str, object]:
+    """Batching/sharding fields from the result's ``batches`` records.
+
+    Duck-typed like the rest of this module: results without a job
+    surface (plain task runs, older result-likes) yield zeros.
+    """
+    batches = tuple(getattr(result, "batches", ()))
+    transfers = tuple(getattr(result, "transfers", ()))
+    sizes = [b.batch_size for b in batches]
+    if sizes:
+        mean_size = float(sum(sizes)) / len(sizes)
+    else:
+        mean_size = 1.0 if tuple(getattr(result, "tasks", ())) else 0.0
+    return {
+        "batch_count": sum(1 for b in batches if b.batch_size > 1),
+        "mean_batch_size": mean_size,
+        "sharded_job_count": sum(1 for b in batches if b.num_stages > 1),
+        "activation_bytes_total": float(
+            sum(
+                t.num_bytes
+                for t in transfers
+                if getattr(t, "purpose", "checkpoint") == "activation"
+            )
+        ),
+    }
+
+
 def compute_cluster_metrics(
     result, slos: Optional[SLOPolicy] = None
 ) -> ClusterMetrics:
@@ -319,6 +356,7 @@ def compute_cluster_metrics(
     completed = tuple(result.tasks)
     rejected = tuple(getattr(result, "rejected_tasks", ()))
     serving = _serving_metrics(result, completed, rejected, slos)
+    serving.update(_job_metrics(result))
     if not completed:
         return ClusterMetrics(
             makespan_cycles=0.0,

@@ -163,18 +163,28 @@ class AdmissionController:
         backlog_cycles: float,
         now: float,
         attempt: int = 0,
+        marginal_scale: float = 1.0,
     ) -> AdmissionRecord:
         """Decide one (possibly re-considered) arrival.
 
         ``backlog_cycles`` is the predicted backlog of the best candidate
         device at ``now`` (in-flight deliveries included), exactly what
         online routing minimizes.  ``attempt`` counts prior deferrals of
-        this task.  The record is appended to :attr:`records`.
+        this task.  ``marginal_scale`` is the batch-aware cost factor: a
+        request joining an open router batch occupies the device for only
+        the marginal fraction of its corrected estimate (the rest rides
+        the batch's shared work), so its predicted *turnaround* shrinks
+        while the slowdown denominator -- what the user experiences
+        relative to a solo run -- stays the full estimate.  The record is
+        appended to :attr:`records`.
         """
+        if marginal_scale <= 0:
+            raise ValueError("marginal_scale must be positive")
         level = self.config.slos.level_for(task.spec)
         corrected = max(self.corrected_estimate(task), 1e-9)
+        occupancy = corrected * marginal_scale
         waited = max(0.0, now - task.spec.arrival_cycles)
-        predicted_turnaround = waited + backlog_cycles + corrected
+        predicted_turnaround = waited + backlog_cycles + occupancy
         slowdown = predicted_turnaround / corrected
         within_slo = slowdown <= level.slowdown_target
         if level.deadline_cycles is not None:
@@ -185,10 +195,10 @@ class AdmissionController:
         # busts the target no future attempt can accept -- deferring
         # again would just delay the reject signal a frontend wants to
         # send fast.
-        hopeless = (waited + corrected) / corrected > level.slowdown_target
+        hopeless = (waited + occupancy) / corrected > level.slowdown_target
         if level.deadline_cycles is not None:
             hopeless = hopeless or (
-                waited + corrected > level.deadline_cycles
+                waited + occupancy > level.deadline_cycles
             )
         budget_ok = self._budget_allows(level, corrected)
         if within_slo and budget_ok:

@@ -37,6 +37,12 @@ class TaskSpec:
     #: membership is validated at resolution (`qos_of`), not here, so the
     #: workload layer stays independent of the serving layer.
     qos: Optional[str] = None
+    #: Requested pipeline-parallel stages.  1 (the default) is the paper's
+    #: whole-model-on-one-NPU execution; >1 asks the cluster to cut the
+    #: model into that many device slices (see :mod:`repro.sched.job`).
+    #: A request, not a guarantee: the gang dispatcher clamps to the layer
+    #: count and fleet size.
+    stages: int = 1
 
     def __post_init__(self) -> None:
         if self.task_id < 0:
@@ -49,6 +55,8 @@ class TaskSpec:
             raise ValueError("input_len must be positive")
         if self.actual_output_len is not None and self.actual_output_len <= 0:
             raise ValueError("actual_output_len must be positive")
+        if self.stages < 1:
+            raise ValueError("stages must be >= 1")
 
     @property
     def is_rnn(self) -> bool:

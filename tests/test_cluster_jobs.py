@@ -1,0 +1,402 @@
+"""Gang lifecycle on the cluster: equivalence, sharding, batching.
+
+The PR-6 compatibility contract and the new mechanics, end to end:
+
+1. *Equivalence*: a stream of single-slice jobs with batching disabled
+   replays the legacy task path bit-for-bit across every routing policy
+   (same encoder the golden suites use); with a degenerate batching
+   config (no window, no sharding) the gang event loop itself reproduces
+   the legacy online-routing decisions exactly.
+2. *Pipeline sharding*: stage cutting over real devices -- activation
+   transfers on the fabric, DMA-in restores, distinct device
+   reservations, slice-level preemption, and checkpoint migration of
+   gangs straddling a contended link.
+3. *Router batching*: window coalescing, max-batch flush, class
+   separation, member settlement, and batch dissolution when admission
+   rejects a would-be member.
+"""
+
+import dataclasses
+
+import pytest
+
+from helpers_golden import _encode_cluster_v2
+from repro.core.tokens import Priority
+from repro.npu.config import NPUConfig
+from repro.sched.cluster import (
+    ClusterConfig,
+    ClusterScheduler,
+    RoutingPolicy,
+)
+from repro.sched.interconnect import InterconnectConfig
+from repro.sched.job import (
+    BatchConfig,
+    DeviceSlice,
+    Job,
+    JobState,
+    partition_runtime,
+)
+from repro.sched.metrics import compute_cluster_metrics
+from repro.sched.simulator import PreemptionMode, SimulationConfig
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionRecord,
+)
+from repro.workloads.specs import TaskSpec
+from repro.workloads.trace import synthetic_runtime, synthetic_trace_runtimes
+
+_CONFIG = NPUConfig()
+
+
+def sim_config(mode=PreemptionMode.DYNAMIC, mechanism="CHECKPOINT"):
+    return SimulationConfig(npu=_CONFIG, mode=mode, mechanism=mechanism)
+
+
+def compat_task(task_id, arrival, cycles, priority=Priority.MEDIUM):
+    """A task whose batch key matches every other compat_task of the
+    same priority (benchmark/batch/lengths/qos all identical)."""
+    spec = TaskSpec(
+        task_id=task_id, benchmark="CNN-AN", batch=1,
+        priority=priority, arrival_cycles=arrival,
+    )
+    return synthetic_runtime(spec, cycles)
+
+
+def sharded_job(task_id, arrival, cycles, num_stages, priority=Priority.LOW):
+    runtime = compat_task(task_id, arrival, cycles, priority)
+    plans = partition_runtime(runtime, num_stages)
+    return Job(
+        job_id=task_id,
+        source=runtime,
+        requests=(runtime,),
+        slices=[DeviceSlice(stage=plan) for plan in plans],
+    )
+
+
+def trace(num_tasks=16, seed=21, **kwargs):
+    return synthetic_trace_runtimes(num_tasks, seed=seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# 1. Equivalence
+# ----------------------------------------------------------------------
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("routing", list(RoutingPolicy))
+    def test_single_slice_jobs_replay_task_path(self, routing):
+        """run_jobs(single-slice, batching off) == run(tasks), all 7
+        routings, bit-for-bit under the golden encoder."""
+        config = sim_config()
+        baseline = ClusterScheduler(
+            3, config, config=ClusterConfig(routing=routing, seed=5)
+        ).run(trace())
+        jobs = [Job.single(task) for task in trace()]
+        via_jobs = ClusterScheduler(
+            3, config, config=ClusterConfig(routing=routing, seed=5)
+        ).run_jobs(jobs)
+        assert _encode_cluster_v2(via_jobs) == _encode_cluster_v2(baseline)
+        assert all(job.state is JobState.DONE for job in via_jobs.jobs)
+        for job in via_jobs.jobs:
+            assert job.completion_time == job.source.completion_time
+            assert job.dispatch_time == job.source.first_dispatch_time
+            assert (
+                via_jobs.assignments[job.source.task_id]
+                == job.slices[0].device_id
+            )
+
+    @pytest.mark.parametrize(
+        "routing",
+        [
+            RoutingPolicy.ONLINE_PREDICTED,
+            RoutingPolicy.WORK_STEALING,
+            RoutingPolicy.PREEMPTIVE_MIGRATION,
+        ],
+    )
+    def test_gang_loop_degenerate_batching_is_bit_exact(self, routing):
+        """With window=0 and shard_stages=1 the gang loop itself makes
+        the same decisions as the legacy loop -- same routing calls at
+        the same instants, so the encodings match exactly."""
+        config = sim_config()
+        baseline = ClusterScheduler(
+            3, config, config=ClusterConfig(routing=routing, seed=2)
+        ).run(trace(seed=33))
+        degenerate = BatchConfig(window_cycles=0.0, max_batch=1)
+        gang = ClusterScheduler(
+            3, config,
+            config=ClusterConfig(
+                routing=routing, seed=2, batching=degenerate
+            ),
+        ).run(trace(seed=33))
+        assert _encode_cluster_v2(gang) == _encode_cluster_v2(baseline)
+        # The gang run carries the job surface on top.
+        assert len(gang.jobs) == len(gang.tasks)
+        assert len(gang.batches) == len(gang.tasks)
+        assert all(b.batch_size == 1 for b in gang.batches)
+        assert gang.batch_count == 0
+
+
+# ----------------------------------------------------------------------
+# 2. Pipeline sharding
+# ----------------------------------------------------------------------
+class TestShardedPipeline:
+    def test_two_stage_gang_ships_activations(self):
+        job = sharded_job(0, arrival=0.0, cycles=2_000_000.0, num_stages=2)
+        expected_bytes = job.slices[0].stage.activation_bytes
+        scheduler = ClusterScheduler(
+            2, sim_config(),
+            config=ClusterConfig(
+                routing=RoutingPolicy.ONLINE_PREDICTED,
+                interconnect=InterconnectConfig.nvlink(),
+            ),
+        )
+        result = scheduler.run_jobs([job])
+        assert job.state is JobState.DONE
+        devices = [s.device_id for s in job.slices]
+        assert None not in devices and devices[0] != devices[1]
+        for device_slice in job.slices:
+            assert device_slice.runtime is not None
+            assert device_slice.runtime.is_done
+        activations = [
+            t for t in result.transfers if t.purpose == "activation"
+        ]
+        assert len(activations) == 1
+        assert activations[0].num_bytes == expected_bytes
+        # DMA-in: stage 1 paid the landing cost as its dispatch restore.
+        stage1 = job.slices[1].runtime
+        assert stage1.dispatch_restore == pytest.approx(
+            expected_bytes / _CONFIG.bandwidth_bytes_per_cycle
+        )
+        # The source settles at the final stage's completion.
+        assert job.source.is_done
+        assert job.source.completion_time == stage1.completion_time
+        assert job.completion_time == stage1.completion_time
+        metrics = compute_cluster_metrics(result)
+        assert metrics.sharded_job_count == 1
+        assert metrics.activation_bytes_total == expected_bytes
+
+    def test_same_device_stages_skip_the_fabric(self):
+        # A 2-stage gang on a 1-device fleet wraps around: both stages
+        # land on device 0 and the boundary tensor never ships.
+        job = sharded_job(0, arrival=0.0, cycles=1_000_000.0, num_stages=2)
+        result = ClusterScheduler(
+            1, sim_config(),
+            config=ClusterConfig(routing=RoutingPolicy.ONLINE_PREDICTED),
+        ).run_jobs([job])
+        assert job.state is JobState.DONE
+        assert [s.device_id for s in job.slices] == [0, 0]
+        assert not result.transfers
+        assert job.slices[1].runtime.dispatch_restore == 0.0
+
+    def test_preempting_one_slice_of_a_gang(self):
+        # Both stages of a LOW job run on the lone device; a HIGH task
+        # arrives mid-stage-0 and preempts just that slice under HPF.
+        job = sharded_job(
+            0, arrival=0.0, cycles=2_000_000.0, num_stages=2,
+            priority=Priority.LOW,
+        )
+        interloper = Job.single(
+            compat_task(1, arrival=200_000.0, cycles=400_000.0,
+                        priority=Priority.HIGH)
+        )
+        scheduler = ClusterScheduler(
+            1, sim_config(),
+            config=ClusterConfig(
+                policy_name="HPF",
+                routing=RoutingPolicy.ONLINE_PREDICTED,
+            ),
+        )
+        result = scheduler.run_jobs([job, interloper])
+        assert job.state is JobState.DONE
+        assert interloper.state is JobState.DONE
+        stage0 = job.slices[0].runtime
+        stage1 = job.slices[1].runtime
+        assert stage0.preemption_count >= 1
+        assert stage1.preemption_count == 0
+        # The interloper cut ahead: it finished before the gang did.
+        assert (
+            interloper.source.completion_time < job.source.completion_time
+        )
+        assert len(result.tasks) == 2
+
+    def test_gang_straddling_contended_link_migrates(self):
+        # Overloaded 4-device fleet, every dispatch sharded over the
+        # shared PCIe bus, checkpoint migration on: activation shipments
+        # and checkpoint migrations interleave on one contended link and
+        # every gang still completes exactly once.
+        tasks = trace(
+            num_tasks=40, seed=5,
+            mean_interarrival_cycles=0.8e-3 * 700e6,
+        )
+        scheduler = ClusterScheduler(
+            4, sim_config(),
+            config=ClusterConfig(
+                routing=RoutingPolicy.PREEMPTIVE_MIGRATION,
+                interconnect=InterconnectConfig.pcie_gen3(),
+                batching=BatchConfig(
+                    window_cycles=1e6, max_batch=4, shard_stages=2
+                ),
+            ),
+        )
+        result = scheduler.run(tasks)
+        assert len(result.tasks) == 40
+        assert all(job.state is JobState.DONE for job in result.jobs)
+        kinds = {t.purpose for t in result.transfers}
+        assert kinds == {"checkpoint", "activation"}
+        assert any(m.kind == "checkpoint" for m in result.migrations)
+        # The bus serves FIFO, one transfer at a time, causally.
+        previous_end = 0.0
+        previous_request = 0.0
+        for record in result.transfers:
+            assert record.request_cycles >= previous_request
+            assert record.start_cycles >= record.request_cycles
+            assert record.start_cycles >= previous_end
+            previous_end = record.end_cycles
+            previous_request = record.request_cycles
+
+
+# ----------------------------------------------------------------------
+# 3. Router batching
+# ----------------------------------------------------------------------
+class TestRouterBatching:
+    def cluster(self, batching, num_devices=2, admission=None):
+        return ClusterScheduler(
+            num_devices, sim_config(),
+            config=ClusterConfig(
+                routing=RoutingPolicy.ONLINE_PREDICTED,
+                batching=batching,
+                admission=admission,
+            ),
+        )
+
+    def test_window_coalesces_compatible_requests(self):
+        tasks = [
+            compat_task(0, 0.0, 1_000_000.0),
+            compat_task(1, 1_000.0, 800_000.0),
+            compat_task(2, 2_000.0, 600_000.0),
+        ]
+        result = self.cluster(
+            BatchConfig(window_cycles=10_000.0, max_batch=8)
+        ).run(tasks)
+        assert len(result.batches) == 1
+        batch = result.batches[0]
+        assert batch.member_task_ids == (0, 1, 2)
+        assert batch.dispatch_cycles == 10_000.0  # window, not arrival
+        assert result.mean_batch_size == 3.0
+        # Members settle together, back-dated to the proxy's dispatch.
+        completions = {t.completion_time for t in result.tasks}
+        assert len(completions) == 1
+        dispatches = {t.first_dispatch_time for t in result.tasks}
+        assert len(dispatches) == 1
+
+    def test_max_batch_flushes_early(self):
+        tasks = [
+            compat_task(0, 0.0, 500_000.0),
+            compat_task(1, 1_000.0, 500_000.0),
+            compat_task(2, 2_000.0, 500_000.0),
+        ]
+        result = self.cluster(
+            BatchConfig(window_cycles=50_000.0, max_batch=2)
+        ).run(tasks)
+        sizes = sorted(b.batch_size for b in result.batches)
+        assert sizes == [1, 2]
+        full = next(b for b in result.batches if b.batch_size == 2)
+        assert full.dispatch_cycles == 1_000.0  # second arrival, not window
+
+    def test_expired_window_starts_a_new_batch(self):
+        tasks = [
+            compat_task(0, 0.0, 500_000.0),
+            compat_task(1, 50_000.0, 500_000.0),
+        ]
+        result = self.cluster(
+            BatchConfig(window_cycles=10_000.0, max_batch=8)
+        ).run(tasks)
+        assert [b.batch_size for b in result.batches] == [1, 1]
+        assert result.batch_count == 0
+
+    def test_classes_never_blend(self):
+        tasks = [
+            compat_task(0, 0.0, 500_000.0, priority=Priority.LOW),
+            compat_task(1, 100.0, 500_000.0, priority=Priority.HIGH),
+        ]
+        result = self.cluster(
+            BatchConfig(window_cycles=10_000.0, max_batch=8)
+        ).run(tasks)
+        assert len(result.batches) == 2
+        assert all(b.batch_size == 1 for b in result.batches)
+
+    def test_batch_amortizes_device_time(self):
+        # 4 identical requests, alpha=0.5: the merged dispatch occupies
+        # max + 0.5 * 3 * c = 2.5c of device time instead of 4c.
+        tasks = [
+            compat_task(i, float(i), 1_000_000.0) for i in range(4)
+        ]
+        result = self.cluster(
+            BatchConfig(
+                window_cycles=10_000.0, max_batch=8,
+                marginal_fraction=0.5,
+            ),
+            num_devices=1,
+        ).run(tasks)
+        assert result.mean_batch_size == 4.0
+        makespan = result.makespan_cycles
+        assert makespan == pytest.approx(10_000.0 + 2_500_000.0, rel=1e-6)
+
+    def test_rejected_member_dissolves_from_batch(self):
+        class RejectOne(AdmissionController):
+            """Force-reject one task id; admit everything else."""
+
+            def __init__(self, victim):
+                super().__init__()
+                self.victim = victim
+
+            def decide(self, task, backlog_cycles, now, attempt=0,
+                       marginal_scale=1.0):
+                if task.task_id == self.victim:
+                    record = AdmissionRecord(
+                        task_id=task.task_id, qos="standard",
+                        decision=AdmissionDecision.REJECT,
+                        time_cycles=now, predicted_slowdown=99.0,
+                        attempt=attempt,
+                    )
+                    self._records.append(record)
+                    return record
+                return super().decide(
+                    task, backlog_cycles, now, attempt, marginal_scale
+                )
+
+        tasks = [
+            compat_task(0, 0.0, 500_000.0),
+            compat_task(1, 1_000.0, 500_000.0),
+            compat_task(2, 2_000.0, 500_000.0),
+        ]
+        result = self.cluster(
+            BatchConfig(window_cycles=10_000.0, max_batch=8),
+            admission=RejectOne(victim=1),
+        ).run(tasks)
+        # The batch flushed with the surviving members only.
+        assert len(result.batches) == 1
+        assert result.batches[0].member_task_ids == (0, 2)
+        assert [t.task_id for t in result.rejected_tasks] == [1]
+        rejected_job = next(
+            job for job in result.jobs if job.job_id == 1
+        )
+        assert rejected_job.state is JobState.REJECTED
+        assert not rejected_job.source.is_done
+        assert {t.task_id for t in result.tasks} == {0, 2}
+        assert all(t.is_done for t in result.tasks)
+
+    def test_admission_settles_batched_members(self):
+        # Every admitted member's budget charge is released at the
+        # *batch* completion -- outstanding work returns to zero.
+        admission = AdmissionController()
+        tasks = [
+            compat_task(0, 0.0, 500_000.0),
+            compat_task(1, 1_000.0, 500_000.0),
+        ]
+        result = self.cluster(
+            BatchConfig(window_cycles=10_000.0, max_batch=8),
+            admission=admission,
+        ).run(tasks)
+        assert len(result.tasks) == 2
+        assert result.mean_batch_size == 2.0
+        assert admission.outstanding_cycles() == 0.0

@@ -35,6 +35,9 @@ class TestExamples:
         assert "admission + online feedback" in result.stdout
         assert "class attainment" in result.stdout
         assert "rejected" in result.stdout
+        # Act three: router batching on the same overloaded cluster.
+        assert "admission + router batching" in result.stdout
+        assert "batched dispatches" in result.stdout
 
     def test_preemption_lab(self):
         result = run_example("preemption_lab.py", "0.5")

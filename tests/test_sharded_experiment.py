@@ -1,0 +1,50 @@
+"""The sharded_serving experiment's headline claims (quick ensemble)."""
+
+import pytest
+
+from repro.analysis.experiments.sharded_serving import (
+    format_sharded_serving,
+    run_sharded_serving,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_sharded_serving(quick=True)
+
+
+class TestShardedServingExperiment:
+    def test_headline_throughput(self, rows):
+        """At >= 2x overload, batching -- with and without pipeline
+        sharding on top -- beats one-task-one-device dispatch on
+        aggregate completion throughput."""
+        by_mode = {r.mode: r for r in rows}
+        single = by_mode["single-device"]
+        assert by_mode["batched"].tasks_per_sec > single.tasks_per_sec
+        assert (
+            by_mode["sharded+batched"].tasks_per_sec > single.tasks_per_sec
+        )
+
+    def test_sharding_recovers_tail_latency(self, rows):
+        """Sharding spreads the merged dispatches batching makes heavy:
+        its p99 does not regress vs pure batching."""
+        by_mode = {r.mode: r for r in rows}
+        assert by_mode["sharded+batched"].p99_turnaround_ms <= (
+            by_mode["batched"].p99_turnaround_ms * 1.05
+        )
+
+    def test_mechanisms_actually_engage(self, rows):
+        by_mode = {r.mode: r for r in rows}
+        assert by_mode["single-device"].mean_batch_size == 1.0
+        assert by_mode["single-device"].sharded_dispatches == 0.0
+        assert by_mode["single-device"].activation_mb == 0.0
+        assert by_mode["batched"].mean_batch_size > 1.2
+        assert by_mode["batched"].sharded_dispatches == 0.0
+        assert by_mode["sharded+batched"].sharded_dispatches > 0.0
+        assert by_mode["sharded+batched"].activation_mb > 0.0
+
+    def test_format(self, rows):
+        text = format_sharded_serving(rows)
+        assert "single-device" in text
+        assert "sharded+batched" in text
+        assert "overload" in text
