@@ -1,0 +1,55 @@
+"""Extension bench: proactive migration vs reactive restart under churn.
+
+Runs the ``device_churn`` experiment at full scale (16 seeds, 120 tasks,
+4 NPUs in the hog regime, spot-style revocations: ~0.5 ms warnings
+against ~50 ms outages) and asserts its headline ordering: at matched
+churn schedules, the Parcae discipline — evacuate on the revocation
+warning — beats restart-after-the-fact on goodput under churn and on
+work lost per run.  The row set lands in
+``benchmarks/results/BENCH_device_churn.json`` (uploaded as a CI
+artifact by the bench-smoke job, like ``BENCH_sharded_serving.json``).
+"""
+
+import json
+import pathlib
+
+from repro.analysis.experiments.device_churn import (
+    format_device_churn,
+    run_device_churn,
+)
+
+RESULTS = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_device_churn.json"
+)
+
+
+def test_device_churn(benchmark, config, emit):
+    rows = benchmark.pedantic(
+        run_device_churn,
+        kwargs=dict(config=config),
+        rounds=1,
+        iterations=1,
+    )
+    emit("device_churn", format_device_churn(rows))
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(
+        json.dumps(
+            [row.__dict__ for row in rows], indent=2, sort_keys=True
+        )
+        + "\n"
+    )
+    by_mode = {r.mode: r for r in rows}
+    baseline = by_mode["no-churn"]
+    reactive = by_mode["reactive-restart"]
+    proactive = by_mode["proactive-migration"]
+    # Evacuating on the warning beats restarting after the kill...
+    assert proactive.goodput_under_churn > reactive.goodput_under_churn
+    assert proactive.work_lost_mcycles < reactive.work_lost_mcycles
+    assert proactive.restarts_per_task < reactive.restarts_per_task
+    # ...and the no-churn row calibrates what the churn itself costs.
+    assert baseline.goodput_under_churn > proactive.goodput_under_churn
+    # The levers actually engaged (guards against silently measuring
+    # three identical configurations).
+    assert reactive.work_lost_mcycles > 0.0
+    assert reactive.migrations == 0.0
+    assert proactive.migrations > 0.0

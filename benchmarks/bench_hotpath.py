@@ -40,6 +40,7 @@ sys.path.insert(
 
 from repro.npu.config import NPUConfig  # noqa: E402
 from repro.sched.cluster import ClusterScheduler, RoutingPolicy  # noqa: E402
+from repro.sched.faults import ChurnSchedule  # noqa: E402
 from repro.sched.job import BatchConfig  # noqa: E402
 from repro.sched.policies import make_policy  # noqa: E402
 from repro.serving import (  # noqa: E402
@@ -146,6 +147,7 @@ def measure_cluster(
     admission: bool = False,
     use_indexes: Optional[bool] = None,
     batching: Optional[BatchConfig] = None,
+    churn: Optional[ChurnSchedule] = None,
 ) -> Dict[str, float]:
     """Wall time of a cluster run over an aggregate open-arrival trace.
 
@@ -156,7 +158,9 @@ def measure_cluster(
     mildly overloaded arrival rate, so the frontier heap + decide()
     path sits under the same regression gate as the rest of the loop.
     With ``batching`` the run takes the gang event loop instead (batch
-    windows, runtime merge, stage partition, activation DMA).
+    windows, runtime merge, stage partition, activation DMA).  With
+    ``churn`` the fleet loses and regains devices mid-run (availability
+    transitions, failure orphan re-dispatch, proactive evacuation).
     """
     overload = 1.5 if (admission or batching is not None) else 1.0
     runtimes = synthetic_trace_runtimes(
@@ -183,6 +187,7 @@ def measure_cluster(
         admission=controller,
         use_indexes=use_indexes,
         batching=batching,
+        churn=churn,
     )
     start = time.perf_counter()
     result = scheduler.run(runtimes)
@@ -239,6 +244,28 @@ def run(tier: str = "full") -> Dict[str, object]:
     )
     record["normalized"] = record["tasks_per_sec"] / calibration_ops
     results["sharded_pipeline_4dev"] = record
+    # Device churn (availability transitions, fail-stop orphan
+    # re-dispatch, proactive warning-window evacuation) on the same
+    # 4-device regime, under the same gate: the churn control path must
+    # never turn per-event cost superlinear.
+    churn_horizon = 500 * DEFAULT_MEAN_INTERARRIVAL_CYCLES / 4
+    record = measure_cluster(
+        500,
+        routing=RoutingPolicy.ONLINE_PREDICTED,
+        seed=47,
+        churn=ChurnSchedule.generate(
+            4,
+            horizon_cycles=churn_horizon,
+            seed=47,
+            fault_rate=1.0 / churn_horizon,
+            revocation_rate=3.0 / churn_horizon,
+            drain_rate=1.0 / churn_horizon,
+            mean_outage_cycles=churn_horizon / 10.0,
+            mean_warning_cycles=churn_horizon / 250.0,
+        ),
+    )
+    record["normalized"] = record["tasks_per_sec"] / calibration_ops
+    results["churn_4dev"] = record
     # The datacenter tier: 64 work-stealing devices at the same
     # per-device load.  Runs in the small tier so the CI gate watches
     # the O(log d) control plane (event heap, backlog index, candidate

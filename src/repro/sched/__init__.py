@@ -11,6 +11,9 @@
   (:class:`Job`, :class:`DeviceSlice`, :class:`BatchConfig`).
 - :mod:`repro.sched.interconnect` -- modeled inter-NPU fabric (bandwidth,
   latency, per-link FIFO contention) checkpoint migrations cross.
+- :mod:`repro.sched.faults` -- device churn: seeded fail-stop faults,
+  spot revocations with advance warning, maintenance drains, and the
+  per-device availability state machine (see ``docs/failures.md``).
 - :mod:`repro.sched.metrics` -- ANTT/STP/fairness/SLA/tail-latency metrics
   plus cluster-level queueing-delay, migration, and serving (per-class
   SLA attainment, rejection rate, goodput) metrics.
@@ -25,6 +28,12 @@ from repro.sched.cluster import (
     ClusterScheduler,
     MigrationRecord,
     RoutingPolicy,
+)
+from repro.sched.faults import (
+    ChurnEvent,
+    ChurnSchedule,
+    DeviceAvailability,
+    FleetAvailability,
 )
 from repro.sched.job import (
     BatchConfig,
@@ -80,6 +89,10 @@ __all__ = [
     "Interconnect",
     "InterconnectConfig",
     "TransferRecord",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "DeviceAvailability",
+    "FleetAvailability",
     "ClusterMetrics",
     "compute_cluster_metrics",
     "mean_queueing_delay",

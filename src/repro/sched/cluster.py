@@ -67,9 +67,10 @@ from __future__ import annotations
 import dataclasses
 import enum
 import heapq
+import math
 import random
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.context import TaskState
 from repro.core.tokens import ClusterTokenLedger
@@ -77,6 +78,12 @@ from repro.serving.admission import (
     AdmissionController,
     AdmissionDecision,
     AdmissionRecord,
+)
+from repro.sched.faults import (
+    ChurnEvent,
+    ChurnSchedule,
+    DeviceAvailability,
+    FleetAvailability,
 )
 from repro.sched.interconnect import (
     CONTEXT_ROW_BYTES,
@@ -203,6 +210,16 @@ class ClusterConfig:
     #: Router-level batching / pipeline sharding (repro.sched.job).  None
     #: keeps the task-per-dispatch behavior bit-for-bit.
     batching: Optional[BatchConfig] = None
+    #: Device churn (repro.sched.faults): fail-stop faults, spot
+    #: revocations with advance warning, maintenance drains.  None keeps
+    #: the always-healthy fleet bit-for-bit.
+    churn: Optional[ChurnSchedule] = None
+    #: With churn: drain a warned device's durable checkpoints to healthy
+    #: peers before the deadline (Parcae-style liveput protection) and
+    #: checkpoint-then-migrate its running task when the window affords
+    #: it.  False is the reactive-restart baseline (losses recovered only
+    #: after the fact).  Ignored without ``churn``.
+    proactive_migration: bool = True
 
 
 @dataclasses.dataclass(frozen=True)
@@ -289,6 +306,9 @@ class ClusterResult:
     #: One record per router dispatch under the gang loop (solo dispatches
     #: included, so mean batch size is directly computable).
     batches: Tuple[BatchRecord, ...] = ()
+    #: Tasks destroyed by device churn with no surviving capacity to
+    #: recover them; they never completed and never will.
+    lost_tasks: Tuple[TaskRuntime, ...] = ()
 
     @property
     def num_devices(self) -> int:
@@ -324,13 +344,15 @@ class ClusterResult:
 
     @property
     def offered_tasks(self) -> Tuple[TaskRuntime, ...]:
-        """Executed + rejected tasks: everything the frontend was asked."""
-        return self.tasks + self.rejected_tasks
+        """Executed + rejected + lost: everything the frontend was asked."""
+        return self.tasks + self.rejected_tasks + self.lost_tasks
 
     @property
     def rejection_rate(self) -> float:
         """Fraction of offered tasks the frontend refused."""
-        offered = len(self.tasks) + len(self.rejected_tasks)
+        offered = (
+            len(self.tasks) + len(self.rejected_tasks) + len(self.lost_tasks)
+        )
         return len(self.rejected_tasks) / offered if offered else 0.0
 
     @property
@@ -504,7 +526,12 @@ class _ClusterIndexes:
         stay valid.
         """
         index = device.device_id
-        bound = device.backlog_lower_bound()
+        # A non-accepting device (churn: doomed or down) sinks to the
+        # bottom of the backlog heap so best-first routing never reaches
+        # it while any accepting device exists; restore re-keys it live.
+        bound = (
+            device.backlog_lower_bound() if device.accepts_work else math.inf
+        )
         if bound != self._backlog_bound[index]:
             # An unchanged bound leaves the device's resident heap entry
             # valid (entries are validated by value), so only actual
@@ -555,6 +582,11 @@ class _ClusterIndexes:
             if best_key is not None and (bound, index) >= best_key:
                 break
             examined.append(heapq.heappop(heap))
+            if not devices[index].accepts_work:
+                # Churn: an inf-bound entry surfaced because every
+                # accepting device was examined; skip (but keep the
+                # entry -- the device re-keys live at restore).
+                continue
             backlog = devices[index].predicted_backlog(now) + inbound(index)
             key = (backlog, index)
             if best_key is None or key < best_key:
@@ -565,7 +597,7 @@ class _ClusterIndexes:
             raise RuntimeError("backlog index has no live device entries")
         if self.verify:
             reference = min(
-                range(len(devices)),
+                (d for d in range(len(devices)) if devices[d].accepts_work),
                 key=lambda d: (
                     devices[d].predicted_backlog(now) + inbound(d),
                     d,
@@ -600,6 +632,269 @@ class _ClusterIndexes:
                 )
 
 
+class _ChurnRuntime:
+    """Churn mechanics shared by both cluster event loops.
+
+    Owns the :class:`~repro.sched.faults.FleetAvailability` machine and
+    applies its transitions to the live fleet:
+
+    - **warn** (proactive mode): the device stops accepting new work
+      (routing, stealing, admission and idle indexes all exclude it) and
+      its evacuable state drains to healthy peers over the interconnect
+      -- durable checkpoints and queued rows ship immediately, a running
+      task that cannot finish inside the window is checkpoint-then-
+      migrated when the trap DMA plus transfer fit before the deadline
+      (the Parcae-style liveput protection).  Reactive mode records the
+      state change and does nothing else.
+    - **down**: in-flight transfers to the device are cancelled on their
+      links, its non-durable progress dies (:meth:`DeviceSim.fail`), and
+      the orphans are handed to the loop's ``on_orphans`` callback for
+      re-dispatch (or parking, when no capacity survives).
+    - **restore**: the device re-enters every routing structure and the
+      loop's ``on_restore`` callback re-places parked work.
+    - **check**: a self-scheduled revisit (e.g. at a forced checkpoint's
+      durability instant) that re-runs evacuation while the device is
+      still doomed.
+
+    The loop processes a transition whenever it precedes the next device
+    event at same-time-completion-first / before-same-time-arrival rank
+    (between :data:`_EventKind.COMPLETE` and ``ARRIVAL``).
+    """
+
+    def __init__(
+        self,
+        schedule: ChurnSchedule,
+        devices: Sequence[DeviceSim],
+        indexes: Optional[_ClusterIndexes],
+        fabric: Optional[Interconnect],
+        inflight: Dict[int, List[Tuple[float, float, int]]],
+        assignments: Dict[int, int],
+        migrations: List[MigrationRecord],
+        ledger: Optional[ClusterTokenLedger],
+        proactive: bool,
+    ) -> None:
+        self.fleet = FleetAvailability(len(devices), schedule)
+        self.devices = devices
+        self.indexes = indexes
+        self.fabric = fabric
+        self.inflight = inflight
+        self.assignments = assignments
+        self.migrations = migrations
+        self.ledger = ledger
+        self.proactive = proactive
+        #: Work with nowhere to go while no device accepts (re-placed at
+        #: the next restore; lost if the fleet never recovers).  The task
+        #: loop parks TaskRuntimes, the gang loop parks Jobs.
+        self.parked: list = []
+        #: Loop-specific hooks, set by the owning loop before it runs.
+        self.on_orphans: Optional[Callable] = None
+        self.on_restore: Optional[Callable] = None
+        #: The churn event whose warning window a device is inside.
+        self._active_event: Dict[int, ChurnEvent] = {}
+        #: Tasks already force-checkpointed in the current window, per
+        #: device -- a failed shipment must not re-trap the same task.
+        self._forced: Dict[int, Set[int]] = {}
+
+    # -- loop-facing surface -------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        return self.fleet.peek_time()
+
+    def any_accepting(self) -> bool:
+        return any(device.accepts_work for device in self.devices)
+
+    def process_next(self) -> None:
+        transition = self.fleet.pop()
+        now = transition.time_cycles
+        index = transition.device
+        device = self.devices[index]
+        if transition.phase == "warn":
+            self.fleet.apply(transition)
+            if transition.event is not None:
+                self._active_event[index] = transition.event
+            if self.proactive:
+                device.accepts_work = False
+                self._refresh(device)
+                self._evacuate(index, now)
+        elif transition.phase == "down":
+            self.fleet.apply(transition)
+            self._active_event.pop(index, None)
+            self._forced.pop(index, None)
+            if self.fabric is not None:
+                self.fabric.cancel_transfers_to(index, now)
+            self.inflight[index].clear()
+            orphans = device.fail(now)
+            self._refresh(device)
+            if self.on_orphans is not None:
+                self.on_orphans(orphans, now)
+        elif transition.phase == "restore":
+            self.fleet.apply(transition)
+            self._active_event.pop(index, None)
+            self._forced.pop(index, None)
+            device.accepts_work = True
+            self._refresh(device)
+            if self.on_restore is not None:
+                self.on_restore(now)
+        else:  # "check": revisit a still-doomed device's evacuation
+            if self.proactive and self.fleet.state(index) in (
+                DeviceAvailability.WARNED,
+                DeviceAvailability.DRAINING,
+            ):
+                self._evacuate(index, now)
+
+    def after_step(self, device: DeviceSim, now: float) -> None:
+        """Opportunistic re-evacuation after a doomed device's own event
+        (a completion frees the array; a dispatch may have started work
+        that now needs the checkpoint-then-migrate decision)."""
+        if not self.proactive:
+            return
+        index = device.device_id
+        if self.fleet.state(index) in (
+            DeviceAvailability.WARNED,
+            DeviceAvailability.DRAINING,
+        ):
+            self._evacuate(index, now)
+
+    # -- mechanics ------------------------------------------------------
+    def _refresh(self, device: DeviceSim) -> None:
+        if self.indexes is not None:
+            self.indexes.refresh(device)
+
+    def _pick_target(self, src_index: int, now: float) -> Optional[int]:
+        """Least-backlog accepting device other than the source."""
+        best: Optional[int] = None
+        best_key: Optional[Tuple[float, int]] = None
+        for device in self.devices:
+            index = device.device_id
+            if index == src_index or not device.accepts_work:
+                continue
+            key = (
+                device.predicted_backlog(now)
+                + ClusterScheduler._inbound_backlog(self.inflight, index, now),
+                index,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = index, key
+        return best
+
+    def _ship(
+        self, src_index: int, dst_index: int, task_id: int, now: float
+    ) -> None:
+        """Move one QUEUED/PREEMPTED task over the fabric (the
+        :meth:`ClusterScheduler._migrate` mechanics, evacuation-driven)."""
+        assert self.fabric is not None
+        src = self.devices[src_index]
+        dst = self.devices[dst_index]
+        task = src.remove_task(task_id, now)
+        ships_checkpoint = task.checkpoint_bytes_resident > 0
+        payload = task.checkpoint_bytes_resident + CONTEXT_ROW_BYTES
+        record = self.fabric.transfer(
+            src_index, dst_index, payload, now, task_id=task.task_id
+        )
+        task.context.state = TaskState.MIGRATING
+        task.context.accrue_wait(record.end_cycles)
+        if self.ledger is not None:
+            self.ledger.activate(task.task_id, task.context.tokens)
+        task.migration_count += 1
+        task.migrated_bytes_total += payload
+        dst.inject(task, arrival=record.end_cycles)
+        self._refresh(src)
+        self._refresh(dst)
+        self.assignments[task.task_id] = dst_index
+        self.inflight[dst_index].append(
+            (record.end_cycles, task.context.estimated_remaining_cycles,
+             int(task.context.priority))
+        )
+        self.migrations.append(
+            MigrationRecord(
+                task_id=task.task_id,
+                from_device=src_index,
+                to_device=dst_index,
+                time_cycles=now,
+                kind="checkpoint" if ships_checkpoint else "steal",
+                bytes_moved=payload,
+                arrival_cycles=record.end_cycles,
+            )
+        )
+
+    def _evacuate(self, src_index: int, now: float) -> None:
+        """Drain a doomed device toward its revocation deadline.
+
+        Ships evacuable state (queued rows, durable checkpoints) in
+        value order -- highest priority, then most tokens, then longest
+        remaining -- while the contended link still lands each payload
+        before the deadline.  The running task is left alone when it
+        finishes inside the window; otherwise it is force-checkpointed
+        once (per window) when the trap DMA plus shipment fit, and a
+        ``check`` transition revisits at durability to ship it.
+        """
+        event = self._active_event.get(src_index)
+        if event is None or self.fabric is None:
+            return
+        deadline = event.down_cycles
+        src = self.devices[src_index]
+
+        def value(task: TaskRuntime):
+            context = task.context
+            return (
+                float(int(context.priority)),
+                context.tokens,
+                context.estimated_remaining_cycles,
+                -task.task_id,
+            )
+
+        progress = True
+        while progress:
+            progress = False
+            candidates = src.stealable_tasks()
+            candidates += src.migratable_preempted_tasks(now)
+            for task in sorted(candidates, key=value, reverse=True):
+                target = self._pick_target(src_index, now)
+                if target is None:
+                    return  # nowhere to evacuate to
+                payload = task.checkpoint_bytes_resident + CONTEXT_ROW_BYTES
+                landing = self.fabric.estimate_arrival(
+                    src_index, target, payload, now
+                )
+                if landing > deadline:
+                    continue  # this payload cannot beat the deadline
+                self._ship(src_index, target, task.task_id, now)
+                progress = True
+                break
+
+        running = src.running_task
+        if running is None or running.dispatch_time is None:
+            return
+        est_done = (
+            running.dispatch_time
+            + running.dispatch_restore
+            + (running.profile.total_cycles - running.retained_offset)
+        )
+        if est_done <= deadline:
+            return  # it outruns the revocation; let it finish in place
+        forced = self._forced.setdefault(src_index, set())
+        if running.task_id in forced:
+            return
+        preview = src.preview_checkpoint(now)
+        if preview is None:
+            return
+        free_at, checkpoint_bytes = preview
+        if free_at >= deadline:
+            return  # the trap DMA alone overruns the window
+        target = self._pick_target(src_index, now)
+        if target is None:
+            return
+        payload = checkpoint_bytes + CONTEXT_ROW_BYTES
+        if self.fabric.estimate_arrival(
+            src_index, target, payload, free_at
+        ) > deadline:
+            return  # checkpoint would land dead bytes; ride it out
+        src.force_checkpoint(now)
+        forced.add(running.task_id)
+        self._refresh(src)
+        # Revisit at durability: the checkpoint becomes shippable then.
+        self.fleet.push_check(free_at, src_index)
+
+
 class _GangRun:
     """One in-flight router dispatch: a proxy runtime cut into stage slices.
 
@@ -612,7 +907,7 @@ class _GangRun:
     """
 
     __slots__ = ("jobs", "owner", "proxy", "plans", "slice_ids", "devices",
-                 "runtimes")
+                 "runtimes", "lost")
 
     def __init__(
         self,
@@ -630,6 +925,9 @@ class _GangRun:
         self.slice_ids = slice_ids
         self.devices = devices
         self.runtimes: List[Optional[TaskRuntime]] = [None] * len(plans)
+        #: Set when a device failure destroyed one of this gang's slices
+        #: (churn); the gang's jobs are then accounted LOST.
+        self.lost = False
 
 
 class ClusterScheduler:
@@ -660,6 +958,8 @@ class ClusterScheduler:
         verify_indexes=_UNSET,
         config: Optional[ClusterConfig] = None,
         batching=_UNSET,
+        churn=_UNSET,
+        proactive_migration=_UNSET,
     ) -> None:
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
@@ -675,6 +975,8 @@ class ClusterScheduler:
                 ("use_indexes", use_indexes),
                 ("verify_indexes", verify_indexes),
                 ("batching", batching),
+                ("churn", churn),
+                ("proactive_migration", proactive_migration),
             )
             if value is not _UNSET
         }
@@ -744,6 +1046,15 @@ class ClusterScheduler:
             self.use_indexes = True
         #: Router-level batching / pipeline sharding (None = off).
         self.batching = config.batching
+        #: Device churn schedule (None = always-healthy fleet, bit-for-bit
+        #: the pre-churn behavior) and the recovery mode under it.  An
+        #: *empty* schedule is normalized to None here: faults.py
+        #: promises it "behaves exactly like churn disabled", and the
+        #: static-routing arrival path genuinely differs under the churn
+        #: loop (one-at-a-time feeding), so only a schedule with events
+        #: may engage it.
+        self.churn = config.churn if config.churn else None
+        self.proactive_migration = config.proactive_migration
 
     # ------------------------------------------------------------------
     # Static routing (the up-front pass)
@@ -870,7 +1181,12 @@ class ClusterScheduler:
         if self.global_tokens and make_policy(self.policy_name).uses_tokens:
             ledger = ClusterTokenLedger()
         fabric: Optional[Interconnect] = None
-        if self.routing is RoutingPolicy.PREEMPTIVE_MIGRATION:
+        if (
+            self.routing is RoutingPolicy.PREEMPTIVE_MIGRATION
+            or self.churn is not None
+        ):
+            # Churn always builds the fabric: proactive evacuation ships
+            # checkpoints over it, and cancel_transfers_to() needs it.
             fabric = Interconnect(self.interconnect, self.num_devices)
         devices = [
             DeviceSim(
@@ -905,26 +1221,70 @@ class ClusterScheduler:
         if admission is not None:
             use_priority, use_sjf = self.admission_prediction_filters()
         rejected: List[TaskRuntime] = []
+        lost: List[TaskRuntime] = []
+        churn_rt: Optional[_ChurnRuntime] = None
+        if self.churn is not None:
+            churn_rt = _ChurnRuntime(
+                self.churn, devices, indexes, fabric, inflight, assignments,
+                migrations, ledger, self.proactive_migration,
+            )
+
+            def _place_orphans(
+                orphans: Sequence[TaskRuntime], when: float
+            ) -> None:
+                assert churn_rt is not None
+                for task in orphans:
+                    if churn_rt.any_accepting():
+                        target = self._route_online(
+                            devices, when, inflight, indexes
+                        )
+                        assignments[task.task_id] = target
+                        devices[target].inject(task, arrival=when)
+                        if indexes is not None:
+                            indexes.refresh(devices[target])
+                    else:
+                        churn_rt.parked.append(task)
+
+            def _replace_parked(when: float) -> None:
+                assert churn_rt is not None
+                parked, churn_rt.parked = churn_rt.parked, []
+                _place_orphans(parked, when)
+
+            churn_rt.on_orphans = _place_orphans
+            churn_rt.on_restore = _replace_parked
         #: Admission frontier: a min-heap of (consider_cycles, arrival,
         #: task_id, attempt, task).  Deferred arrivals re-enter with a
         #: later consideration time and a bumped attempt count.
         frontier: List[Tuple[float, float, int, int, TaskRuntime]] = []
+        static_assignments: Optional[Dict[int, int]] = None
         if self.routing in STATIC_ROUTINGS:
-            # Static strategies know every placement up-front, so inject
-            # all arrivals immediately (in workload order, like the
-            # single-NPU batch run).  Each device then sees the exact
-            # event sequence of simulating its partition in isolation --
-            # in particular its scheduling-period clock stays anchored at
-            # its first arrival even if the device drains between two
-            # assigned arrivals.
             static_assignments = self.route(tasks)
-            for task in tasks:
-                target = static_assignments[task.task_id]
-                assignments[task.task_id] = target
-                devices[target].inject(task)
-                if indexes is not None:
-                    indexes.refresh(devices[target])
-            pending: deque = deque()
+            if churn_rt is None:
+                # Static strategies know every placement up-front, so
+                # inject all arrivals immediately (in workload order, like
+                # the single-NPU batch run).  Each device then sees the
+                # exact event sequence of simulating its partition in
+                # isolation -- in particular its scheduling-period clock
+                # stays anchored at its first arrival even if the device
+                # drains between two assigned arrivals.
+                for task in tasks:
+                    target = static_assignments[task.task_id]
+                    assignments[task.task_id] = target
+                    devices[target].inject(task)
+                    if indexes is not None:
+                        indexes.refresh(devices[target])
+                pending: deque = deque()
+            else:
+                # Under churn the static placements are still honored,
+                # but arrivals feed through the loop one at a time so a
+                # placement targeting a doomed/down device can divert to
+                # the live least-backlog device at its arrival instant.
+                pending = deque(
+                    sorted(
+                        tasks,
+                        key=lambda t: (t.spec.arrival_cycles, t.task_id),
+                    )
+                )
         else:
             ordered = sorted(
                 tasks, key=lambda t: (t.spec.arrival_cycles, t.task_id)
@@ -959,6 +1319,25 @@ class ClusterScheduler:
                     ):
                         device_index, device_key = index, key
 
+            # Availability transitions rank between same-time completions
+            # (which fire first: a task finishing at the failure instant
+            # finished) and same-time arrivals (which see the post-
+            # transition fleet).
+            if churn_rt is not None:
+                churn_time = churn_rt.peek_time()
+                if churn_time is not None:
+                    if admission is None:
+                        next_arr = (
+                            pending[0].spec.arrival_cycles if pending else None
+                        )
+                    else:
+                        next_arr = frontier[0][0] if frontier else None
+                    if (
+                        device_key is None or device_key > (churn_time, 0)
+                    ) and (next_arr is None or churn_time <= next_arr):
+                        churn_rt.process_next()
+                        continue
+
             # Route the next arrival only once every device event that
             # logically precedes it has fired: earlier timestamps, plus
             # same-time completions and previously admitted same-time
@@ -979,15 +1358,45 @@ class ClusterScheduler:
             if arrival_due:
                 if admission is None:
                     task = pending.popleft()
-                    target = self._route_online(
-                        devices, task.spec.arrival_cycles, inflight, indexes
-                    )
+                    if churn_rt is not None and not churn_rt.any_accepting():
+                        # Zero surviving capacity: park until a restore
+                        # (or account the task lost at quiesce).
+                        churn_rt.parked.append(task)
+                        continue
+                    target = None
+                    if static_assignments is not None:
+                        target = static_assignments[task.task_id]
+                        if not devices[target].accepts_work:
+                            target = None  # divert to a live device
+                    if target is None:
+                        target = self._route_online(
+                            devices, task.spec.arrival_cycles, inflight,
+                            indexes,
+                        )
                     assignments[task.task_id] = target
                     devices[target].inject(task)
                     if indexes is not None:
                         indexes.refresh(devices[target])
                     continue
                 consider, _, _, attempt, task = heapq.heappop(frontier)
+                if churn_rt is not None and not churn_rt.any_accepting():
+                    # Nothing survives to predict against.  Re-consider
+                    # at the next availability transition (no attempt
+                    # burned -- the defer budget is for backlog, not
+                    # outages); with no transition left the task is lost.
+                    next_change = churn_rt.peek_time()
+                    if next_change is None:
+                        lost.append(task)
+                        total -= 1
+                        admission.on_lost(task)
+                    else:
+                        heapq.heappush(
+                            frontier,
+                            (max(consider, next_change),
+                             task.spec.arrival_cycles, task.task_id,
+                             attempt, task),
+                        )
+                    continue
                 # Admission-aware placement + prediction: the decision is
                 # scored against (and the task placed on) the device with
                 # the least *class-aware* backlog -- under a preemptive
@@ -1028,7 +1437,17 @@ class ClusterScheduler:
                 continue
 
             if device_index is None or device_key is None:
-                break  # no events and no arrivals left
+                # Quiesced: no events, arrivals, or transitions left
+                # (transitions always process above when any remain).
+                # Whatever is still parked has no restore coming: lost.
+                if churn_rt is not None and churn_rt.parked:
+                    for task in churn_rt.parked:
+                        lost.append(task)
+                        total -= 1
+                        if admission is not None:
+                            admission.on_lost(task)
+                    churn_rt.parked = []
+                break
             stepped = devices[device_index]
             now = stepped.step()
             if indexes is not None:
@@ -1068,6 +1487,11 @@ class ClusterScheduler:
                     )
                 )
 
+            if churn_rt is not None:
+                # A doomed device's own event may have freed the array or
+                # the link; revisit its evacuation plan.
+                churn_rt.after_step(stepped, now)
+
             if indexes is not None:
                 if completed_total >= total:
                     break
@@ -1086,13 +1510,22 @@ class ClusterScheduler:
             },
             transfers=transfers,
         )
+        lost_ids = {task.task_id for task in lost}
         if admission is None:
-            executed = tuple(tasks)
+            if lost_ids:
+                executed = tuple(
+                    task for task in tasks if task.task_id not in lost_ids
+                )
+            else:
+                executed = tuple(tasks)
             records: Tuple[AdmissionRecord, ...] = ()
         else:
             rejected_ids = {task.task_id for task in rejected}
             executed = tuple(
-                task for task in tasks if task.task_id not in rejected_ids
+                task
+                for task in tasks
+                if task.task_id not in rejected_ids
+                and task.task_id not in lost_ids
             )
             records = admission.records[records_start:]
         return ClusterResult(
@@ -1108,6 +1541,7 @@ class ClusterScheduler:
             events_processed=sum(
                 device.events_processed for device in devices
             ),
+            lost_tasks=tuple(lost),
         )
 
     # ------------------------------------------------------------------
@@ -1146,6 +1580,7 @@ class ClusterScheduler:
             self.routing is RoutingPolicy.PREEMPTIVE_MIGRATION
             or any(job.num_stages > 1 for job in jobs)
             or (batching is not None and batching.shard_stages > 1)
+            or self.churn is not None
         )
         fabric: Optional[Interconnect] = None
         if needs_fabric:
@@ -1205,13 +1640,29 @@ class ClusterScheduler:
         total_jobs = len(jobs)
         settled = 0
         arrival_rank = int(_EventKind.ARRIVAL)
+        churn_rt: Optional[_ChurnRuntime] = None
+        if self.churn is not None:
+            churn_rt = _ChurnRuntime(
+                self.churn, devices, indexes, fabric, inflight, assignments,
+                migrations, ledger, self.proactive_migration,
+            )
 
         def route_stage(now: float, used: set) -> int:
             """Least-backlog device for one gang stage, avoiding devices
-            already reserved by this gang while the fleet allows."""
+            already reserved by this gang while the fleet allows.  Doomed
+            and down devices (churn) never take a stage while any
+            accepting device exists."""
             candidates = [
-                d for d in range(self.num_devices) if d not in used
-            ] or list(range(self.num_devices))
+                d
+                for d in range(self.num_devices)
+                if d not in used and devices[d].accepts_work
+            ]
+            if not candidates:
+                candidates = [
+                    d
+                    for d in range(self.num_devices)
+                    if devices[d].accepts_work
+                ] or list(range(self.num_devices))
             return min(
                 candidates,
                 key=lambda d: (
@@ -1225,6 +1676,11 @@ class ClusterScheduler:
             members: List[Job], now: float, preferred: Optional[int] = None
         ) -> None:
             nonlocal next_id
+            if churn_rt is not None and not churn_rt.any_accepting():
+                # Zero surviving capacity (e.g. a batch window flushing
+                # mid-outage): park the members for the next restore.
+                churn_rt.parked.extend(members)
+                return
             owner: Optional[Job] = None
             if len(members) == 1 and members[0].num_stages > 1:
                 owner = members[0]
@@ -1344,6 +1800,13 @@ class ClusterScheduler:
             plan = gang.plans[nxt]
             src = assignments[gang.slice_ids[stage]]
             dst = gang.devices[nxt]
+            if not devices[dst].accepts_work:
+                # The reserved device was revoked/drained since dispatch.
+                if churn_rt is not None and not churn_rt.any_accepting():
+                    lose_gang(gang)  # nowhere for the pipeline to go
+                    return
+                dst = route_stage(now, set())
+                gang.devices[nxt] = dst
             activation = gang.plans[stage].activation_bytes
             slice_id = gang.slice_ids[nxt]
             if src != dst and fabric is not None:
@@ -1390,6 +1853,47 @@ class ClusterScheduler:
                 count += 1
             return count
 
+        def lose_gang(gang: "_GangRun") -> None:
+            """Account every unfinished job of a destroyed gang as LOST."""
+            nonlocal settled
+            if gang.lost:
+                return
+            gang.lost = True
+            for job in gang.jobs:
+                if job.state in (
+                    JobState.DONE, JobState.REJECTED, JobState.LOST
+                ):
+                    continue
+                job.state = JobState.LOST
+                settled += 1
+                if admission is not None:
+                    for member in job.requests:
+                        admission.on_lost(member)
+
+        if churn_rt is not None:
+
+            def _gang_orphans(
+                orphans: Sequence[TaskRuntime], when: float
+            ) -> None:
+                # A gang has exactly one live slice at a time (stages are
+                # sequential, and an in-flight successor counts as the
+                # live one); losing it loses the gang -- pipeline restart
+                # from a mid-gang failure is out of scope (documented in
+                # docs/failures.md).
+                for runtime in orphans:
+                    entry = slice_map.get(runtime.task_id)
+                    if entry is not None:
+                        lose_gang(entry[0])
+
+            def _gang_restore(when: float) -> None:
+                assert churn_rt is not None
+                parked, churn_rt.parked = churn_rt.parked, []
+                for job in parked:
+                    enqueue_job(job, when)
+
+            churn_rt.on_orphans = _gang_orphans
+            churn_rt.on_restore = _gang_restore
+
         while True:
             device_index: Optional[int] = None
             device_key: Optional[Tuple[float, int]] = None
@@ -1422,6 +1926,17 @@ class ClusterScheduler:
                     continue
                 flush_at, flush_key = at, key
                 break
+
+            if churn_rt is not None:
+                churn_time = churn_rt.peek_time()
+                if churn_time is not None and (
+                    device_key is None or device_key > (churn_time, 0)
+                ) and (
+                    next_arrival is None or churn_time <= next_arrival
+                ) and (flush_at is None or churn_time <= flush_at):
+                    churn_rt.process_next()
+                    continue
+
             flush_due = flush_at is not None and (
                 device_key is None
                 or device_key >= (flush_at, arrival_rank)
@@ -1451,6 +1966,18 @@ class ClusterScheduler:
                     enqueue_job(job, job.arrival_cycles)
                     continue
                 consider, _, _, attempt, job = heapq.heappop(frontier)
+                if churn_rt is not None and not churn_rt.any_accepting():
+                    next_change = churn_rt.peek_time()
+                    if next_change is None:
+                        job.state = JobState.LOST
+                        settled += 1
+                    else:
+                        heapq.heappush(
+                            frontier,
+                            (max(consider, next_change), job.arrival_cycles,
+                             job.job_id, attempt, job),
+                        )
+                    continue
                 task = job.source
                 min_priority, sjf_within = admission.placement_query(
                     task, use_priority, use_sjf
@@ -1488,6 +2015,15 @@ class ClusterScheduler:
                 continue
 
             if device_index is None or device_key is None:
+                # Quiesced with no restore coming: parked jobs are lost.
+                if churn_rt is not None and churn_rt.parked:
+                    parked, churn_rt.parked = churn_rt.parked, []
+                    for job in parked:
+                        job.state = JobState.LOST
+                        settled += 1
+                        if admission is not None:
+                            for member in job.requests:
+                                admission.on_lost(member)
                 break  # no events, no arrivals, no open windows
             stepped = devices[device_index]
             now = stepped.step()
@@ -1499,7 +2035,9 @@ class ClusterScheduler:
                 entry = slice_map.get(completed.task_id)
                 if entry is not None:
                     gang, stage = entry
-                    if stage + 1 < len(gang.plans):
+                    if gang.lost:
+                        pass  # a destroyed gang's straggler; nothing owed
+                    elif stage + 1 < len(gang.plans):
                         advance_gang(gang, stage, now)
                     else:
                         settled += settle_gang(gang, now)
@@ -1519,6 +2057,9 @@ class ClusterScheduler:
                         indexes,
                     )
                 )
+
+            if churn_rt is not None:
+                churn_rt.after_step(stepped, now)
 
             if settled >= total_jobs:
                 break
@@ -1554,6 +2095,12 @@ class ClusterScheduler:
             if job.state is JobState.REJECTED
             for member in job.requests
         )
+        lost_members = tuple(
+            member
+            for job in jobs
+            if job.state is JobState.LOST
+            for member in job.requests
+        )
         records: Tuple[AdmissionRecord, ...] = ()
         if admission is not None:
             records = admission.records[records_start:]
@@ -1572,6 +2119,7 @@ class ClusterScheduler:
             ),
             jobs=tuple(jobs),
             batches=tuple(batch_records),
+            lost_tasks=lost_members,
         )
 
     # ------------------------------------------------------------------
@@ -1624,6 +2172,8 @@ class ClusterScheduler:
         best_index = 0
         best_backlog = 0.0
         for index, device in enumerate(devices):
+            if not device.accepts_work:
+                continue  # churn: never predict against a doomed device
             class_backlog = device.predicted_backlog(
                 now, min_priority=min_priority, sjf_within_cycles=sjf_within
             ) + self._inbound_backlog(
@@ -1689,7 +2239,7 @@ class ClusterScheduler:
             )
             return index
         return min(
-            range(len(devices)),
+            (d for d in range(len(devices)) if devices[d].accepts_work),
             key=lambda d: (
                 devices[d].predicted_backlog(now)
                 + cls._inbound_backlog(inflight, d, now),

@@ -1,0 +1,384 @@
+"""Device churn: fail-stop faults, spot revocations, maintenance drains.
+
+The cluster so far assumed immortal devices; this module supplies the
+failure model that turns the checkpoint/migration machinery into a
+fault-tolerance story.  Three event kinds, all deterministic and seeded:
+
+- **fail-stop fault** -- the device dies with *no* warning (``warn ==
+  down``).  Running and checkpointing work is killed, non-durable
+  progress is lost, queued tasks are orphaned back to the frontier.
+- **spot revocation** -- the provider announces the reclaim ``warn``
+  cycles in advance (the Parcae setting).  A proactive scheduler uses
+  the window to drain durable checkpoints and checkpoint-then-migrate
+  running work to surviving devices before the deadline.
+- **maintenance drain** -- like a revocation but always restored: the
+  device re-enters service at ``restore_cycles``.
+
+Availability is a per-device state machine::
+
+    HEALTHY --warn--> WARNED/DRAINING --down--> DOWN --restore--> HEALTHY
+
+(``WARNED`` for revocations/faults, ``DRAINING`` for maintenance; the
+two differ only in provenance -- the scheduler treats both as "doomed,
+evacuate if proactive".)
+
+Determinism contract: :meth:`ChurnSchedule.generate` draws every sample
+from its own named RNG stream (``seed ^ 0xFA17``), mirroring how
+``trace.assign_qos`` tags arrivals -- enabling churn never perturbs the
+arrival or runtime streams, so a churn-enabled run sees bit-identical
+task traces to a churn-free one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+import math
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "DeviceAvailability",
+    "FleetAvailability",
+    "CHURN_STREAM_SALT",
+]
+
+#: Named-RNG-stream salt for churn schedules (``trace.assign_qos`` uses
+#: ``0x0905``); XORed into the workload seed so the churn stream is
+#: independent of every other stream derived from the same seed.
+CHURN_STREAM_SALT = 0xFA17
+
+#: The three churn event kinds.
+EVENT_KINDS = ("fault", "revocation", "drain")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnEvent:
+    """One availability outage on one device.
+
+    ``warn_cycles <= down_cycles < restore_cycles``; a fail-stop fault
+    has ``warn_cycles == down_cycles`` (no advance notice), and a
+    revocation that never returns has ``restore_cycles == math.inf``.
+    """
+
+    device: int
+    kind: str
+    warn_cycles: float
+    down_cycles: float
+    restore_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown churn event kind {self.kind!r}; "
+                f"expected one of {EVENT_KINDS}"
+            )
+        if self.device < 0:
+            raise ValueError(f"negative device index {self.device}")
+        if not self.warn_cycles <= self.down_cycles:
+            raise ValueError(
+                f"warning must not follow the outage: warn="
+                f"{self.warn_cycles} > down={self.down_cycles}"
+            )
+        if not self.down_cycles < self.restore_cycles:
+            raise ValueError(
+                f"restore must follow the outage: down="
+                f"{self.down_cycles} >= restore={self.restore_cycles}"
+            )
+        if self.kind == "fault" and self.warn_cycles != self.down_cycles:
+            raise ValueError(
+                "fail-stop faults carry no advance warning "
+                f"(warn={self.warn_cycles} != down={self.down_cycles})"
+            )
+        if self.kind == "drain" and math.isinf(self.restore_cycles):
+            raise ValueError("maintenance drains always restore")
+
+    @property
+    def warning_window_cycles(self) -> float:
+        """Advance notice the scheduler gets before capacity vanishes."""
+        return self.down_cycles - self.warn_cycles
+
+    @property
+    def outage_cycles(self) -> float:
+        """How long the device stays down (``inf`` if never restored)."""
+        return self.restore_cycles - self.down_cycles
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnSchedule:
+    """A deterministic, validated set of outages for a device fleet.
+
+    Events on the same device must not overlap: each event's
+    ``warn_cycles`` must be at or after the previous event's
+    ``restore_cycles``.  An empty schedule is valid and behaves exactly
+    like churn disabled.
+    """
+
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        per_device: Dict[int, List[ChurnEvent]] = {}
+        for event in self.events:
+            per_device.setdefault(event.device, []).append(event)
+        for device, device_events in per_device.items():
+            ordered = sorted(device_events, key=lambda e: e.warn_cycles)
+            for prev, nxt in zip(ordered, ordered[1:]):
+                if nxt.warn_cycles < prev.restore_cycles:
+                    raise ValueError(
+                        f"overlapping churn events on device {device}: "
+                        f"[{prev.warn_cycles}, {prev.restore_cycles}) and "
+                        f"[{nxt.warn_cycles}, {nxt.restore_cycles})"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(self.events)
+
+    def events_for(self, device: int) -> Tuple[ChurnEvent, ...]:
+        return tuple(
+            sorted(
+                (e for e in self.events if e.device == device),
+                key=lambda e: e.warn_cycles,
+            )
+        )
+
+    @property
+    def num_revocations(self) -> int:
+        return sum(1 for e in self.events if e.kind == "revocation")
+
+    @classmethod
+    def generate(
+        cls,
+        num_devices: int,
+        horizon_cycles: float,
+        seed: int = 0,
+        *,
+        fault_rate: float = 0.0,
+        revocation_rate: float = 0.0,
+        drain_rate: float = 0.0,
+        mean_outage_cycles: float = 1.0e6,
+        mean_warning_cycles: float = 1.0e6,
+        never_restore_probability: float = 0.0,
+        max_concurrent_down: Optional[int] = None,
+    ) -> "ChurnSchedule":
+        """Draw a schedule from the named churn RNG stream.
+
+        Rates are events per cycle (Poisson processes per device); gaps
+        between events on one device are exponential.  Outage durations
+        and warning windows are exponential around their means.  With
+        probability ``never_restore_probability`` a revocation never
+        restores (the spot instance is gone for good).
+
+        ``max_concurrent_down`` caps how many devices can be in their
+        ``[warn, restore)`` window at once -- generation skips events
+        that would exceed it, so some capacity always survives.  It
+        defaults to ``num_devices - 1``.
+
+        Every draw comes from ``random.Random(seed ^ CHURN_STREAM_SALT)``
+        with devices visited in index order, so the schedule is a pure
+        function of its arguments and never touches any other stream.
+        """
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        if horizon_cycles <= 0:
+            raise ValueError("horizon_cycles must be positive")
+        rng = random.Random(seed ^ CHURN_STREAM_SALT)
+        if max_concurrent_down is None:
+            max_concurrent_down = max(0, num_devices - 1)
+        processes: Tuple[Tuple[str, float], ...] = tuple(
+            (kind, rate)
+            for kind, rate in (
+                ("fault", fault_rate),
+                ("revocation", revocation_rate),
+                ("drain", drain_rate),
+            )
+            if rate > 0.0
+        )
+        events: List[ChurnEvent] = []
+        windows: List[Tuple[float, float]] = []  # (warn, restore) so far
+
+        def concurrent_down(warn: float, restore: float) -> int:
+            return sum(
+                1 for w, r in windows if warn < r and w < restore
+            )
+
+        for device in range(num_devices):
+            clock = 0.0
+            while processes:
+                total_rate = sum(rate for _, rate in processes)
+                clock += rng.expovariate(total_rate)
+                if clock >= horizon_cycles:
+                    break
+                pick = rng.random() * total_rate
+                kind = processes[-1][0]
+                for candidate, rate in processes:
+                    pick -= rate
+                    if pick <= 0.0:
+                        kind = candidate
+                        break
+                warn_gap = (
+                    0.0
+                    if kind == "fault"
+                    else rng.expovariate(1.0 / mean_warning_cycles)
+                )
+                outage = rng.expovariate(1.0 / mean_outage_cycles)
+                never = (
+                    kind == "revocation"
+                    and rng.random() < never_restore_probability
+                )
+                warn = clock
+                down = warn + warn_gap
+                restore = math.inf if never else down + outage
+                if concurrent_down(warn, restore) >= max_concurrent_down:
+                    # Skip: too much of the fleet would be dark at once.
+                    clock = down + (0.0 if never else outage)
+                    continue
+                events.append(
+                    ChurnEvent(
+                        device=device,
+                        kind=kind,
+                        warn_cycles=warn,
+                        down_cycles=down,
+                        restore_cycles=restore,
+                    )
+                )
+                windows.append((warn, restore))
+                if math.isinf(restore):
+                    break  # this device never comes back
+                clock = restore
+        return cls(events=tuple(events))
+
+
+class DeviceAvailability(enum.Enum):
+    """Where a device sits in its outage lifecycle."""
+
+    HEALTHY = "healthy"
+    WARNED = "warned"        # revocation/fault announced, still serving
+    DRAINING = "draining"    # maintenance announced, still serving
+    DOWN = "down"
+
+
+#: Transition phases, in the order they occur within one event.
+_PHASES = ("warn", "down", "restore", "check")
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One availability transition, popped from the fleet heap.
+
+    ``phase`` is one of ``warn``/``down``/``restore`` (event lifecycle)
+    or ``check`` (a scheduler-requested wake, e.g. "this device's forced
+    checkpoint lands now -- re-run evacuation").
+    """
+
+    time_cycles: float
+    phase: str
+    device: int
+    event: Optional[ChurnEvent] = None
+
+
+class FleetAvailability:
+    """Per-device availability states plus the transition time-heap.
+
+    The cluster loop interleaves :meth:`pop` with its own event heap:
+    transitions at time *t* rank between same-time COMPLETE and
+    same-time ARRIVAL events (churn rank 0.5).  ``apply`` updates the
+    state machine; the loop performs the side effects (kill, orphan,
+    evacuate, re-index).
+    """
+
+    def __init__(
+        self, num_devices: int, schedule: Optional[ChurnSchedule] = None
+    ) -> None:
+        self.num_devices = num_devices
+        self.states: List[DeviceAvailability] = [
+            DeviceAvailability.HEALTHY for _ in range(num_devices)
+        ]
+        # (time, seq, phase, device, event); seq breaks ties in push
+        # order, which matches event order (restore precedes a same-time
+        # warn of the next event on the same device).
+        self._heap: List[
+            Tuple[float, int, str, int, Optional[ChurnEvent]]
+        ] = []
+        self._seq = 0
+        if schedule is not None:
+            for event in sorted(
+                schedule.events,
+                key=lambda e: (e.warn_cycles, e.device),
+            ):
+                if event.device >= num_devices:
+                    continue  # schedule generated for a larger fleet
+                if event.warn_cycles < event.down_cycles:
+                    self._push(event.warn_cycles, "warn", event.device, event)
+                self._push(event.down_cycles, "down", event.device, event)
+                if not math.isinf(event.restore_cycles):
+                    self._push(
+                        event.restore_cycles, "restore", event.device, event
+                    )
+
+    def _push(
+        self,
+        time_cycles: float,
+        phase: str,
+        device: int,
+        event: Optional[ChurnEvent],
+    ) -> None:
+        if phase not in _PHASES:
+            raise ValueError(f"unknown transition phase {phase!r}")
+        heapq.heappush(
+            self._heap, (time_cycles, self._seq, phase, device, event)
+        )
+        self._seq += 1
+
+    def push_check(self, time_cycles: float, device: int) -> None:
+        """Schedule a scheduler wake (e.g. a forced checkpoint landing)."""
+        self._push(time_cycles, "check", device, None)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def pop(self) -> Transition:
+        time_cycles, _, phase, device, event = heapq.heappop(self._heap)
+        return Transition(
+            time_cycles=time_cycles, phase=phase, device=device, event=event
+        )
+
+    def state(self, device: int) -> DeviceAvailability:
+        return self.states[device]
+
+    def is_doomed(self, device: int) -> bool:
+        """True while the device is warned, draining, or down."""
+        return self.states[device] is not DeviceAvailability.HEALTHY
+
+    def surviving(self) -> Sequence[int]:
+        """Devices currently serving (not DOWN)."""
+        return [
+            d
+            for d in range(self.num_devices)
+            if self.states[d] is not DeviceAvailability.DOWN
+        ]
+
+    def apply(self, transition: Transition) -> None:
+        """Advance the state machine for one popped transition."""
+        device = transition.device
+        if transition.phase == "warn":
+            kind = transition.event.kind if transition.event else "revocation"
+            self.states[device] = (
+                DeviceAvailability.DRAINING
+                if kind == "drain"
+                else DeviceAvailability.WARNED
+            )
+        elif transition.phase == "down":
+            self.states[device] = DeviceAvailability.DOWN
+        elif transition.phase == "restore":
+            self.states[device] = DeviceAvailability.HEALTHY
+        # "check" transitions carry no state change.

@@ -143,6 +143,10 @@ class TransferRecord:
     #: state + context row) or ``"activation"`` (a sharded job's
     #: inter-stage boundary tensor, the pipeline DMA-out).
     purpose: str = "checkpoint"
+    #: True when the destination device failed mid-flight and the
+    #: transfer was truncated at the cancellation instant -- the payload
+    #: never landed, the link time past that instant was freed.
+    cancelled: bool = False
 
     @property
     def queueing_cycles(self) -> float:
@@ -224,6 +228,51 @@ class Interconnect:
         self._records.append(record)
         return record
 
+    def cancel_transfers_to(self, device: int, now: float) -> float:
+        """Cancel every undelivered transfer targeting ``device``.
+
+        Called when the destination fails at ``now``: payloads still in
+        flight (or queued) toward it will never land.  Each affected
+        record is truncated -- its ``end_cycles`` is pulled back to
+        ``max(start, min(end, now))`` and it is flagged ``cancelled`` --
+        and each touched link's free-at horizon is recomputed, so the
+        link time past the cancellation instant is genuinely freed for
+        later transfers.  Returns the total link time freed (the sum of
+        truncations, cycles).
+
+        Conservation still holds afterwards: truncation only ever lowers
+        end times, and every future transfer is requested at or after
+        ``now``, which is at or after every truncated end -- so FIFO
+        order and non-overlap survive.  ``verify_conservation`` accepts
+        a cancelled record's short occupancy in place of the full
+        serialization cost.
+        """
+        if not 0 <= device < self.num_devices:
+            raise ValueError(f"device {device} out of range")
+        freed = 0.0
+        touched = set()
+        for index, record in enumerate(self._records):
+            if record.dst_device != device or record.cancelled:
+                continue
+            if record.end_cycles <= now:
+                continue  # already delivered
+            new_end = max(record.start_cycles, min(record.end_cycles, now))
+            freed += record.end_cycles - new_end
+            self._records[index] = dataclasses.replace(
+                record, end_cycles=new_end, cancelled=True
+            )
+            touched.add(self._link_key(record.src_device, record.dst_device))
+        for key in touched:
+            self._free_at[key] = max(
+                (
+                    r.end_cycles
+                    for r in self._records
+                    if self._link_key(r.src_device, r.dst_device) == key
+                ),
+                default=0.0,
+            )
+        return freed
+
     # ------------------------------------------------------------------
     # Introspection (metrics / conservation tests)
     # ------------------------------------------------------------------
@@ -267,7 +316,14 @@ class Interconnect:
                 expected_end = record.start_cycles + self.config.transfer_cycles(
                     record.num_bytes
                 )
-                if not math.isclose(
+                if record.cancelled:
+                    # A cancelled transfer occupies at most its full
+                    # serialization cost (truncated at the failure).
+                    if record.end_cycles > expected_end + 1e-6:
+                        raise AssertionError(
+                            f"link {key}: cancelled transfer overran"
+                        )
+                elif not math.isclose(
                     record.end_cycles, expected_end, rel_tol=1e-12, abs_tol=1e-6
                 ):
                     raise AssertionError(f"link {key}: bytes in != bytes out")

@@ -51,6 +51,9 @@ class JobState(enum.Enum):
     DONE = "done"
     #: Refused by admission control; never executed.
     REJECTED = "rejected"
+    #: Destroyed by a device failure with no surviving capacity to
+    #: restart on (churn); accounted as offered-but-never-served.
+    LOST = "lost"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -252,6 +252,21 @@ class ClusterMetrics:
     sharded_job_count: int = 0
     #: Inter-stage activation bytes shipped over the fabric.
     activation_bytes_total: float = 0.0
+    # -- Churn metrics (repro.sched.faults) -----------------------------
+    #: Useful work per cycle while devices churn: isolated cycles of
+    #: *all* completions divided by the makespan -- Parcae's liveput.
+    #: (``goodput`` keeps its SLA-met filter; this one asks only
+    #: "did the work finish despite the churn".)
+    goodput_under_churn: float = 0.0
+    #: Ground-truth progress cycles destroyed by device failures.
+    work_lost_cycles: float = 0.0
+    #: Mean device-failure restarts per offered task.
+    restarts_per_task: float = 0.0
+    #: p99 failure-to-redispatch delay over all completed recoveries
+    #: (0 when the run had no recoveries).
+    recovery_p99_cycles: float = 0.0
+    #: Tasks destroyed with no surviving capacity to restart on.
+    lost_task_count: int = 0
 
 
 def _serving_metrics(
@@ -259,13 +274,14 @@ def _serving_metrics(
     completed: Sequence[TaskRuntime],
     rejected: Sequence[TaskRuntime],
     slos: SLOPolicy,
+    lost: Sequence[TaskRuntime] = (),
 ) -> Dict[str, object]:
     """Per-class SLA attainment, rejection rate, and goodput fields.
 
-    Attainment is measured over *offered* tasks (rejections count as
-    missed); the violation-rate view covers completed tasks only, at
-    each class's own slowdown target, through the same
-    :func:`sla_violation_rate` the fig13 experiment uses.
+    Attainment is measured over *offered* tasks (rejections and
+    churn-lost tasks count as missed); the violation-rate view covers
+    completed tasks only, at each class's own slowdown target, through
+    the same :func:`sla_violation_rate` the fig13 experiment uses.
     """
     offered_by_class: Dict[str, int] = {}
     met_by_class: Dict[str, int] = {}
@@ -279,7 +295,7 @@ def _serving_metrics(
         if level.met_by(task.turnaround_cycles, task.isolated_cycles):
             met_by_class[qos] = met_by_class.get(qos, 0) + 1
             met_isolated_cycles += task.isolated_cycles
-    for task in rejected:
+    for task in tuple(rejected) + tuple(lost):
         qos = qos_of(task.spec).value
         offered_by_class[qos] = offered_by_class.get(qos, 0) + 1
     attainment_by_class = {
@@ -310,6 +326,46 @@ def _serving_metrics(
         "rejection_rate": float(rejection_rate),
         "deferral_count": int(getattr(result, "deferral_count", 0)),
         "goodput": met_isolated_cycles / makespan if makespan > 0 else 0.0,
+    }
+
+
+def _churn_metrics(
+    result,
+    completed: Sequence[TaskRuntime],
+    rejected: Sequence[TaskRuntime],
+    lost: Sequence[TaskRuntime],
+) -> Dict[str, object]:
+    """Goodput-under-churn, lost work, restart, and recovery fields.
+
+    Duck-typed like the rest of this module: results predating the churn
+    fields (or churn-free runs) yield zeros -- every counter below reads
+    through ``getattr`` with a zero default.
+    """
+    makespan = result.makespan_cycles if completed else 0.0
+    survivors = tuple(completed) + tuple(lost)
+    offered = len(completed) + len(rejected) + len(lost)
+    work_lost = sum(
+        getattr(task, "lost_progress_cycles", 0.0) for task in survivors
+    )
+    restarts = sum(getattr(task, "restart_count", 0) for task in survivors)
+    recoveries = [
+        delay
+        for task in survivors
+        for delay in getattr(task, "recovery_delays", ())
+    ]
+    completed_isolated = sum(task.isolated_cycles for task in completed)
+    return {
+        "goodput_under_churn": (
+            completed_isolated / makespan if makespan > 0 else 0.0
+        ),
+        "work_lost_cycles": float(work_lost),
+        "restarts_per_task": restarts / offered if offered else 0.0,
+        "recovery_p99_cycles": (
+            float(np.percentile(np.asarray(recoveries), 99.0))
+            if recoveries
+            else 0.0
+        ),
+        "lost_task_count": len(lost),
     }
 
 
@@ -355,8 +411,10 @@ def compute_cluster_metrics(
     slos = slos or DEFAULT_SLOS
     completed = tuple(result.tasks)
     rejected = tuple(getattr(result, "rejected_tasks", ()))
-    serving = _serving_metrics(result, completed, rejected, slos)
+    lost = tuple(getattr(result, "lost_tasks", ()))
+    serving = _serving_metrics(result, completed, rejected, slos, lost)
     serving.update(_job_metrics(result))
+    serving.update(_churn_metrics(result, completed, rejected, lost))
     if not completed:
         return ClusterMetrics(
             makespan_cycles=0.0,

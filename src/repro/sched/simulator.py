@@ -226,6 +226,12 @@ class DeviceSim:
         #: the single-NPU batch path) costs nothing.
         self.on_next_event_change: Optional[Callable[["DeviceSim"], None]] = None
         self._notified_key: Optional[Tuple[float, int]] = None
+        #: Churn gate: False while the device is down, or (proactive
+        #: mode) while a revocation/drain warning window is open.  The
+        #: cluster layer's routing, stealing, and idle indexes all treat
+        #: a non-accepting device as invisible; churn-free runs never
+        #: clear it, so every historical code path is unchanged.
+        self.accepts_work = True
 
     def _notify_event_change(self) -> None:
         """Fire :attr:`on_next_event_change` if the head key moved.
@@ -325,10 +331,12 @@ class DeviceSim:
         (the NPU-reservation window and a due-but-unprocessed arrival)
         only ever *remove* idleness.  The cluster's idle-candidate set is
         therefore keyed on this property and re-checks ``is_idle(now)``
-        on consumption.
+        on consumption.  A device that stopped accepting work (churn) is
+        never an idle *candidate* -- it must not attract steals.
         """
         return (
-            self._running_id is None
+            self.accepts_work
+            and self._running_id is None
             and self._reserved_task_id is None
             and not self._table.has_ready
         )
@@ -356,10 +364,12 @@ class DeviceSim:
         received a stolen task (its ARRIVAL event still pending at
         ``now``) must not be counted idle again in the same instant and
         grab a second task from under another idle device.  All clauses
-        are O(1) peeks.
+        are O(1) peeks.  A non-accepting device (churn) is never idle
+        for the cluster's purposes -- it must not attract work.
         """
         return (
-            self._running_id is None
+            self.accepts_work
+            and self._running_id is None
             and self._reserved_task_id is None
             and now >= self._npu_reserved_until
             and not self._table.has_ready
@@ -489,6 +499,13 @@ class DeviceSim:
             return DeviceTaskState.PREEMPTED
         return DeviceTaskState.PENDING
 
+    @property
+    def running_task(self) -> Optional[TaskRuntime]:
+        """The currently executing runtime (None when the array is free)."""
+        if self._running_id is None:
+            return None
+        return self._runtimes.get(self._running_id)
+
     def stealable_tasks(self) -> List[TaskRuntime]:
         """Still-queued tasks safe to migrate: admitted, READY, never
         dispatched, and not the target of a reserved post-preemption
@@ -548,6 +565,112 @@ class DeviceSim:
         self._migrated_out.add(task_id)
         self.policy.on_remove(task.context, now)
         return task
+
+    def fail(self, now: float) -> List[TaskRuntime]:
+        """Fail-stop this device at cycle ``now``.
+
+        Everything resident dies with the device's DRAM: the running
+        task's progress, in-flight and durable checkpoints, pending
+        restores.  Every non-DONE task -- running, checkpointing,
+        preempted, queued, reserved, or still pending arrival -- is
+        reset to offset zero (:meth:`TaskRuntime.record_failure`) and
+        returned as an orphan for the cluster to re-dispatch elsewhere.
+        The event queue is wiped (a dead device fires no events) and the
+        device stops accepting work; completed tasks stay resident so
+        :meth:`result` still reports them.
+        """
+        running = (
+            self._runtimes.get(self._running_id)
+            if self._running_id is not None
+            else None
+        )
+        if running is not None and running.dispatch_time is not None:
+            # Pin the timeline through the failure instant before the
+            # runtime forgets its dispatch.
+            self._record_run_segments(running, now)
+        orphans: List[TaskRuntime] = []
+        for task_id in list(self._runtimes):
+            task = self._runtimes[task_id]
+            if task.is_done:
+                continue
+            task.record_failure(now)
+            del self._runtimes[task_id]
+            if task_id in self._live_admitted:
+                self._table.remove(task_id)
+                del self._live_admitted[task_id]
+                self.policy.on_remove(task.context, now)
+            self._queued.pop(task_id, None)
+            self._preempted.pop(task_id, None)
+            self._checkpoint_durable_at.pop(task_id, None)
+            self._migrated_out.add(task_id)
+            orphans.append(task)
+        self._events.clear()
+        self._pending_arrivals.clear()
+        self._running_id = None
+        self._reserved_task_id = None
+        self._npu_reserved_until = now
+        self._period_armed = False
+        self.accepts_work = False
+        self._notify_event_change()
+        return orphans
+
+    def preview_checkpoint(self, now: float):
+        """Cost of checkpointing the running task, without committing.
+
+        Returns ``(free_at, checkpoint_bytes)`` -- when the trap DMA
+        would finish and how many bytes would need shipping -- or
+        ``None`` when nothing is running.  The evacuation planner uses
+        this to decide whether a checkpoint-then-migrate fits inside a
+        revocation warning window.
+        """
+        if self._running_id is None:
+            return None
+        running = self._runtimes[self._running_id]
+        progress = running.progress_at(now)
+        outcome = self._checkpoint.preempt(running.profile, progress)
+        boundary_wall = running.wall_time_at_offset(outcome.boundary_offset)
+        free_at = boundary_wall + outcome.preemption_latency
+        return free_at, outcome.checkpoint_bytes
+
+    def force_checkpoint(self, now: float) -> Tuple[float, float]:
+        """Checkpoint the running task with no reserved successor.
+
+        The churn evacuation path: a WARNED device checkpoints its
+        running task so the durable bytes can migrate out before the
+        revocation deadline.  Identical bookkeeping to a policy-driven
+        CHECKPOINT preemption except that no candidate is promised the
+        array -- the DISPATCH event pushed at ``free_at`` carries no
+        payload and simply re-runs the scheduler once the trap DMA
+        lands.  Returns ``(free_at, checkpoint_bytes)``.
+        """
+        if self._running_id is None:
+            raise RuntimeError("no running task to checkpoint")
+        running = self._runtimes[self._running_id]
+        progress = running.progress_at(now)
+        outcome = self._checkpoint.preempt(running.profile, progress)
+        boundary_wall = running.wall_time_at_offset(outcome.boundary_offset)
+        free_at = boundary_wall + outcome.preemption_latency
+        self._record_run_segments(running, boundary_wall)
+        if outcome.preemption_latency > 0:
+            self.timeline.record(
+                running.task_id, SegmentKind.CHECKPOINT, boundary_wall, free_at
+            )
+        running.record_preemption(
+            now=boundary_wall,
+            retained_offset=outcome.retained_offset,
+            restore_latency=outcome.restore_latency,
+            checkpoint_bytes=outcome.checkpoint_bytes,
+            killed=False,
+        )
+        self.policy.on_requeue(running.context)
+        self._preempted[running.task_id] = running
+        self._checkpoint_durable_at[running.task_id] = free_at
+        self._npu_reserved_until = free_at
+        self._preemption_count += 1
+        self._running_id = None
+        self._push(free_at, _EventKind.DISPATCH, None)
+        self._notify_event_change()
+        return free_at, outcome.checkpoint_bytes
 
     def result(self) -> Optional[SimulationResult]:
         """Build the device's :class:`SimulationResult` (None if no tasks)."""
@@ -635,8 +758,13 @@ class DeviceSim:
             self.policy.on_period(self._table)
         self._wake(now)
 
-    def _on_dispatch(self, now: float, task_id: int) -> None:
+    def _on_dispatch(self, now: float, task_id: Optional[int]) -> None:
         self._reserved_task_id = None
+        if task_id is None:
+            # Forced-checkpoint wake (churn evacuation): the trap DMA just
+            # finished with no reserved successor -- run the scheduler.
+            self._wake(now)
+            return
         # Reserved candidates are excluded from stealable_tasks(), so the
         # dispatch target is always still resident; a KeyError here means
         # that invariant was violated.

@@ -61,6 +61,17 @@ class TaskRuntime:
     #: Bytes shipped over the interconnect on this task's behalf.
     migrated_bytes_total: float = 0.0
 
+    #: Churn bookkeeping (cluster layer): device failures that destroyed
+    #: this task's in-flight state and sent it back to the frontier.
+    restart_count: int = 0
+    #: Ground-truth cycles of progress destroyed by device failures
+    #: (subset of ``wasted_cycles``).
+    lost_progress_cycles: float = 0.0
+    #: When the last failure orphaned this task (None once re-dispatched).
+    orphaned_at: Optional[float] = None
+    #: Failure-to-redispatch delay of each completed recovery, cycles.
+    recovery_delays: list = dataclasses.field(default_factory=list)
+
     @property
     def task_id(self) -> int:
         return self.spec.task_id
@@ -106,6 +117,9 @@ class TaskRuntime:
         self.epoch += 1
         if self.first_dispatch_time is None:
             self.first_dispatch_time = now
+        if self.orphaned_at is not None:
+            self.recovery_delays.append(now - self.orphaned_at)
+            self.orphaned_at = None
         return now + self.dispatch_restore + self.remaining_cycles
 
     def progress_at(self, now: float) -> float:
@@ -168,6 +182,33 @@ class TaskRuntime:
         self.context.executed_cycles = retained_offset
         self.context.last_update_cycles = now
         self.epoch += 1
+
+    def record_failure(self, now: float) -> float:
+        """Destroy this task's device-resident state at a device failure.
+
+        Everything resident on the failed device dies with its DRAM:
+        running progress, durable checkpoints, pending restores.  The
+        task itself survives (it goes back to the frontier for a fresh
+        dispatch from offset zero), keeping its accrued wait and tokens
+        -- fairness credit is the scheduler's, not the device's.  Returns
+        the ground-truth progress cycles lost.
+        """
+        lost = self.progress_at(now)
+        self.context.accrue_wait(now)  # settles READY/MIGRATING waiters
+        self.retained_offset = 0.0
+        self.restore_pending = 0.0
+        self.checkpoint_bytes_resident = 0.0
+        self.dispatch_time = None
+        self.dispatch_restore = 0.0
+        self.epoch += 1
+        self.context.state = TaskState.READY
+        self.context.executed_cycles = 0.0
+        self.context.last_update_cycles = now
+        self.wasted_cycles += lost
+        self.lost_progress_cycles += lost
+        self.restart_count += 1
+        self.orphaned_at = now
+        return lost
 
     def complete(self, now: float) -> None:
         """Mark the task finished at wall-clock ``now``."""

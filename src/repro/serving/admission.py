@@ -258,8 +258,8 @@ class AdmissionController:
         self._outstanding[qos] = self._outstanding.get(qos, 0.0) + corrected
         self._charges[task.task_id] = (qos, corrected, raw)
 
-    def on_complete(self, task) -> None:
-        """Release the task's budget charge and feed the observation back.
+    def _release_charge(self, task):
+        """Pop and release a task's budget charge; returns it (or None).
 
         Unknown tasks are ignored (a cluster may complete tasks that were
         injected outside the controller, e.g. in admission-off baselines
@@ -267,12 +267,30 @@ class AdmissionController:
         """
         charge = self._charges.pop(task.task_id, None)
         if charge is None:
-            return
-        qos, corrected, raw = charge
+            return None
+        qos, corrected, _raw = charge
         remaining = self._outstanding.get(qos, 0.0) - corrected
         if remaining <= 1e-9:
             self._outstanding.pop(qos, None)
         else:
             self._outstanding[qos] = remaining
+        return charge
+
+    def on_complete(self, task) -> None:
+        """Release the task's budget charge and feed the observation back."""
+        charge = self._release_charge(task)
+        if charge is None:
+            return
+        _qos, _corrected, raw = charge
         if self.feedback is not None:
             self.feedback.observe(task, predicted_cycles=raw)
+
+    def on_lost(self, task) -> None:
+        """Release the charge of a task destroyed by device failure.
+
+        No feedback observation: the task never completed, so it has no
+        turnaround to learn from -- feeding a failure-inflated (or
+        truncated) sample into the EWMA would poison the corrector for
+        every later task of the same model.
+        """
+        self._release_charge(task)

@@ -38,6 +38,18 @@ class TestExamples:
         # Act three: router batching on the same overloaded cluster.
         assert "admission + router batching" in result.stdout
         assert "batched dispatches" in result.stdout
+        # Act four: spot churn on the act-three cluster.  The reactive
+        # arm destroys requests outright; evacuating on the revocation
+        # warning loses nothing.
+        assert "spot churn, reactive restart" in result.stdout
+        assert "spot churn, proactive migration" in result.stdout
+        lost = [
+            int(line.split("tasks lost")[0].split(",")[-1])
+            for line in result.stdout.splitlines()
+            if "tasks lost" in line
+        ]
+        assert len(lost) == 2  # reactive first, proactive second
+        assert lost[1] == 0 < lost[0]
 
     def test_preemption_lab(self):
         result = run_example("preemption_lab.py", "0.5")
