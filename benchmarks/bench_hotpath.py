@@ -39,10 +39,15 @@ sys.path.insert(
 )
 
 from repro.npu.config import NPUConfig  # noqa: E402
-from repro.sched.cluster import ClusterScheduler, RoutingPolicy  # noqa: E402
+from repro.sched.cluster import (  # noqa: E402
+    ClusterConfig,
+    ClusterScheduler,
+    RoutingPolicy,
+)
 from repro.sched.faults import ChurnSchedule  # noqa: E402
 from repro.sched.job import BatchConfig  # noqa: E402
 from repro.sched.policies import make_policy  # noqa: E402
+from repro.sched.rack import RackTopology  # noqa: E402
 from repro.serving import (  # noqa: E402
     AdmissionController,
     PredictionFeedback,
@@ -148,6 +153,7 @@ def measure_cluster(
     use_indexes: Optional[bool] = None,
     batching: Optional[BatchConfig] = None,
     churn: Optional[ChurnSchedule] = None,
+    racks: Optional[RackTopology] = None,
 ) -> Dict[str, float]:
     """Wall time of a cluster run over an aggregate open-arrival trace.
 
@@ -161,6 +167,8 @@ def measure_cluster(
     windows, runtime merge, stage partition, activation DMA).  With
     ``churn`` the fleet loses and regains devices mid-run (availability
     transitions, failure orphan re-dispatch, proactive evacuation).
+    With ``racks`` the fleet routes through the two-tier rack frontend
+    over an oversubscribed fabric.
     """
     overload = 1.5 if (admission or batching is not None) else 1.0
     runtimes = synthetic_trace_runtimes(
@@ -178,17 +186,33 @@ def measure_cluster(
     controller = None
     if admission:
         controller = AdmissionController(feedback=PredictionFeedback())
-    scheduler = ClusterScheduler(
-        num_devices=num_devices,
-        simulation_config=_simulation_config(),
-        policy_name="PREMA",
-        routing=routing,
-        seed=seed,
-        admission=controller,
-        use_indexes=use_indexes,
-        batching=batching,
-        churn=churn,
-    )
+    if racks is not None:
+        scheduler = ClusterScheduler(
+            num_devices=num_devices,
+            simulation_config=_simulation_config(),
+            config=ClusterConfig(
+                policy_name="PREMA",
+                routing=routing,
+                seed=seed,
+                admission=controller,
+                use_indexes=use_indexes,
+                batching=batching,
+                churn=churn,
+                racks=racks,
+            ),
+        )
+    else:
+        scheduler = ClusterScheduler(
+            num_devices=num_devices,
+            simulation_config=_simulation_config(),
+            policy_name="PREMA",
+            routing=routing,
+            seed=seed,
+            admission=controller,
+            use_indexes=use_indexes,
+            batching=batching,
+            churn=churn,
+        )
     start = time.perf_counter()
     result = scheduler.run(runtimes)
     seconds = time.perf_counter() - start
@@ -274,6 +298,18 @@ def run(tier: str = "full") -> Dict[str, object]:
     record = measure_cluster(2000, num_devices=64, seed=39)
     record["normalized"] = record["tasks_per_sec"] / calibration_ops
     results["cluster_ws_64dev_2000"] = record
+    # The same 64-device fleet composed as 4 racks of 16 behind an
+    # oversubscribed fabric: the two-tier frontend (rack pick by
+    # aggregate corrected backlog, then in-rack device pick) plus the
+    # locality-gated steal/migrate filters run under the same 30% gate.
+    record = measure_cluster(
+        2000,
+        num_devices=64,
+        seed=39,
+        racks=RackTopology.uniform(4, 16),
+    )
+    record["normalized"] = record["tasks_per_sec"] / calibration_ops
+    results["cluster_rack_4x16_2000"] = record
     if tier == "full":
         record = measure_single_device(FULL_TIERS[-1], bursty=True)
         record["normalized"] = record["events_per_sec"] / calibration_ops

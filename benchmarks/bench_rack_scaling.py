@@ -1,0 +1,73 @@
+"""Rack-scale bench: two-tier routing cost and cross-rack traffic.
+
+Headline: 4 racks x 256 devices (the wide-rack shape) plus the
+256 -> 1024 device growth gate -- per-event cost under the two-tier
+frontend may not double when the fleet quadruples at fixed per-device
+load.  The sweep's JSON lands in
+``benchmarks/results/BENCH_rack_scaling.json`` (uploaded as a CI
+artifact by the bench-smoke job), and the traffic sweep pins the
+fabric story: a thinner uplink is a busier uplink for comparable
+traffic -- the cost cliff the locality threshold prices.  (The
+threshold *gate* itself -- an infinite threshold keeps every move
+rack-local -- is pinned in tests/test_rack.py.)
+"""
+
+import json
+import pathlib
+
+from repro.analysis.experiments.rack_scaling import (
+    format_rack_scaling,
+    format_rack_traffic,
+    run_rack_scaling,
+    run_rack_traffic,
+)
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_rack_scaling.json"
+)
+
+#: 1024 devices may cost at most this much more per event than 256
+#: devices at the same per-device load (the tier-1 gate in
+#: tests/test_rack.py uses the same bound).
+MAX_SCALE_GROWTH = 2.0
+
+
+def test_rack_scaling(benchmark, emit):
+    rows = benchmark.pedantic(
+        run_rack_scaling,
+        rounds=1,
+        iterations=1,
+    )
+    traffic = run_rack_traffic()
+    emit(
+        "rack_scaling",
+        format_rack_scaling(rows) + "\n\n" + format_rack_traffic(traffic),
+    )
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "cost": [row.__dict__ for row in rows],
+                "traffic": [row.__dict__ for row in traffic],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    by_shape = {(r.num_racks, r.devices_per_rack): r for r in rows}
+    # The growth gate: 32x32 (1024 devices) vs 8x32 (256 devices).
+    assert by_shape[(32, 32)].us_per_event <= \
+        MAX_SCALE_GROWTH * by_shape[(8, 32)].us_per_event
+    # The wide-rack headline shape completed and did real work.
+    headline = by_shape[(4, 256)]
+    assert headline.num_devices == 1024
+    assert headline.events > headline.tasks
+    # A thinner uplink is a busier uplink for comparable traffic: the
+    # cost cliff the locality threshold prices into cross-rack moves.
+    by_ratio = {r.oversubscription: r for r in traffic}
+    assert by_ratio[16.0].mean_uplink_utilization > \
+        by_ratio[1.0].mean_uplink_utilization
+    # Migration still pays under every fabric: work keeps moving.
+    assert all(r.migrations > 0 for r in traffic)
+    assert all(r.cross_rack_migration_bytes > 0 for r in traffic)

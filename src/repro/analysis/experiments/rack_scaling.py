@@ -1,0 +1,239 @@
+"""Rack-scale fleets: two-tier routing over an oversubscribed fabric.
+
+Two sweeps over the rack composition layer (``repro.sched.rack``):
+
+1. **Cost** (`run_rack_scaling`): per-event cluster-loop cost as the
+   fleet grows from hundreds to >1k devices composed into racks, at
+   fixed per-device load.  The two-tier frontend (rack pick by
+   aggregate corrected backlog, then in-rack device pick) costs
+   O(log r + log d_rack) per event, so per-event cost should stay flat
+   as racks are added -- the rack-scale analog of the
+   `run_control_plane_scaling` story.
+2. **Traffic** (`run_rack_traffic`): cross-rack migration bytes and
+   uplink occupancy under preemptive checkpoint migration as the
+   uplink oversubscription ratio grows.  The locality threshold
+   defaults to the uncontended cross-rack cost of one context row, so
+   a thinner fabric raises the bar for leaving the rack -- and what
+   traffic still crosses keeps the uplink busy for longer (the cost
+   cliff shows up as rising uplink occupancy, not falling migration
+   counts, at these payload sizes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Sequence, Tuple
+
+from repro.npu.config import NPUConfig
+from repro.sched.cluster import (
+    ClusterConfig,
+    ClusterScheduler,
+    RoutingPolicy,
+)
+from repro.sched.interconnect import InterconnectConfig
+from repro.sched.metrics import compute_cluster_metrics
+from repro.sched.rack import RackTopology
+from repro.sched.simulator import PreemptionMode, SimulationConfig
+from repro.workloads.trace import (
+    DEFAULT_MEAN_INTERARRIVAL_CYCLES,
+    synthetic_trace_runtimes,
+)
+
+from repro.analysis.reporting import format_table
+
+#: Fleet shapes for the cost sweep, as (racks, devices_per_rack):
+#: 256 devices in two compositions, then the >1k-device tier, then the
+#: wide-rack headline (4 racks x 256 devices).
+DEFAULT_SHAPES = ((8, 32), (16, 32), (32, 32), (4, 256))
+
+
+def _simulation_config(config: NPUConfig) -> SimulationConfig:
+    return SimulationConfig(
+        npu=config,
+        mode=PreemptionMode.DYNAMIC,
+        mechanism="CHECKPOINT",
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RackScalingRow:
+    """One fleet-shape measurement of the two-tier control plane."""
+
+    num_racks: int
+    devices_per_rack: int
+    num_devices: int
+    routing: str
+    tasks: int
+    events: int
+    seconds: float
+    us_per_event: float
+    tasks_per_sec: float
+
+
+def run_rack_scaling(
+    shapes: Sequence[Tuple[int, int]] = DEFAULT_SHAPES,
+    tasks_per_device: int = 8,
+    routing: RoutingPolicy = RoutingPolicy.WORK_STEALING,
+    oversubscription: float = 4.0,
+    seed: int = 31,
+) -> List[RackScalingRow]:
+    """Per-event cost of the rack-composed cluster loop per fleet shape.
+
+    Fixed per-device load (the arrival rate scales with the fleet), so
+    any growth in per-event cost across shapes is two-tier control-plane
+    overhead: the rack frontend's running sums, the per-rack device
+    heaps, and the locality-gated steal scans.
+    """
+    config = NPUConfig()
+    fabric = InterconnectConfig.pcie_gen3(
+        config.frequency_hz
+    ).oversubscribed(oversubscription)
+    rows: List[RackScalingRow] = []
+    for num_racks, devices_per_rack in shapes:
+        topology = RackTopology.uniform(num_racks, devices_per_rack)
+        num_devices = topology.num_devices
+        num_tasks = num_devices * tasks_per_device
+        runtimes = synthetic_trace_runtimes(
+            num_tasks,
+            seed=seed,
+            mean_interarrival_cycles=(
+                DEFAULT_MEAN_INTERARRIVAL_CYCLES / num_devices
+            ),
+        )
+        scheduler = ClusterScheduler(
+            num_devices=num_devices,
+            simulation_config=_simulation_config(config),
+            config=ClusterConfig(
+                policy_name="PREMA",
+                routing=routing,
+                seed=seed,
+                interconnect=fabric,
+                racks=topology,
+            ),
+        )
+        start = time.perf_counter()
+        result = scheduler.run(runtimes)
+        seconds = time.perf_counter() - start
+        rows.append(
+            RackScalingRow(
+                num_racks=num_racks,
+                devices_per_rack=devices_per_rack,
+                num_devices=num_devices,
+                routing=routing.value,
+                tasks=num_tasks,
+                events=result.events_processed,
+                seconds=seconds,
+                us_per_event=1e6 * seconds / result.events_processed,
+                tasks_per_sec=num_tasks / seconds,
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class RackTrafficRow:
+    """One oversubscription-ratio measurement of cross-rack traffic."""
+
+    num_racks: int
+    devices_per_rack: int
+    oversubscription: float
+    routing: str
+    migrations: int
+    cross_rack_migration_bytes: float
+    mean_uplink_utilization: float
+    antt: float
+
+
+def run_rack_traffic(
+    num_racks: int = 2,
+    devices_per_rack: int = 4,
+    ratios: Sequence[float] = (1.0, 4.0, 16.0),
+    tasks_per_device: int = 12,
+    routing: RoutingPolicy = RoutingPolicy.PREEMPTIVE_MIGRATION,
+    seed: int = 53,
+) -> List[RackTrafficRow]:
+    """Cross-rack bytes and uplink occupancy vs the uplink thinness.
+
+    The locality threshold is derived from the fabric (the uncontended
+    cross-rack cost of one context row); what still crosses a thinner
+    uplink occupies it proportionally longer.
+    """
+    config = NPUConfig()
+    topology = RackTopology.uniform(num_racks, devices_per_rack)
+    num_devices = topology.num_devices
+    num_tasks = num_devices * tasks_per_device
+    rows: List[RackTrafficRow] = []
+    for ratio in ratios:
+        runtimes = synthetic_trace_runtimes(
+            num_tasks,
+            seed=seed,
+            estimate_error=0.3,
+            mean_interarrival_cycles=(
+                DEFAULT_MEAN_INTERARRIVAL_CYCLES / num_devices
+            ),
+        )
+        fabric = InterconnectConfig.pcie_gen3(
+            config.frequency_hz
+        ).oversubscribed(ratio)
+        scheduler = ClusterScheduler(
+            num_devices=num_devices,
+            simulation_config=_simulation_config(config),
+            config=ClusterConfig(
+                policy_name="PREMA",
+                routing=routing,
+                seed=seed,
+                interconnect=fabric,
+                racks=topology,
+            ),
+        )
+        result = scheduler.run(runtimes)
+        metrics = compute_cluster_metrics(result)
+        rows.append(
+            RackTrafficRow(
+                num_racks=num_racks,
+                devices_per_rack=devices_per_rack,
+                oversubscription=ratio,
+                routing=routing.value,
+                migrations=metrics.migration_count,
+                cross_rack_migration_bytes=(
+                    metrics.cross_rack_migration_bytes
+                ),
+                mean_uplink_utilization=metrics.mean_uplink_utilization,
+                antt=metrics.antt,
+            )
+        )
+    return rows
+
+
+def format_rack_scaling(rows: Sequence[RackScalingRow]) -> str:
+    return format_table(
+        ("racks", "per_rack", "devices", "routing", "tasks", "events",
+         "us_per_event", "tasks_per_sec"),
+        [
+            (r.num_racks, r.devices_per_rack, r.num_devices, r.routing,
+             r.tasks, r.events, r.us_per_event, r.tasks_per_sec)
+            for r in rows
+        ],
+        title=(
+            "Rack-scale control plane: per-event cost vs fleet shape "
+            "(two-tier O(log r) frontend)"
+        ),
+    )
+
+
+def format_rack_traffic(rows: Sequence[RackTrafficRow]) -> str:
+    return format_table(
+        ("racks", "per_rack", "oversub", "routing", "migrations",
+         "cross_rack_bytes", "uplink_util", "ANTT"),
+        [
+            (r.num_racks, r.devices_per_rack, r.oversubscription,
+             r.routing, r.migrations, r.cross_rack_migration_bytes,
+             r.mean_uplink_utilization, r.antt)
+            for r in rows
+        ],
+        title=(
+            "Oversubscribed fabric: cross-rack traffic vs uplink "
+            "thinness (locality threshold derived from the fabric)"
+        ),
+    )

@@ -10,7 +10,10 @@
 - :mod:`repro.sched.job` -- the job surface: gang-of-slices execution
   (:class:`Job`, :class:`DeviceSlice`, :class:`BatchConfig`).
 - :mod:`repro.sched.interconnect` -- modeled inter-NPU fabric (bandwidth,
-  latency, per-link FIFO contention) checkpoint migrations cross.
+  latency, per-link FIFO contention) checkpoint migrations cross; racks
+  add an oversubscribed uplink tier above the rack-local links.
+- :mod:`repro.sched.rack` -- rack-scale composition: the device->rack
+  topology and the O(log r) two-tier routing frontend.
 - :mod:`repro.sched.faults` -- device churn: seeded fail-stop faults,
   spot revocations with advance warning, maintenance drains, and the
   per-device availability state machine (see ``docs/failures.md``).
@@ -56,6 +59,7 @@ from repro.sched.metrics import (
     queueing_delay_by_task,
 )
 from repro.sched.policies import POLICY_NAMES, make_policy
+from repro.sched.rack import RackRouter, RackTopology
 from repro.sched.simulator import (
     DeviceSim,
     NPUSimulator,
@@ -89,6 +93,8 @@ __all__ = [
     "Interconnect",
     "InterconnectConfig",
     "TransferRecord",
+    "RackRouter",
+    "RackTopology",
     "ChurnEvent",
     "ChurnSchedule",
     "DeviceAvailability",

@@ -64,6 +64,7 @@ preserved bit-for-bit.  See ``docs/serving.md``.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import enum
 import heapq
@@ -103,6 +104,7 @@ from repro.sched.job import (
     stage_runtime,
 )
 from repro.sched.policies import make_policy
+from repro.sched.rack import RackRouter, RackTopology
 from repro.sched.simulator import (
     DeviceSim,
     PreemptionMode,
@@ -220,6 +222,22 @@ class ClusterConfig:
     #: it.  False is the reactive-restart baseline (losses recovered only
     #: after the fact).  Ignored without ``churn``.
     proactive_migration: bool = True
+    #: Rack hierarchy (repro.sched.rack).  None keeps the flat fleet
+    #: bit-for-bit.  With a topology: arrivals route in two tiers (least
+    #: aggregate-backlog rack, then least-backlog device within it), the
+    #: fabric grows an oversubscribed uplink tier (see
+    #: ``InterconnectConfig.uplink_oversubscription``), and steal /
+    #: migrate / evacuation source selection becomes locality-aware.
+    #: Requires the indexed control plane (the rack frontend *is* an
+    #: index structure); a single-rack topology replays the flat cluster
+    #: decision-for-decision.
+    racks: Optional[RackTopology] = None
+    #: Starvation-gap threshold (cycles) a cross-rack steal or migration
+    #: must clear before leaving the rack: the gain of moving must beat
+    #: the uplink's cost.  None derives it from the fabric -- the
+    #: uncontended cross-rack shipment cost of one context row.  Ignored
+    #: without ``racks``.
+    cross_rack_threshold_cycles: Optional[float] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -309,6 +327,10 @@ class ClusterResult:
     #: Tasks destroyed by device churn with no surviving capacity to
     #: recover them; they never completed and never will.
     lost_tasks: Tuple[TaskRuntime, ...] = ()
+    #: Device -> rack map when the run used a rack topology (None for a
+    #: flat fleet); the metrics layer derives per-rack attainment and
+    #: uplink accounting from it.
+    rack_of: Optional[Tuple[int, ...]] = None
 
     @property
     def num_devices(self) -> int:
@@ -399,6 +421,51 @@ class ClusterResult:
         return utilization
 
 
+class _OrderedIndexSet:
+    """Device-index set that stays sorted: O(1) membership, amortized
+    O(log k) + memmove insertion, and ascending iteration without a
+    per-event ``sorted()``.
+
+    The PR-5 candidate sets were plain ``set``s, and every steal/migrate
+    consultation paid ``sorted(...)`` to recover the reference scan's
+    ascending device order -- O(k log k) per event, which is what bent
+    the per-event cost curve past ~1k devices.  This keeps the members
+    in a bisect-maintained list instead, so iteration is a plain copy.
+    """
+
+    __slots__ = ("_members", "_sorted")
+
+    def __init__(self) -> None:
+        self._members: Set[int] = set()
+        self._sorted: List[int] = []
+
+    def add(self, index: int) -> None:
+        if index not in self._members:
+            self._members.add(index)
+            bisect.insort(self._sorted, index)
+
+    def discard(self, index: int) -> None:
+        if index in self._members:
+            self._members.remove(index)
+            del self._sorted[bisect.bisect_left(self._sorted, index)]
+
+    def ordered(self) -> List[int]:
+        """Ascending snapshot, safe to iterate while the set mutates."""
+        return list(self._sorted)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._members
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self):
+        return iter(self._sorted)
+
+
 class _ClusterIndexes:
     """O(log d)-per-event control-plane indexes over a device fleet.
 
@@ -452,9 +519,9 @@ class _ClusterIndexes:
             (0.0, index) for index in range(num)
         ]
         self._heap_cap = 4 * num + 64
-        self.idle_candidates: set = set()
-        self.steal_candidates: set = set()
-        self.source_candidates: set = set()
+        self.idle_candidates = _OrderedIndexSet()
+        self.steal_candidates = _OrderedIndexSet()
+        self.source_candidates = _OrderedIndexSet()
         for device in devices:
             device.on_next_event_change = self._on_event_change
             self._on_event_change(device)
@@ -568,7 +635,31 @@ class _ClusterIndexes:
         search stops once the top bound entry cannot beat the best exact
         key, which covers every unexamined device since exact >= bound.
         """
-        heap = self._backlog_heap
+        best_key, best_backlog = self._best_first(self._backlog_heap, now, inbound)
+        if best_key is None:
+            raise RuntimeError("backlog index has no live device entries")
+        if self.verify:
+            devices = self._devices
+            reference = min(
+                (d for d in range(len(devices)) if devices[d].accepts_work),
+                key=lambda d: (
+                    devices[d].predicted_backlog(now) + inbound(d),
+                    d,
+                ),
+            )
+            if reference != best_key[1]:
+                raise AssertionError(
+                    f"backlog index routed to device {best_key[1]}, "
+                    f"reference scan to {reference}"
+                )
+        return best_key[1], best_backlog
+
+    def _best_first(
+        self, heap: List[Tuple[float, int]], now: float, inbound
+    ) -> Tuple[Optional[Tuple[float, int]], float]:
+        """One best-first pass over a (bound, device) lazy heap; returns
+        ((backlog, device), backlog) of the argmin, or (None, 0.0) when
+        the heap holds no accepting device."""
         bounds = self._backlog_bound
         devices = self._devices
         examined: List[Tuple[float, int]] = []
@@ -593,22 +684,12 @@ class _ClusterIndexes:
                 best_key, best_backlog = key, backlog
         for entry in examined:
             heapq.heappush(heap, entry)
-        if best_key is None:
-            raise RuntimeError("backlog index has no live device entries")
-        if self.verify:
-            reference = min(
-                (d for d in range(len(devices)) if devices[d].accepts_work),
-                key=lambda d: (
-                    devices[d].predicted_backlog(now) + inbound(d),
-                    d,
-                ),
-            )
-            if reference != best_key[1]:
-                raise AssertionError(
-                    f"backlog index routed to device {best_key[1]}, "
-                    f"reference scan to {reference}"
-                )
-        return best_key[1], best_backlog
+        return best_key, best_backlog
+
+    def admission_candidates(self) -> Sequence[int]:
+        """Devices the class-aware admission fallback scans (the whole
+        fleet here; the rack frontend narrows it to the chosen rack)."""
+        return range(len(self._devices))
 
     def verify_candidate_sets(self, now: float) -> None:
         """Reference check: the sets cover every true candidate."""
@@ -630,6 +711,107 @@ class _ClusterIndexes:
                     f"device {index} with migratable work missing from "
                     "source_candidates"
                 )
+
+
+class _RackIndexes(_ClusterIndexes):
+    """The two-tier rack frontend over the per-device control plane.
+
+    Adds a :class:`~repro.sched.rack.RackRouter` on top of the PR-5
+    indexes: every device-bound move ``refresh`` observes is folded into
+    the device's rack aggregate (O(log r)), and routing picks the rack
+    with the least aggregate corrected backlog before running the
+    per-device best-first search *within* that rack only.  The
+    class-aware admission fallback narrows its linear scan to the chosen
+    rack the same way ("predict against the chosen rack's surviving
+    capacity").
+
+    A single-rack topology is decision-identical to the flat indexes:
+    the rack pick is trivial and the rack's device heap holds the whole
+    fleet (``tests/test_rack.py`` pins this bit-for-bit).
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceSim],
+        topology: RackTopology,
+        verify: bool = False,
+    ) -> None:
+        if topology.num_devices != len(devices):
+            raise ValueError(
+                f"rack topology covers {topology.num_devices} devices, "
+                f"fleet has {len(devices)}"
+            )
+        # The base initializer runs refresh() per device; the router
+        # attaches afterwards and reconciles any bound that moved during
+        # construction (devices start empty, so normally none do).
+        self._router: Optional[RackRouter] = None
+        super().__init__(devices, verify=verify)
+        self._router = RackRouter(topology, self._backlog_bound)
+        self.topology = topology
+        for index, bound in enumerate(self._backlog_bound):
+            if bound != 0.0:
+                self._router.update(index, 0.0, bound)
+
+    def refresh(self, device: DeviceSim) -> None:
+        index = device.device_id
+        old_bound = self._backlog_bound[index]
+        super().refresh(device)
+        new_bound = self._backlog_bound[index]
+        if self._router is not None and new_bound != old_bound:
+            self._router.update(index, old_bound, new_bound)
+
+    def pick_rack(self) -> int:
+        """Least aggregate-backlog rack (the O(log r) frontend tier)."""
+        assert self._router is not None
+        if self.verify:
+            self._router.verify_sums(self._backlog_bound)
+        rack = self._router.pick_rack()
+        if rack is None:
+            raise RuntimeError("rack frontend has no accepting rack")
+        return rack
+
+    def route_min_backlog(self, now: float, inbound) -> Tuple[int, float]:
+        """Two-tier argmin: frontend rack pick, then in-rack best-first.
+
+        Deliberately *not* the flat fleet-wide argmin (a rack-scale
+        frontend ranks racks by aggregate, not devices by exact
+        backlog); with one rack the two coincide exactly.
+        """
+        assert self._router is not None
+        rack = self.pick_rack()
+        best_key, best_backlog = self._best_first(
+            self._router.device_heap(rack), now, inbound
+        )
+        if best_key is None:
+            raise RuntimeError(
+                f"rack {rack} frontend key is live but holds no accepting "
+                "device"
+            )
+        if self.verify:
+            devices = self._devices
+            reference = min(
+                (
+                    d
+                    for d in self._router.topology.devices_in(rack)
+                    if devices[d].accepts_work
+                ),
+                key=lambda d: (
+                    devices[d].predicted_backlog(now) + inbound(d),
+                    d,
+                ),
+            )
+            if reference != best_key[1]:
+                raise AssertionError(
+                    f"rack {rack} best-first routed to device "
+                    f"{best_key[1]}, in-rack reference scan to {reference}"
+                )
+        return best_key[1], best_backlog
+
+    def admission_candidates(self) -> Sequence[int]:
+        """The chosen rack's devices: admission predicts against the
+        rack's surviving capacity, not the whole fleet."""
+        assert self._router is not None
+        return self._router.topology.devices_in(self.pick_rack())
 
 
 class _ChurnRuntime:
@@ -760,14 +942,27 @@ class _ChurnRuntime:
             self.indexes.refresh(device)
 
     def _pick_target(self, src_index: int, now: float) -> Optional[int]:
-        """Least-backlog accepting device other than the source."""
+        """Least-backlog accepting device other than the source.
+
+        Under a rack topology the evacuation target prefers rack-local
+        survivors (the rack-local tier is the cheap path for the
+        checkpoints about to ship); cross-rack landing spots are used
+        only when the source's whole rack has stopped accepting.
+        """
+        rack_of = self.fabric.rack_of if self.fabric is not None else None
         best: Optional[int] = None
-        best_key: Optional[Tuple[float, int]] = None
+        best_key: Optional[Tuple[int, float, int]] = None
         for device in self.devices:
             index = device.device_id
             if index == src_index or not device.accepts_work:
                 continue
+            remote = (
+                0
+                if rack_of is None or rack_of[index] == rack_of[src_index]
+                else 1
+            )
             key = (
+                remote,
                 device.predicted_backlog(now)
                 + ClusterScheduler._inbound_backlog(self.inflight, index, now),
                 index,
@@ -1055,6 +1250,39 @@ class ClusterScheduler:
         #: may engage it.
         self.churn = config.churn if config.churn else None
         self.proactive_migration = config.proactive_migration
+        #: Optional rack composition (None = flat fleet, bit-for-bit the
+        #: pre-rack behavior).  Racks require the indexed control plane:
+        #: the two-tier frontend *is* an index structure, and the linear
+        #: loops have no rack-aware counterpart.
+        self.racks = config.racks
+        self.rack_of: Optional[Tuple[int, ...]] = None
+        self.cross_rack_threshold: float = 0.0
+        if self.racks is not None:
+            if self.racks.num_devices != num_devices:
+                raise ValueError(
+                    f"rack topology covers {self.racks.num_devices} "
+                    f"devices, fleet has {num_devices}"
+                )
+            if config.use_indexes is False:
+                raise ValueError(
+                    "rack composition runs on the indexed control plane; "
+                    "use_indexes=False is incompatible with racks"
+                )
+            self.use_indexes = True
+            self.rack_of = self.racks.rack_of
+            # Locality threshold for cross-rack steals/migrations: the
+            # starvation gap must clear at least the uncontended cost of
+            # shipping one context row across the uplink tier.
+            threshold = config.cross_rack_threshold_cycles
+            if threshold is None:
+                threshold = self.interconnect.cross_rack_transfer_cycles(
+                    CONTEXT_ROW_BYTES
+                )
+            if threshold < 0:
+                raise ValueError(
+                    "cross_rack_threshold_cycles must be non-negative"
+                )
+            self.cross_rack_threshold = threshold
 
     # ------------------------------------------------------------------
     # Static routing (the up-front pass)
@@ -1187,7 +1415,9 @@ class ClusterScheduler:
         ):
             # Churn always builds the fabric: proactive evacuation ships
             # checkpoints over it, and cancel_transfers_to() needs it.
-            fabric = Interconnect(self.interconnect, self.num_devices)
+            fabric = Interconnect(
+                self.interconnect, self.num_devices, rack_of=self.rack_of
+            )
         devices = [
             DeviceSim(
                 self.simulation_config,
@@ -1201,7 +1431,14 @@ class ClusterScheduler:
         # linear-scan loop (the pre-index behavior, decision-identical).
         indexes: Optional[_ClusterIndexes] = None
         if self.use_indexes:
-            indexes = _ClusterIndexes(devices, verify=self.verify_indexes)
+            if self.racks is not None:
+                indexes = _RackIndexes(
+                    devices, self.racks, verify=self.verify_indexes
+                )
+            else:
+                indexes = _ClusterIndexes(
+                    devices, verify=self.verify_indexes
+                )
         assignments: Dict[int, int] = {}
         migrations: List[MigrationRecord] = []
         #: Per-device in-flight checkpoint deliveries: (arrival cycle,
@@ -1542,6 +1779,7 @@ class ClusterScheduler:
                 device.events_processed for device in devices
             ),
             lost_tasks=tuple(lost),
+            rack_of=self.rack_of,
         )
 
     # ------------------------------------------------------------------
@@ -1584,7 +1822,9 @@ class ClusterScheduler:
         )
         fabric: Optional[Interconnect] = None
         if needs_fabric:
-            fabric = Interconnect(self.interconnect, self.num_devices)
+            fabric = Interconnect(
+                self.interconnect, self.num_devices, rack_of=self.rack_of
+            )
         devices = [
             DeviceSim(
                 self.simulation_config,
@@ -1595,7 +1835,14 @@ class ClusterScheduler:
         ]
         indexes: Optional[_ClusterIndexes] = None
         if self.use_indexes:
-            indexes = _ClusterIndexes(devices, verify=self.verify_indexes)
+            if self.racks is not None:
+                indexes = _RackIndexes(
+                    devices, self.racks, verify=self.verify_indexes
+                )
+            else:
+                indexes = _ClusterIndexes(
+                    devices, verify=self.verify_indexes
+                )
         assignments: Dict[int, int] = {}
         migrations: List[MigrationRecord] = []
         inflight: Dict[int, List[Tuple[float, float, int]]] = {
@@ -2120,6 +2367,7 @@ class ClusterScheduler:
             jobs=tuple(jobs),
             batches=tuple(batch_records),
             lost_tasks=lost_members,
+            rack_of=self.rack_of,
         )
 
     # ------------------------------------------------------------------
@@ -2171,7 +2419,17 @@ class ClusterScheduler:
         best_key: Optional[Tuple[float, float, int]] = None
         best_index = 0
         best_backlog = 0.0
-        for index, device in enumerate(devices):
+        # The class-aware fallback scans the admission candidates: the
+        # whole fleet when flat, the chosen rack under the two-tier
+        # frontend (admission predicts against the rack's surviving
+        # capacity, per the rack composition contract).
+        candidates = (
+            indexes.admission_candidates()
+            if indexes is not None
+            else range(len(devices))
+        )
+        for index in candidates:
+            device = devices[index]
             if not device.accepts_work:
                 continue  # churn: never predict against a doomed device
             class_backlog = device.predicted_backlog(
@@ -2247,8 +2505,8 @@ class ClusterScheduler:
             ),
         )
 
-    @staticmethod
     def _steal(
+        self,
         devices: Sequence[DeviceSim],
         now: float,
         assignments: Dict[int, int],
@@ -2268,14 +2526,26 @@ class ClusterScheduler:
         device order like the reference fleet enumeration -- the common
         nobody-idle event is an O(1) set peek instead of an O(d) scan,
         and a steal never touches a device without queued work.
+
+        Under a rack topology victim selection is locality-aware: an
+        in-rack victim always wins, and a cross-rack victim is taken
+        only when no rack-local device has stealable work *and* the
+        victim's backlog clears the uplink-cost threshold -- pulling
+        work across the oversubscribed tier is only worth it when the
+        starvation gap exceeds what the uplink would charge.
         """
         moves: List[MigrationRecord] = []
+        rack_of = self.rack_of
         if indexes is not None:
             if indexes.verify:
                 indexes.verify_candidate_sets(now)
-            if not indexes.idle_candidates:
+            # No idle thief or no device holding queued work: nothing to
+            # move.  The second peek is what keeps the common
+            # everyone-idle event O(1) on large fleets -- without it each
+            # such event walks every idle device to find no victims.
+            if not indexes.idle_candidates or not indexes.steal_candidates:
                 return moves
-            thieves: Sequence[int] = sorted(indexes.idle_candidates)
+            thieves: Sequence[int] = indexes.idle_candidates.ordered()
         else:
             thieves = range(len(devices))
         for thief_index in thieves:
@@ -2285,8 +2555,11 @@ class ClusterScheduler:
             victim_index: Optional[int] = None
             victim_backlog = 0.0
             victim_tasks: List[TaskRuntime] = []
+            remote_index: Optional[int] = None
+            remote_backlog = 0.0
+            remote_tasks: List[TaskRuntime] = []
             victims: Sequence[int] = (
-                sorted(indexes.steal_candidates)
+                indexes.steal_candidates.ordered()
                 if indexes is not None
                 else range(len(devices))
             )
@@ -2298,9 +2571,20 @@ class ClusterScheduler:
                 if not candidates:
                     continue
                 backlog = device.predicted_backlog(now)
-                if victim_index is None or backlog > victim_backlog:
-                    victim_index, victim_backlog = index, backlog
-                    victim_tasks = candidates
+                if rack_of is None or rack_of[index] == rack_of[thief_index]:
+                    if victim_index is None or backlog > victim_backlog:
+                        victim_index, victim_backlog = index, backlog
+                        victim_tasks = candidates
+                elif remote_index is None or backlog > remote_backlog:
+                    remote_index, remote_backlog = index, backlog
+                    remote_tasks = candidates
+            if (
+                victim_index is None
+                and remote_index is not None
+                and remote_backlog >= self.cross_rack_threshold
+            ):
+                victim_index, victim_backlog = remote_index, remote_backlog
+                victim_tasks = remote_tasks
             if victim_index is None:
                 continue
             victim = devices[victim_index]
@@ -2357,14 +2641,25 @@ class ClusterScheduler:
         indexes, thieves walk the idle-candidate set and sources the
         migration-source set (devices holding queued *or* preempted
         work), in ascending device order like the reference enumeration.
+
+        Under a rack topology source selection is locality-aware: only
+        when no in-rack source yields an eligible task does the thief
+        consider cross-rack sources, and then only tasks whose
+        starvation gap (home wait minus delivery delay) clears the
+        uplink-cost threshold -- the oversubscribed tier already makes
+        ``delivery`` later, and the threshold keeps marginal wins from
+        flooding the uplink.
         """
         moves: List[MigrationRecord] = []
+        rack_of = self.rack_of
         if indexes is not None:
             if indexes.verify:
                 indexes.verify_candidate_sets(now)
-            if not indexes.idle_candidates:
+            # Same O(1) early-outs as _steal: no thief, or no device
+            # holding queued/preempted work, means no move this event.
+            if not indexes.idle_candidates or not indexes.source_candidates:
                 return moves
-            thieves: Sequence[int] = sorted(indexes.idle_candidates)
+            thieves: Sequence[int] = indexes.idle_candidates.ordered()
         else:
             thieves = range(len(devices))
         for thief_index in thieves:
@@ -2381,8 +2676,12 @@ class ClusterScheduler:
             best_key: Optional[Tuple[float, float, float, int]] = None
             best_source: Optional[int] = None
             best_payload = 0.0
+            remote: Optional[TaskRuntime] = None
+            remote_key: Optional[Tuple[float, float, float, int]] = None
+            remote_source: Optional[int] = None
+            remote_payload = 0.0
             sources: Sequence[int] = (
-                sorted(indexes.source_candidates)
+                indexes.source_candidates.ordered()
                 if indexes is not None
                 else range(len(devices))
             )
@@ -2394,6 +2693,10 @@ class ClusterScheduler:
                 candidates += device.migratable_preempted_tasks(now)
                 if not candidates:
                     continue
+                local = (
+                    rack_of is None
+                    or rack_of[index] == rack_of[thief_index]
+                )
                 backlog = device.predicted_backlog(now)
                 for task in candidates:
                     context = task.context
@@ -2416,9 +2719,20 @@ class ClusterScheduler:
                         context.estimated_remaining_cycles,
                         -task.task_id,
                     )
-                    if best_key is None or key > best_key:
-                        best, best_key = task, key
-                        best_source, best_payload = index, payload
+                    if local:
+                        if best_key is None or key > best_key:
+                            best, best_key = task, key
+                            best_source, best_payload = index, payload
+                    else:
+                        gap = home_wait - (delivery - now)
+                        if gap < self.cross_rack_threshold:
+                            continue  # marginal win; keep the uplink clear
+                        if remote_key is None or key > remote_key:
+                            remote, remote_key = task, key
+                            remote_source, remote_payload = index, payload
+            if best is None and remote is not None:
+                best, best_key = remote, remote_key
+                best_source, best_payload = remote_source, remote_payload
             if best is None or best_source is None:
                 continue
             source = devices[best_source]

@@ -254,6 +254,117 @@ class ChurnSchedule:
                 clock = restore
         return cls(events=tuple(events))
 
+    @classmethod
+    def generate_rack_correlated(
+        cls,
+        rack_of: Sequence[int],
+        horizon_cycles: float,
+        seed: int = 0,
+        *,
+        fault_rate: float = 0.0,
+        revocation_rate: float = 0.0,
+        drain_rate: float = 0.0,
+        mean_outage_cycles: float = 1.0e6,
+        mean_warning_cycles: float = 1.0e6,
+        never_restore_probability: float = 0.0,
+        max_concurrent_down_racks: Optional[int] = None,
+    ) -> "ChurnSchedule":
+        """Draw a schedule where outages hit whole racks at once.
+
+        The failure domains real fleets see -- a ToR switch dying, a
+        rack PDU tripping, a maintenance drain of one rack -- take every
+        device behind them down together.  This generator runs the same
+        Poisson processes as :meth:`generate` but *per rack* (racks
+        visited in id order on ``random.Random(seed ^
+        CHURN_STREAM_SALT)``), and each accepted rack event expands to
+        one :class:`ChurnEvent` per member device with identical
+        warn/down/restore cycles, so the whole rack goes dark and comes
+        back as a unit.
+
+        ``rack_of`` is the device->rack map (``RackTopology.rack_of``).
+        Rates are events per cycle *per rack*.
+        ``max_concurrent_down_racks`` caps how many racks can be inside
+        their ``[warn, restore)`` window at once (default: all but one),
+        so some rack always survives to absorb evacuations.
+        """
+        rack_of = tuple(rack_of)
+        if not rack_of:
+            raise ValueError("rack_of must cover at least one device")
+        if horizon_cycles <= 0:
+            raise ValueError("horizon_cycles must be positive")
+        num_racks = max(rack_of) + 1
+        members: List[List[int]] = [[] for _ in range(num_racks)]
+        for device, rack in enumerate(rack_of):
+            if rack < 0:
+                raise ValueError(f"negative rack id for device {device}")
+            members[rack].append(device)
+        if any(not devs for devs in members):
+            raise ValueError("rack ids must be contiguous and non-empty")
+        rng = random.Random(seed ^ CHURN_STREAM_SALT)
+        if max_concurrent_down_racks is None:
+            max_concurrent_down_racks = max(0, num_racks - 1)
+        processes: Tuple[Tuple[str, float], ...] = tuple(
+            (kind, rate)
+            for kind, rate in (
+                ("fault", fault_rate),
+                ("revocation", revocation_rate),
+                ("drain", drain_rate),
+            )
+            if rate > 0.0
+        )
+        events: List[ChurnEvent] = []
+        windows: List[Tuple[float, float]] = []  # per accepted rack event
+
+        def concurrent_down(warn: float, restore: float) -> int:
+            return sum(1 for w, r in windows if warn < r and w < restore)
+
+        for rack in range(num_racks):
+            clock = 0.0
+            while processes:
+                total_rate = sum(rate for _, rate in processes)
+                clock += rng.expovariate(total_rate)
+                if clock >= horizon_cycles:
+                    break
+                pick = rng.random() * total_rate
+                kind = processes[-1][0]
+                for candidate, rate in processes:
+                    pick -= rate
+                    if pick <= 0.0:
+                        kind = candidate
+                        break
+                warn_gap = (
+                    0.0
+                    if kind == "fault"
+                    else rng.expovariate(1.0 / mean_warning_cycles)
+                )
+                outage = rng.expovariate(1.0 / mean_outage_cycles)
+                never = (
+                    kind == "revocation"
+                    and rng.random() < never_restore_probability
+                )
+                warn = clock
+                down = warn + warn_gap
+                restore = math.inf if never else down + outage
+                if concurrent_down(warn, restore) >= max_concurrent_down_racks:
+                    # Skip: too many racks would be dark at once.
+                    clock = down + (0.0 if never else outage)
+                    continue
+                for device in members[rack]:
+                    events.append(
+                        ChurnEvent(
+                            device=device,
+                            kind=kind,
+                            warn_cycles=warn,
+                            down_cycles=down,
+                            restore_cycles=restore,
+                        )
+                    )
+                windows.append((warn, restore))
+                if math.isinf(restore):
+                    break  # this rack never comes back
+                clock = restore
+        return cls(events=tuple(events))
+
 
 class DeviceAvailability(enum.Enum):
     """Where a device sits in its outage lifecycle."""

@@ -24,6 +24,22 @@ Presets (:meth:`InterconnectConfig.pcie_gen3` and friends) express
 real-fabric bandwidths in *cycles* of the NPU's PE clock so the cluster
 event loop charges transfer time in its native unit.
 
+**Two-level (rack) fabric.** Passing ``rack_of`` to :class:`Interconnect`
+partitions the fleet into racks.  Intra-rack transfers see exactly the
+flat model above, scoped to the rack (a per-rack bus, or per-pair links
+as before).  Cross-rack transfers cross *two* resources -- the source
+device's rack-local egress link and the source rack's shared uplink --
+and hold both for the transfer's duration (circuit style: the payload
+streams at the bottleneck rate, so store-and-forward buffering is not
+modeled separately).  The uplink is oversubscribed: its bandwidth is the
+rack-local bandwidth divided by ``uplink_oversubscription``, and every
+cross-rack transfer leaving a rack serializes on that rack's single
+uplink.  That is the cost cliff locality-aware migration policies steer
+around.  Cancellation of an in-flight cross-rack transfer truncates the
+occupancy on *both* links (uplink and rack-local egress alike), and
+:meth:`Interconnect.verify_conservation` checks FIFO/non-overlap per
+link across every hop of every path.
+
 Every completed transfer is recorded; :class:`Interconnect` exposes the
 records plus per-link occupancy so tests can assert conservation (bytes
 in == bytes out, per-link FIFO order, no overlapping occupancy) and
@@ -34,7 +50,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Bytes of the Fig-4 context-table row that always travels with a task
 #: (448 bits, Sec VI-F) -- the floor of any migration's payload.
@@ -54,6 +70,15 @@ class InterconnectConfig:
     #: ``p2p`` (per-pair links) or ``bus`` (one shared medium).
     topology: str = "p2p"
     name: str = "custom"
+    #: Rack-uplink oversubscription ratio: the shared uplink's bandwidth
+    #: is ``bandwidth_bytes_per_cycle / uplink_oversubscription``.  1.0
+    #: is a uniform (non-blocking) fabric; datacenter fabrics commonly
+    #: run 2:1 to 8:1.  Only consulted for cross-rack transfers.
+    uplink_oversubscription: float = 1.0
+    #: Propagation + protocol latency of the uplink hop, charged once
+    #: per cross-rack transfer on top of the rack-local latency.  None
+    #: means "same as the rack-local latency".
+    uplink_latency_cycles: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_per_cycle <= 0:
@@ -62,6 +87,13 @@ class InterconnectConfig:
             raise ValueError("latency_cycles must be >= 0")
         if self.topology not in _TOPOLOGIES:
             raise ValueError(f"topology must be one of {_TOPOLOGIES}")
+        if self.uplink_oversubscription <= 0:
+            raise ValueError("uplink_oversubscription must be positive")
+        if (
+            self.uplink_latency_cycles is not None
+            and self.uplink_latency_cycles < 0
+        ):
+            raise ValueError("uplink_latency_cycles must be >= 0")
 
     # ------------------------------------------------------------------
     # Presets (bandwidths are nominal effective rates, not headline ones)
@@ -118,11 +150,51 @@ class InterconnectConfig:
             name="infinite",
         )
 
+    def oversubscribed(
+        self,
+        ratio: float,
+        uplink_latency_cycles: Optional[float] = None,
+    ) -> "InterconnectConfig":
+        """This fabric with an oversubscribed rack uplink tier."""
+        return dataclasses.replace(
+            self,
+            uplink_oversubscription=ratio,
+            uplink_latency_cycles=uplink_latency_cycles,
+            name=f"{self.name}-uplink{ratio:g}x",
+        )
+
     def transfer_cycles(self, num_bytes: float) -> float:
         """Uncontended duration of one transfer (latency + serialization)."""
         if num_bytes < 0:
             raise ValueError("num_bytes must be >= 0")
         return self.latency_cycles + num_bytes / self.bandwidth_bytes_per_cycle
+
+    @property
+    def uplink_latency(self) -> float:
+        return (
+            self.latency_cycles
+            if self.uplink_latency_cycles is None
+            else self.uplink_latency_cycles
+        )
+
+    @property
+    def uplink_bandwidth_bytes_per_cycle(self) -> float:
+        return self.bandwidth_bytes_per_cycle / self.uplink_oversubscription
+
+    def cross_rack_transfer_cycles(self, num_bytes: float) -> float:
+        """Uncontended duration of one cross-rack transfer.
+
+        Both latencies are paid (rack-local hop to the top-of-rack
+        switch, then the uplink hop); the payload streams at the
+        bottleneck bandwidth of the path.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        bottleneck = min(
+            self.bandwidth_bytes_per_cycle,
+            self.uplink_bandwidth_bytes_per_cycle,
+        )
+        return self.latency_cycles + self.uplink_latency + num_bytes / bottleneck
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,6 +219,14 @@ class TransferRecord:
     #: transfer was truncated at the cancellation instant -- the payload
     #: never landed, the link time past that instant was freed.
     cancelled: bool = False
+    #: The link keys the transfer occupies, in path order (one entry for
+    #: flat/intra-rack, two for cross-rack: egress link then uplink).
+    #: Empty means "the flat link for (src, dst)" so hand-built records
+    #: stay valid.
+    links: Tuple[object, ...] = ()
+    #: True when the transfer crossed a rack boundary (charged the
+    #: cross-rack path cost and occupied the rack uplink).
+    cross_rack: bool = False
 
     @property
     def queueing_cycles(self) -> float:
@@ -167,27 +247,74 @@ class Interconnect:
     never overlap -- the conservation property the seeded tests pin.
     """
 
-    def __init__(self, config: InterconnectConfig, num_devices: int) -> None:
+    def __init__(
+        self,
+        config: InterconnectConfig,
+        num_devices: int,
+        rack_of: Optional[Sequence[int]] = None,
+    ) -> None:
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
+        if rack_of is not None:
+            if len(rack_of) != num_devices:
+                raise ValueError("rack_of must name a rack per device")
+            if any(rack < 0 for rack in rack_of):
+                raise ValueError("rack ids must be >= 0")
         self.config = config
         self.num_devices = num_devices
+        self.rack_of = tuple(rack_of) if rack_of is not None else None
         self._free_at: Dict[object, float] = {}
         self._last_request: Dict[object, float] = {}
         self._records: List[TransferRecord] = []
 
+    def is_cross_rack(self, src: int, dst: int) -> bool:
+        return (
+            self.rack_of is not None and self.rack_of[src] != self.rack_of[dst]
+        )
+
     def _link_key(self, src: int, dst: int) -> object:
-        return "bus" if self.config.topology == "bus" else (src, dst)
+        """The rack-local link a (src -> dst) *intra-rack* transfer uses."""
+        if self.config.topology == "bus":
+            return (
+                "bus"
+                if self.rack_of is None
+                else ("bus", self.rack_of[src])
+            )
+        return (src, dst)
+
+    def _path(self, src: int, dst: int) -> Tuple[Tuple[object, ...], bool]:
+        """Link keys a (src -> dst) transfer occupies, plus cross-rack."""
+        if not self.is_cross_rack(src, dst):
+            return (self._link_key(src, dst),), False
+        src_rack = self.rack_of[src]
+        egress = (
+            ("bus", src_rack)
+            if self.config.topology == "bus"
+            else ("egress", src)
+        )
+        return (egress, ("uplink", src_rack)), True
+
+    def _record_links(self, record: TransferRecord) -> Tuple[object, ...]:
+        return record.links or (
+            self._link_key(record.src_device, record.dst_device),
+        )
+
+    def path_transfer_cycles(self, src: int, dst: int, num_bytes: float) -> float:
+        """Uncontended (src -> dst) duration, cross-rack aware."""
+        if self.is_cross_rack(src, dst):
+            return self.config.cross_rack_transfer_cycles(num_bytes)
+        return self.config.transfer_cycles(num_bytes)
 
     def link_free_at(self, src: int, dst: int) -> float:
         """Earliest cycle a new (src -> dst) transfer could start."""
-        return self._free_at.get(self._link_key(src, dst), 0.0)
+        links, _ = self._path(src, dst)
+        return max(self._free_at.get(key, 0.0) for key in links)
 
     def estimate_arrival(self, src: int, dst: int, num_bytes: float, now: float) -> float:
         """Predicted delivery time of a transfer requested at ``now``
         (contention included) without committing it."""
         start = max(now, self.link_free_at(src, dst))
-        return start + self.config.transfer_cycles(num_bytes)
+        return start + self.path_transfer_cycles(src, dst, num_bytes)
 
     def transfer(
         self,
@@ -206,15 +333,17 @@ class Interconnect:
             raise ValueError("transfer requires distinct devices")
         if num_bytes < 0:
             raise ValueError("num_bytes must be >= 0")
-        key = self._link_key(src, dst)
-        if now < self._last_request.get(key, 0.0):
-            raise ValueError(
-                "transfers on one link must be requested in time order"
-            )
-        self._last_request[key] = now
-        start = max(now, self._free_at.get(key, 0.0))
-        end = start + self.config.transfer_cycles(num_bytes)
-        self._free_at[key] = end
+        links, cross = self._path(src, dst)
+        for key in links:
+            if now < self._last_request.get(key, 0.0):
+                raise ValueError(
+                    "transfers on one link must be requested in time order"
+                )
+        start = max(now, *(self._free_at.get(key, 0.0) for key in links))
+        end = start + self.path_transfer_cycles(src, dst, num_bytes)
+        for key in links:
+            self._last_request[key] = now
+            self._free_at[key] = end
         record = TransferRecord(
             task_id=task_id,
             src_device=src,
@@ -224,6 +353,8 @@ class Interconnect:
             start_cycles=start,
             end_cycles=end,
             purpose=purpose,
+            links=links,
+            cross_rack=cross,
         )
         self._records.append(record)
         return record
@@ -237,8 +368,10 @@ class Interconnect:
         ``max(start, min(end, now))`` and it is flagged ``cancelled`` --
         and each touched link's free-at horizon is recomputed, so the
         link time past the cancellation instant is genuinely freed for
-        later transfers.  Returns the total link time freed (the sum of
-        truncations, cycles).
+        later transfers.  A cross-rack transfer occupies two links
+        (rack-local egress plus the rack uplink) and cancellation
+        releases *both*.  Returns the total link time freed (the sum of
+        truncations per record, cycles).
 
         Conservation still holds afterwards: truncation only ever lowers
         end times, and every future transfer is requested at or after
@@ -261,13 +394,13 @@ class Interconnect:
             self._records[index] = dataclasses.replace(
                 record, end_cycles=new_end, cancelled=True
             )
-            touched.add(self._link_key(record.src_device, record.dst_device))
+            touched.update(self._record_links(record))
         for key in touched:
             self._free_at[key] = max(
                 (
                     r.end_cycles
                     for r in self._records
-                    if self._link_key(r.src_device, r.dst_device) == key
+                    if key in self._record_links(r)
                 ),
                 default=0.0,
             )
@@ -286,10 +419,27 @@ class Interconnect:
     def busy_cycles_by_link(self) -> Dict[object, float]:
         busy: Dict[object, float] = {}
         for record in self._records:
-            key = self._link_key(record.src_device, record.dst_device)
-            busy[key] = busy.get(key, 0.0) + (
-                record.end_cycles - record.start_cycles
-            )
+            for key in self._record_links(record):
+                busy[key] = busy.get(key, 0.0) + (
+                    record.end_cycles - record.start_cycles
+                )
+        return busy
+
+    def cross_rack_bytes(self, purpose: Optional[str] = None) -> float:
+        """Total payload bytes that crossed a rack uplink."""
+        return sum(
+            record.num_bytes
+            for record in self._records
+            if record.cross_rack
+            and (purpose is None or record.purpose == purpose)
+        )
+
+    def uplink_busy_cycles(self) -> Dict[int, float]:
+        """Occupied cycles per rack uplink (rack id -> busy cycles)."""
+        busy: Dict[int, float] = {}
+        for key, cycles in self.busy_cycles_by_link().items():
+            if isinstance(key, tuple) and key and key[0] == "uplink":
+                busy[key[1]] = busy.get(key[1], 0.0) + cycles
         return busy
 
     def verify_conservation(self) -> None:
@@ -297,12 +447,15 @@ class Interconnect:
 
         Checks, per link: starts never precede requests, occupancy spans
         do not overlap, and service order equals request order (no
-        reordering across a link).
+        reordering across a link).  A cross-rack transfer is checked on
+        *every* link of its path (rack-local egress and rack uplink), so
+        a cancellation that freed one leg but not the other would trip
+        the overlap check on the stale link.
         """
         per_link: Dict[object, List[TransferRecord]] = {}
         for record in self._records:
-            key = self._link_key(record.src_device, record.dst_device)
-            per_link.setdefault(key, []).append(record)
+            for key in self._record_links(record):
+                per_link.setdefault(key, []).append(record)
         for key, records in per_link.items():
             previous_end = 0.0
             previous_request = 0.0
@@ -313,8 +466,10 @@ class Interconnect:
                     raise AssertionError(f"link {key}: start precedes request")
                 if record.start_cycles < previous_end:
                     raise AssertionError(f"link {key}: overlapping service")
-                expected_end = record.start_cycles + self.config.transfer_cycles(
-                    record.num_bytes
+                expected_end = record.start_cycles + (
+                    self.config.cross_rack_transfer_cycles(record.num_bytes)
+                    if record.cross_rack
+                    else self.config.transfer_cycles(record.num_bytes)
                 )
                 if record.cancelled:
                     # A cancelled transfer occupies at most its full

@@ -27,6 +27,7 @@ compiler.
 from __future__ import annotations
 
 import dataclasses
+import math
 import random
 from typing import Dict, List, Optional, Sequence
 
@@ -109,10 +110,22 @@ class TraceGenerator(WorkloadGenerator):
         return self._build_tasks(arrivals, name or f"bursty-{num_tasks}")
 
     def _draw_geometric(self, mean: float) -> int:
-        """Geometric-ish extra-burst size with the given mean - 1."""
+        """True geometric extra-burst size with mean ``mean - 1``.
+
+        Draws the number of *failures* before the first success of a
+        Bernoulli(p) sequence with ``p = 1/mean`` via inversion
+        sampling, so ``P(k) = (1-p)^k * p`` on support {0, 1, 2, ...}
+        and ``E[k] = (1-p)/p = mean - 1`` exactly.  One uniform variate
+        is consumed per draw, preserving the seeded RNG stream
+        contract.  (The previous implementation floor-truncated an
+        exponential, which biased the realized mean ~0.4-0.5 low.)
+        """
         if mean <= 1.0:
             return 0
-        return int(self._rng.expovariate(1.0 / (mean - 1.0)))
+        success = 1.0 / mean
+        # 1 - random() lies in (0, 1], keeping log() finite.
+        draw = 1.0 - self._rng.random()
+        return int(math.log(draw) / math.log(1.0 - success))
 
 
 def assign_qos(

@@ -11,6 +11,7 @@ from repro.sched.metrics import (
     priority_weight,
     sla_violation_rate,
     tail_latency_cycles,
+    tail_percentile,
 )
 from repro.sched.task import TaskRuntime
 from repro.workloads.specs import TaskSpec
@@ -165,6 +166,50 @@ class TestTailLatency:
         tasks = [make_done_task(0, 100.0, 150.0, priority=Priority.HIGH)]
         with pytest.raises(ValueError):
             tail_latency_cycles(tasks, percentile=0.0)
+
+
+class TestTailPercentileMethod:
+    """The conservative small-sample tail rule the cluster p99s use.
+
+    With 10 samples, linear interpolation reports a p99 that *no sample
+    ever experienced* (an optimistic blend of the top two); the pinned
+    ``method="higher"`` returns an actual observed latency at or above
+    the requested rank.  This is the regression pin for the
+    ``p99_high_priority_turnaround_cycles`` / ``recovery_p99_cycles``
+    switch.
+    """
+
+    SAMPLES = [100.0 * (i + 1) for i in range(10)]  # 100..1000
+
+    def test_higher_disagrees_with_linear_on_10_samples(self):
+        import numpy as np
+
+        linear = float(np.percentile(self.SAMPLES, 99.0))  # 991.0
+        conservative = tail_percentile(self.SAMPLES, 99.0)
+        assert conservative == pytest.approx(1000.0)
+        assert conservative > linear
+        assert linear not in self.SAMPLES  # interpolation invents values
+        assert conservative in self.SAMPLES
+
+    def test_returns_observed_sample_at_every_rank(self):
+        for pct in (50.0, 90.0, 95.0, 99.0):
+            assert tail_percentile(self.SAMPLES, pct) in self.SAMPLES
+
+    def test_cluster_p99s_use_conservative_rule(self):
+        """10 HIGH-priority completions: the reported p99 turnaround must
+        be the max observed sample, not an interpolated blend."""
+        from repro.sched.metrics import compute_cluster_metrics
+
+        tasks = [
+            make_done_task(i, 100.0, 100.0 * (i + 1), priority=Priority.HIGH)
+            for i in range(10)
+        ]
+        result = FakeClusterResult(tasks)
+        metrics = compute_cluster_metrics(result)
+        turnarounds = [t.turnaround_cycles for t in tasks]
+        assert metrics.p99_high_priority_turnaround_cycles == pytest.approx(
+            max(turnarounds)
+        )
 
 
 class TestAggregation:

@@ -78,6 +78,56 @@ class TestBurstyTrace:
             make_generator().generate_bursty(10, burst_spread_cycles=-1.0)
 
 
+class TestGeometricBurstDraw:
+    """Statistical regression pin for the geometric burst-size draw.
+
+    The pre-fix draw floor-truncated an exponential with mean
+    ``mean - 1``, whose floor has mean ``1/(e^(1/(m-1)) - 1)`` -- biased
+    ~0.4-0.5 low at any mean (e.g. 7.02 extra tasks instead of 7.00 only
+    after the fix; the old draw gave ~6.52 at ``mean=8``).  A true
+    geometric draw ``floor(ln(1-U)/ln(1-p))`` with ``p = 1/mean`` has
+    the exact extra-burst mean ``mean - 1``.
+    """
+
+    def test_extra_burst_mean_is_unbiased(self):
+        for mean in (2.0, 4.0, 8.0):
+            gen = make_generator(seed=int(mean))
+            draws = [gen._draw_geometric(mean) for _ in range(200_000)]
+            measured = sum(draws) / len(draws)
+            # The old floor-truncated-exponential draw sat ~0.42-0.48
+            # below mean - 1 -- far outside this 2% band.
+            assert measured == pytest.approx(mean - 1.0, rel=0.02), mean
+
+    def test_distribution_is_geometric(self):
+        """P(K >= k) must decay as (1 - p)^k -- memoryless in k."""
+        mean = 8.0
+        gen = make_generator(seed=12)
+        draws = [gen._draw_geometric(mean) for _ in range(200_000)]
+        n = len(draws)
+        p = 1.0 / mean
+        for k in (1, 3, 6, 10):
+            tail = sum(1 for d in draws if d >= k) / n
+            assert tail == pytest.approx((1.0 - p) ** k, rel=0.05), k
+
+    def test_degenerate_mean_yields_no_extras(self):
+        gen = make_generator(seed=1)
+        assert all(gen._draw_geometric(1.0) == 0 for _ in range(100))
+
+    def test_burst_sizes_average_to_requested_mean(self):
+        """End to end: clusters in a bursty trace now really average
+        ``burst_size_mean`` tasks (the fixed draw feeds generate_bursty)."""
+        mean_size = 8.0
+        trace = make_generator(seed=9).generate_bursty(
+            40_000, burst_size_mean=mean_size, burst_spread_cycles=0.0
+        )
+        arrivals = [task.arrival_cycles for task in trace.tasks]
+        clusters = 1
+        for a, b in zip(arrivals, arrivals[1:]):
+            if b != a:  # zero spread: same-cluster tasks share a stamp
+                clusters += 1
+        assert len(arrivals) / clusters == pytest.approx(mean_size, rel=0.1)
+
+
 class TestTaskAttributeDrawing:
     def test_trace_tasks_share_workload_generator_vocabulary(self):
         trace = make_generator(seed=2).generate_poisson(200)
