@@ -39,6 +39,13 @@ sys.path.insert(
 )
 
 from repro.npu.config import NPUConfig  # noqa: E402
+from repro.obs import (  # noqa: E402
+    HotPathProfiler,
+    MetricsSampler,
+    Tracer,
+    load_chrome_trace,
+    validate_chrome_trace,
+)
 from repro.sched.cluster import (  # noqa: E402
     ClusterConfig,
     ClusterScheduler,
@@ -154,6 +161,9 @@ def measure_cluster(
     batching: Optional[BatchConfig] = None,
     churn: Optional[ChurnSchedule] = None,
     racks: Optional[RackTopology] = None,
+    tracer: Optional[Tracer] = None,
+    metrics_sampler: Optional[MetricsSampler] = None,
+    profiler: Optional[HotPathProfiler] = None,
 ) -> Dict[str, float]:
     """Wall time of a cluster run over an aggregate open-arrival trace.
 
@@ -168,7 +178,9 @@ def measure_cluster(
     ``churn`` the fleet loses and regains devices mid-run (availability
     transitions, failure orphan re-dispatch, proactive evacuation).
     With ``racks`` the fleet routes through the two-tier rack frontend
-    over an oversubscribed fabric.
+    over an oversubscribed fabric.  ``tracer``/``metrics_sampler``/
+    ``profiler`` turn on the observability layer so its overhead sits
+    under the same regression gate as the scheduling it observes.
     """
     overload = 1.5 if (admission or batching is not None) else 1.0
     runtimes = synthetic_trace_runtimes(
@@ -186,7 +198,12 @@ def measure_cluster(
     controller = None
     if admission:
         controller = AdmissionController(feedback=PredictionFeedback())
-    if racks is not None:
+    observed = (
+        tracer is not None
+        or metrics_sampler is not None
+        or profiler is not None
+    )
+    if racks is not None or observed:
         scheduler = ClusterScheduler(
             num_devices=num_devices,
             simulation_config=_simulation_config(),
@@ -199,6 +216,9 @@ def measure_cluster(
                 batching=batching,
                 churn=churn,
                 racks=racks,
+                tracer=tracer,
+                metrics_sampler=metrics_sampler,
+                profiler=profiler,
             ),
         )
     else:
@@ -243,6 +263,34 @@ def run(tier: str = "full") -> Dict[str, object]:
     )
     record["normalized"] = record["tasks_per_sec"] / calibration_ops
     results["cluster_migration_4dev_500"] = record
+    # The traced twin of the migration tier: identical workload with the
+    # full observability stack on (structured tracer + streaming metrics
+    # + hot-path profiler).  Its own baseline floor under the same 30%
+    # gate is the overhead contract -- if emission ever gets expensive
+    # enough to drag normalized throughput below the floor, CI fails.
+    tracer = Tracer()
+    traced = measure_cluster(
+        500,
+        routing=RoutingPolicy.PREEMPTIVE_MIGRATION,
+        seed=35,
+        tracer=tracer,
+        metrics_sampler=MetricsSampler(
+            interval_cycles=25 * DEFAULT_MEAN_INTERARRIVAL_CYCLES
+        ),
+        profiler=HotPathProfiler(),
+    )
+    traced["normalized"] = traced["tasks_per_sec"] / calibration_ops
+    traced["trace_events"] = len(tracer)
+    traced["slowdown_vs_untraced"] = (
+        record["tasks_per_sec"] / traced["tasks_per_sec"]
+    )
+    results["cluster_migration_4dev_500_traced"] = traced
+    # Persist a schema-checked sample Perfetto artifact next to the
+    # results JSON; CI uploads it from the bench-smoke job.
+    sample_path = RESULTS_PATH.parent / "sample_trace.json"
+    sample_path.parent.mkdir(parents=True, exist_ok=True)
+    tracer.write(sample_path)
+    validate_chrome_trace(load_chrome_trace(sample_path), num_devices=4)
     # The admission-enabled serving path (frontier heap, per-arrival
     # decide(), feedback observation per completion) also runs in the
     # small tier so the CI gate watches it.

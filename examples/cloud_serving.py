@@ -29,9 +29,17 @@ after the kill is compared against evacuating on the warning
 requests outright, the proactive arm loses none and sustains more
 goodput under churn.
 
-Run:  python examples/cloud_serving.py
+Run:  python examples/cloud_serving.py [--trace out.json]
+
+``--trace`` records the final act (proactive migration under spot
+churn) with the structured tracer (`repro.obs`) and writes a
+Chrome-trace/Perfetto JSON artifact -- open it at
+https://ui.perfetto.dev, or summarize it with
+``python -m repro.analysis.obs_report out.json`` (see
+docs/observability.md).
 """
 
+import argparse
 import random
 
 import numpy as np
@@ -121,9 +129,13 @@ def report(config, label, tiers, tasks):
 
 
 def serve_cluster(config, factory, specs, admission, batching=None,
-                  churn=None, proactive=False):
+                  churn=None, proactive=False, tracer=None):
     """Run the tagged request stream on a 2-NPU cluster."""
-    from repro.sched.cluster import ClusterScheduler, RoutingPolicy
+    from repro.sched.cluster import (
+        ClusterConfig,
+        ClusterScheduler,
+        RoutingPolicy,
+    )
     from repro.sched.metrics import compute_cluster_metrics
 
     scheduler = ClusterScheduler(
@@ -131,12 +143,15 @@ def serve_cluster(config, factory, specs, admission, batching=None,
         simulation_config=SimulationConfig(
             npu=config, mode=PreemptionMode.DYNAMIC
         ),
-        policy_name="PREMA",
-        routing=RoutingPolicy.ONLINE_PREDICTED,
-        admission=admission,
-        batching=batching,
-        churn=churn,
-        proactive_migration=proactive,
+        config=ClusterConfig(
+            policy_name="PREMA",
+            routing=RoutingPolicy.ONLINE_PREDICTED,
+            admission=admission,
+            batching=batching,
+            churn=churn,
+            proactive_migration=proactive,
+            tracer=tracer,
+        ),
     )
     result = scheduler.run([factory.build_task(spec) for spec in specs])
     return compute_cluster_metrics(result)
@@ -170,7 +185,7 @@ def report_cluster(label, metrics, churn=False):
         )
 
 
-def main() -> None:
+def main(trace_path: str = None) -> None:
     config = NPUConfig()
     factory = TaskFactory(config)
     tiers, specs = build_requests(config)
@@ -254,6 +269,13 @@ def main() -> None:
         ("spot churn, reactive restart", False),
         ("spot churn, proactive migration", True),
     ):
+        tracer = None
+        if trace_path is not None and proactive:
+            # Trace the headline arm only; tracing is observational, so
+            # the reported metrics are identical with it on or off.
+            from repro.obs import Tracer
+
+            tracer = Tracer()
         report_cluster(
             label,
             serve_cluster(
@@ -266,10 +288,22 @@ def main() -> None:
                 ),
                 churn=spot,
                 proactive=proactive,
+                tracer=tracer,
             ),
             churn=True,
         )
+        if tracer is not None:
+            tracer.write(trace_path)
+            print(
+                f"\nwrote {len(tracer)} trace events for '{label}' to "
+                f"{trace_path} (open at https://ui.perfetto.dev)"
+            )
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="write a Perfetto trace of the final act to this path",
+    )
+    main(parser.parse_args().trace)

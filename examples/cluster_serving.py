@@ -13,13 +13,24 @@ preemptive checkpoint migration (idle devices additionally pull preempted
 tasks by shipping their DRAM checkpoints over a modeled PCIe-class
 interconnect, with cluster-global token fairness).
 
-Run:  python examples/cluster_serving.py [num_devices]
+Run:  python examples/cluster_serving.py [num_devices] [--trace out.json]
+
+``--trace`` records the final combo (migration + PREMA) with the
+structured tracer and writes a Chrome-trace/Perfetto JSON artifact --
+open it at https://ui.perfetto.dev, or summarize it with
+``python -m repro.analysis.obs_report out.json`` (see
+docs/observability.md).
 """
 
-import sys
+import argparse
 
 from repro import NPUConfig, TaskFactory, WorkloadGenerator
-from repro.sched.cluster import ClusterScheduler, RoutingPolicy
+from repro.obs import Tracer
+from repro.sched.cluster import (
+    ClusterConfig,
+    ClusterScheduler,
+    RoutingPolicy,
+)
 from repro.sched.metrics import compute_cluster_metrics
 from repro.sched.simulator import PreemptionMode, SimulationConfig
 
@@ -39,7 +50,7 @@ COMBOS = (
 )
 
 
-def main(num_devices: int = 4) -> None:
+def main(num_devices: int = 4, trace_path: str = None) -> None:
     config = NPUConfig()
     factory = TaskFactory(config)
     workload = WorkloadGenerator(
@@ -52,12 +63,18 @@ def main(num_devices: int = 4) -> None:
     print(f"{'configuration':22s} {'ANTT':>7s} {'fairness':>9s} "
           f"{'makespan ms':>12s} {'queue ms':>9s} {'migr':>5s} "
           f"{'device utilization':>20s}")
-    for label, routing, policy, mode in COMBOS:
+    for index, (label, routing, policy, mode) in enumerate(COMBOS):
+        tracer = None
+        if trace_path is not None and index == len(COMBOS) - 1:
+            # Trace only the headline combo: same decisions either way
+            # (tracing is observational), so the table is unaffected.
+            tracer = Tracer()
         cluster = ClusterScheduler(
             num_devices=num_devices,
             simulation_config=SimulationConfig(npu=config, mode=mode),
-            policy_name=policy,
-            routing=routing,
+            config=ClusterConfig(
+                policy_name=policy, routing=routing, tracer=tracer
+            ),
         )
         tasks = factory.build_workload(workload)
         result = cluster.run(tasks)
@@ -72,7 +89,23 @@ def main(num_devices: int = 4) -> None:
             f"{metrics.migration_count:5d} "
             f"{utilization:>20s}"
         )
+        if tracer is not None:
+            tracer.write(trace_path)
+            print(
+                f"\nwrote {len(tracer)} trace events for '{label}' to "
+                f"{trace_path} (open at https://ui.perfetto.dev)"
+            )
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "num_devices", nargs="?", type=int, default=4,
+        help="NPUs in the pool (default: 4)",
+    )
+    parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="write a Perfetto trace of the final combo to this path",
+    )
+    cli = parser.parse_args()
+    main(cli.num_devices, trace_path=cli.trace)

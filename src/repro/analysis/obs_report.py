@@ -1,0 +1,194 @@
+"""Render a saved observability trace as a markdown/ASCII report.
+
+Reads a Chrome-trace JSON artifact written by
+:meth:`repro.obs.trace.Tracer.write` (see ``docs/observability.md``)
+and prints a digest a human can read without opening Perfetto: event
+counts by kind, per-track span occupancy (devices, links, control
+plane), and a summary of every sampled counter series.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis.obs_report trace.json
+    PYTHONPATH=src python -m repro.analysis.obs_report trace.json --format ascii
+
+The trace is schema-validated first, so a malformed artifact fails
+loudly rather than rendering a partial report.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.obs.trace import load_chrome_trace, validate_chrome_trace
+
+Row = Sequence[object]
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Row]) -> str:
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        cells = [
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _table(
+    headers: Sequence[str], rows: Sequence[Row], title: str, fmt: str
+) -> str:
+    if fmt == "markdown":
+        return f"### {title}\n\n" + _markdown_table(headers, rows)
+    return format_table(headers, [list(r) for r in rows], title=title)
+
+
+def _track_names(events: List[dict]) -> Dict[Tuple[int, int], str]:
+    """(pid, tid) -> "process / thread" labels from the M records."""
+    processes: Dict[int, str] = {}
+    threads: Dict[Tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        if event["name"] == "process_name":
+            processes[event["pid"]] = event["args"]["name"]
+        elif event["name"] == "thread_name":
+            threads[(event["pid"], event["tid"])] = event["args"]["name"]
+    return {
+        key: f"{processes.get(key[0], f'pid {key[0]}')} / {name}"
+        for key, name in threads.items()
+    }
+
+
+def render_report(payload: Dict[str, object], fmt: str = "markdown") -> str:
+    """Build the full report for a validated Chrome-trace payload."""
+    counts = validate_chrome_trace(payload)
+    events: List[dict] = payload["traceEvents"]  # type: ignore[assignment]
+    other = payload.get("otherData", {})
+    sections: List[str] = []
+
+    title = "# Observability trace report" if fmt == "markdown" else (
+        "observability trace report"
+    )
+    header = [
+        title,
+        "",
+        f"- events: {counts['X']} spans, {counts['i']} instants, "
+        f"{counts['C']} counter points, {counts['M']} metadata records",
+        f"- clock: {other.get('clock', 'unknown')}",
+        f"- devices: {other.get('num_devices', 'unknown')}",
+        f"- dropped events: {other.get('dropped_events', 0)}",
+    ]
+    sections.append("\n".join(header))
+
+    # --- event counts by kind -----------------------------------------
+    by_kind: Dict[str, List[int]] = {}
+    for event in events:
+        if event.get("ph") in ("X", "i"):
+            entry = by_kind.setdefault(event["cat"], [0, 0])
+            entry[0 if event["ph"] == "X" else 1] += 1
+    kind_rows = [
+        [kind, spans, instants]
+        for kind, (spans, instants) in sorted(by_kind.items())
+    ]
+    if kind_rows:
+        sections.append(
+            _table(["kind", "spans", "instants"], kind_rows,
+                   "events by kind", fmt)
+        )
+
+    # --- per-track occupancy ------------------------------------------
+    names = _track_names(events)
+    busy: Dict[Tuple[int, int], float] = {}
+    span_count: Dict[Tuple[int, int], int] = {}
+    instant_count: Dict[Tuple[int, int], int] = {}
+    bounds: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            continue
+        track = (event["pid"], event["tid"])
+        ts = event["ts"]
+        end = ts + event.get("dur", 0.0)
+        lo, hi = bounds.get(track, (ts, end))
+        bounds[track] = (min(lo, ts), max(hi, end))
+        if phase == "X":
+            busy[track] = busy.get(track, 0.0) + event["dur"]
+            span_count[track] = span_count.get(track, 0) + 1
+        else:
+            instant_count[track] = instant_count.get(track, 0) + 1
+    track_rows = []
+    for track in sorted(bounds):
+        lo, hi = bounds[track]
+        span = max(hi - lo, 1e-12)
+        occupied = busy.get(track, 0.0)
+        track_rows.append(
+            [
+                names.get(track, str(track)),
+                span_count.get(track, 0),
+                instant_count.get(track, 0),
+                occupied,
+                100.0 * occupied / span,
+            ]
+        )
+    if track_rows:
+        sections.append(
+            _table(
+                ["track", "spans", "instants", "busy cycles", "busy %"],
+                track_rows, "track occupancy", fmt,
+            )
+        )
+
+    # --- counter series ------------------------------------------------
+    series: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("ph") == "C":
+            series.setdefault(event["name"], []).append(
+                float(event["args"]["value"])
+            )
+    counter_rows = []
+    for name in sorted(series):
+        values = series[name]
+        counter_rows.append(
+            [
+                name,
+                len(values),
+                min(values),
+                max(values),
+                sum(values) / len(values),
+                values[-1],
+            ]
+        )
+    if counter_rows:
+        sections.append(
+            _table(
+                ["series", "points", "min", "max", "mean", "last"],
+                counter_rows, "counter series", fmt,
+            )
+        )
+
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize a saved observability trace artifact."
+    )
+    parser.add_argument("trace", help="path to a Tracer.write() JSON file")
+    parser.add_argument(
+        "--format",
+        choices=("markdown", "ascii"),
+        default="markdown",
+        help="report style (default: markdown)",
+    )
+    args = parser.parse_args(argv)
+    payload = load_chrome_trace(args.trace)
+    print(render_report(payload, fmt=args.format))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

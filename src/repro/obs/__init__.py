@@ -1,0 +1,39 @@
+"""Cluster observability: tracing, streaming metrics, self-profiling.
+
+Three independent, composable layers (``docs/observability.md``):
+
+- :mod:`repro.obs.trace` -- structured span/instant events from every
+  scheduler layer, exported as Chrome-trace/Perfetto JSON.
+- :mod:`repro.obs.metrics` -- counters/gauges/histograms sampled on a
+  cycle interval into bounded ring buffers.
+- :mod:`repro.obs.profile` -- wall-time attribution of the scheduler's
+  own hot paths (route, steal/migrate, admission, index maintenance,
+  churn handling).
+
+The contract: observability *off* is bit-for-bit (the default
+:data:`~repro.obs.trace.NULL_TRACER` allocates nothing on the hot
+path); observability *on* is bounded (every buffer has a capacity,
+every tracer a ``max_events``) and cheap (gated in CI by the
+traced-vs-untraced pair in ``benchmarks/bench_hotpath.py``).
+"""
+
+from repro.obs.metrics import MetricsSampler, RingBuffer
+from repro.obs.profile import HotPathProfiler
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    load_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "HotPathProfiler",
+    "MetricsSampler",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingBuffer",
+    "Tracer",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -70,6 +70,7 @@ import enum
 import heapq
 import math
 import random
+import time
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -103,6 +104,7 @@ from repro.sched.job import (
     settle_member,
     stage_runtime,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.sched.policies import make_policy
 from repro.sched.rack import RackRouter, RackTopology
 from repro.sched.simulator import (
@@ -238,6 +240,21 @@ class ClusterConfig:
     #: uncontended cross-rack shipment cost of one context row.  Ignored
     #: without ``racks``.
     cross_rack_threshold_cycles: Optional[float] = None
+    #: Observability (repro.obs, docs/observability.md).  All three are
+    #: observational only -- scheduling decisions are identical with or
+    #: without them, and ``None`` (the default) keeps every hot path
+    #: allocation-free (the no-op tracer singleton is threaded through).
+    #: ``tracer``: a :class:`repro.obs.trace.Tracer` collecting typed
+    #: span/instant events for Chrome-trace/Perfetto export.
+    tracer: Optional[object] = None
+    #: ``metrics_sampler``: a :class:`repro.obs.metrics.MetricsSampler`
+    #: sampling utilization / queue depth / backlog / admission-rate /
+    #: SLA gauges on its cycle interval into bounded ring buffers.
+    metrics_sampler: Optional[object] = None
+    #: ``profiler``: a :class:`repro.obs.profile.HotPathProfiler`
+    #: attributing control-plane wall time per event kind (route, steal,
+    #: migrate, admission, index maintenance, churn handling).
+    profiler: Optional[object] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -505,6 +522,10 @@ class _ClusterIndexes:
     reference scan and raises on any divergence (the property tests'
     index-vs-linear-scan harness).
     """
+
+    #: Trace sink (class attr = no per-instance cost when unobserved);
+    #: the scheduler rebinds it right after construction when tracing.
+    tracer = NULL_TRACER
 
     def __init__(self, devices: Sequence[DeviceSim], verify: bool = False) -> None:
         self._devices = devices
@@ -779,6 +800,11 @@ class _RackIndexes(_ClusterIndexes):
         """
         assert self._router is not None
         rack = self.pick_rack()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "rack_pick", f"rack_pick r{rack}", now, args={"rack": rack}
+            )
         best_key, best_backlog = self._best_first(
             self._router.device_heap(rack), now, inbound
         )
@@ -876,6 +902,12 @@ class _ChurnRuntime:
         #: Tasks already force-checkpointed in the current window, per
         #: device -- a failed shipment must not re-trap the same task.
         self._forced: Dict[int, Set[int]] = {}
+        #: Observability (repro.obs): set by the owning loop.  The
+        #: tracer rides on ``fleet.tracer`` (transition instants) and
+        #: this attribute (evacuation migration spans); the profiler
+        #: attributes churn-handling wall time.
+        self.tracer = NULL_TRACER
+        self.profiler = None
 
     # -- loop-facing surface -------------------------------------------
     def peek_time(self) -> Optional[float]:
@@ -885,6 +917,15 @@ class _ChurnRuntime:
         return any(device.accepts_work for device in self.devices)
 
     def process_next(self) -> None:
+        prof = self.profiler
+        if prof is None:
+            self._process_next()
+            return
+        start_ns = time.perf_counter_ns()
+        self._process_next()
+        prof.add("churn", time.perf_counter_ns() - start_ns)
+
+    def _process_next(self) -> None:
         transition = self.fleet.pop()
         now = transition.time_cycles
         index = transition.device
@@ -934,7 +975,13 @@ class _ChurnRuntime:
             DeviceAvailability.WARNED,
             DeviceAvailability.DRAINING,
         ):
+            prof = self.profiler
+            if prof is None:
+                self._evacuate(index, now)
+                return
+            start_ns = time.perf_counter_ns()
             self._evacuate(index, now)
+            prof.add("churn", time.perf_counter_ns() - start_ns)
 
     # -- mechanics ------------------------------------------------------
     def _refresh(self, device: DeviceSim) -> None:
@@ -1010,6 +1057,20 @@ class _ChurnRuntime:
                 arrival_cycles=record.end_cycles,
             )
         )
+        if self.tracer.enabled:
+            self.tracer.span(
+                "migration",
+                f"evacuate t{task.task_id} d{src_index}->d{dst_index}",
+                now,
+                record.end_cycles,
+                args={
+                    "task": task.task_id,
+                    "from": src_index,
+                    "to": dst_index,
+                    "bytes": payload,
+                    "reason": "evacuation",
+                },
+            )
 
     def _evacuate(self, src_index: int, now: float) -> None:
         """Drain a doomed device toward its revocation deadline.
@@ -1283,6 +1344,24 @@ class ClusterScheduler:
                     "cross_rack_threshold_cycles must be non-negative"
                 )
             self.cross_rack_threshold = threshold
+        #: Observability (repro.obs): tracer resolves to the no-op
+        #: singleton so every emission site is a single attribute check
+        #: when tracing is off; sampler and profiler stay None-gated.
+        self.tracer = (
+            config.tracer if config.tracer is not None else NULL_TRACER
+        )
+        if self.tracer.enabled:
+            rack_of = self.rack_of
+            self.tracer.bind_topology(
+                num_devices,
+                rack_of=(
+                    (lambda d: rack_of[d]) if rack_of is not None else None
+                ),
+            )
+        self.sampler = config.metrics_sampler
+        if self.sampler is not None and getattr(self.sampler, "tracer", None) is None:
+            self.sampler.tracer = self.tracer
+        self.profiler = config.profiler
 
     # ------------------------------------------------------------------
     # Static routing (the up-front pass)
@@ -1418,11 +1497,13 @@ class ClusterScheduler:
             fabric = Interconnect(
                 self.interconnect, self.num_devices, rack_of=self.rack_of
             )
+            fabric.tracer = self.tracer
         devices = [
             DeviceSim(
                 self.simulation_config,
                 make_policy(self.policy_name, ledger=ledger),
                 device_id=index,
+                tracer=self.tracer,
             )
             for index in range(self.num_devices)
         ]
@@ -1439,6 +1520,7 @@ class ClusterScheduler:
                 indexes = _ClusterIndexes(
                     devices, verify=self.verify_indexes
                 )
+            indexes.tracer = self.tracer
         assignments: Dict[int, int] = {}
         migrations: List[MigrationRecord] = []
         #: Per-device in-flight checkpoint deliveries: (arrival cycle,
@@ -1465,6 +1547,9 @@ class ClusterScheduler:
                 self.churn, devices, indexes, fabric, inflight, assignments,
                 migrations, ledger, self.proactive_migration,
             )
+            churn_rt.tracer = self.tracer
+            churn_rt.fleet.tracer = self.tracer
+            churn_rt.profiler = self.profiler
 
             def _place_orphans(
                 orphans: Sequence[TaskRuntime], when: float
@@ -1538,6 +1623,9 @@ class ClusterScheduler:
                 ]
 
         arrival_rank = int(_EventKind.ARRIVAL)
+        tracer = self.tracer
+        sampler = self.sampler
+        profiler = self.profiler
         #: Running completion counter -- the O(1) termination check.  The
         #: reference loop keeps the historical O(d) sum below.
         completed_total = 0
@@ -1652,6 +1740,21 @@ class ClusterScheduler:
                     indexes,
                 )
                 record = admission.decide(task, backlog, consider, attempt)
+                if tracer.enabled:
+                    tracer.instant(
+                        "admission",
+                        f"admission {record.decision.value} t{task.task_id}",
+                        consider,
+                        args={
+                            "task": task.task_id,
+                            "decision": record.decision.value,
+                            "backlog": backlog,
+                            "attempt": attempt,
+                            "target": target,
+                        },
+                    )
+                if sampler is not None:
+                    sampler.inc("admission." + record.decision.value)
                 if record.decision is AdmissionDecision.ACCEPT:
                     # admit() rewrites the context estimate to the
                     # feedback-corrected value first, so routing and
@@ -1688,9 +1791,16 @@ class ClusterScheduler:
             stepped = devices[device_index]
             now = stepped.step()
             if indexes is not None:
-                indexes.refresh(stepped)
+                if profiler is None:
+                    indexes.refresh(stepped)
+                else:
+                    start_ns = time.perf_counter_ns()
+                    indexes.refresh(stepped)
+                    profiler.add("index", time.perf_counter_ns() - start_ns)
             if stepped.last_completed is not None:
                 completed_total += 1
+                if sampler is not None:
+                    sampler.task_completed(stepped.last_completed)
 
             if admission is not None and stepped.last_completed is not None:
                 # The observation point of the learning-augmented loop:
@@ -1728,6 +1838,9 @@ class ClusterScheduler:
                 # A doomed device's own event may have freed the array or
                 # the link; revisit its evacuation plan.
                 churn_rt.after_step(stepped, now)
+
+            if sampler is not None and now >= sampler.next_due:
+                self._sample_obs(sampler, now, devices, fabric, migrations)
 
             if indexes is not None:
                 if completed_total >= total:
@@ -1825,11 +1938,13 @@ class ClusterScheduler:
             fabric = Interconnect(
                 self.interconnect, self.num_devices, rack_of=self.rack_of
             )
+            fabric.tracer = self.tracer
         devices = [
             DeviceSim(
                 self.simulation_config,
                 make_policy(self.policy_name, ledger=ledger),
                 device_id=index,
+                tracer=self.tracer,
             )
             for index in range(self.num_devices)
         ]
@@ -1843,6 +1958,7 @@ class ClusterScheduler:
                 indexes = _ClusterIndexes(
                     devices, verify=self.verify_indexes
                 )
+            indexes.tracer = self.tracer
         assignments: Dict[int, int] = {}
         migrations: List[MigrationRecord] = []
         inflight: Dict[int, List[Tuple[float, float, int]]] = {
@@ -1887,12 +2003,18 @@ class ClusterScheduler:
         total_jobs = len(jobs)
         settled = 0
         arrival_rank = int(_EventKind.ARRIVAL)
+        tracer = self.tracer
+        sampler = self.sampler
+        profiler = self.profiler
         churn_rt: Optional[_ChurnRuntime] = None
         if self.churn is not None:
             churn_rt = _ChurnRuntime(
                 self.churn, devices, indexes, fabric, inflight, assignments,
                 migrations, ledger, self.proactive_migration,
             )
+            churn_rt.tracer = self.tracer
+            churn_rt.fleet.tracer = self.tracer
+            churn_rt.profiler = self.profiler
 
         def route_stage(now: float, used: set) -> int:
             """Least-backlog device for one gang stage, avoiding devices
@@ -1910,7 +2032,8 @@ class ClusterScheduler:
                     for d in range(self.num_devices)
                     if devices[d].accepts_work
                 ] or list(range(self.num_devices))
-            return min(
+            start_ns = time.perf_counter_ns() if profiler is not None else 0
+            choice = min(
                 candidates,
                 key=lambda d: (
                     devices[d].predicted_backlog(now)
@@ -1918,6 +2041,11 @@ class ClusterScheduler:
                     d,
                 ),
             )
+            if profiler is not None:
+                profiler.add("route", time.perf_counter_ns() - start_ns)
+            if tracer.enabled and tracer.audit_routing:
+                self._audit_route(devices, now, inflight, choice, "gang_stage")
+            return choice
 
         def dispatch_gang(
             members: List[Job], now: float, preferred: Optional[int] = None
@@ -1943,6 +2071,7 @@ class ClusterScheduler:
                         task_id=next_id,
                         now=now,
                         marginal_fraction=batching.marginal_fraction,
+                        tracer=tracer,
                     )
                     next_id += 1
                 shard = 1
@@ -2011,6 +2140,19 @@ class ClusterScheduler:
                     devices=tuple(reserved),
                 )
             )
+            if tracer.enabled:
+                tracer.instant(
+                    "batch_flush",
+                    f"flush {len(members)}j -> d{reserved[0]}",
+                    now,
+                    device=reserved[0],
+                    args={
+                        "proxy": slice_ids[0],
+                        "members": len(member_ids),
+                        "stages": len(plans),
+                        "devices": list(reserved),
+                    },
+                )
 
         def enqueue_job(
             job: Job, now: float, preferred: Optional[int] = None
@@ -2095,6 +2237,11 @@ class ClusterScheduler:
                         settle_member(member, now, first_dispatch)
                     if admission is not None:
                         admission.on_complete(member)
+                    # Sample per settled *member*, not per merged proxy
+                    # or stage slice: tasks.completed and the SLA
+                    # counters score each real request exactly once.
+                    if sampler is not None:
+                        sampler.task_completed(member)
                 job.state = JobState.DONE
                 job.completion_time = now
                 count += 1
@@ -2247,6 +2394,23 @@ class ClusterScheduler:
                 record = admission.decide(
                     task, backlog, consider, attempt, marginal_scale=scale
                 )
+                if tracer.enabled:
+                    tracer.instant(
+                        "admission",
+                        f"admission {record.decision.value} j{job.job_id}",
+                        consider,
+                        args={
+                            "job": job.job_id,
+                            "task": task.task_id,
+                            "decision": record.decision.value,
+                            "backlog": backlog,
+                            "attempt": attempt,
+                            "target": target,
+                            "marginal_scale": scale,
+                        },
+                    )
+                if sampler is not None:
+                    sampler.inc("admission." + record.decision.value)
                 if record.decision is AdmissionDecision.ACCEPT:
                     admission.admit(task)
                     enqueue_job(job, consider, preferred=target)
@@ -2275,7 +2439,12 @@ class ClusterScheduler:
             stepped = devices[device_index]
             now = stepped.step()
             if indexes is not None:
-                indexes.refresh(stepped)
+                if profiler is None:
+                    indexes.refresh(stepped)
+                else:
+                    start_ns = time.perf_counter_ns()
+                    indexes.refresh(stepped)
+                    profiler.add("index", time.perf_counter_ns() - start_ns)
 
             completed = stepped.last_completed
             if completed is not None:
@@ -2307,6 +2476,9 @@ class ClusterScheduler:
 
             if churn_rt is not None:
                 churn_rt.after_step(stepped, now)
+
+            if sampler is not None and now >= sampler.next_due:
+                self._sample_obs(sampler, now, devices, fabric, migrations)
 
             if settled >= total_jobs:
                 break
@@ -2411,41 +2583,51 @@ class ClusterScheduler:
         linear fallback.  Returns the chosen device and its class-aware
         backlog (what the arrival is predicted to wait behind).
         """
+        profiler = self.profiler
+        start_ns = time.perf_counter_ns() if profiler is not None else 0
         filtered = min_priority is not None or sjf_within is not None
         if indexes is not None and not filtered:
-            return indexes.route_min_backlog(
+            best_index, best_backlog = indexes.route_min_backlog(
                 now, lambda d: self._inbound_backlog(inflight, d, now)
             )
-        best_key: Optional[Tuple[float, float, int]] = None
-        best_index = 0
-        best_backlog = 0.0
-        # The class-aware fallback scans the admission candidates: the
-        # whole fleet when flat, the chosen rack under the two-tier
-        # frontend (admission predicts against the rack's surviving
-        # capacity, per the rack composition contract).
-        candidates = (
-            indexes.admission_candidates()
-            if indexes is not None
-            else range(len(devices))
-        )
-        for index in candidates:
-            device = devices[index]
-            if not device.accepts_work:
-                continue  # churn: never predict against a doomed device
-            class_backlog = device.predicted_backlog(
-                now, min_priority=min_priority, sjf_within_cycles=sjf_within
-            ) + self._inbound_backlog(
-                inflight, index, now, min_priority=min_priority
+        else:
+            best_key: Optional[Tuple[float, float, int]] = None
+            best_index = 0
+            best_backlog = 0.0
+            # The class-aware fallback scans the admission candidates: the
+            # whole fleet when flat, the chosen rack under the two-tier
+            # frontend (admission predicts against the rack's surviving
+            # capacity, per the rack composition contract).
+            candidates = (
+                indexes.admission_candidates()
+                if indexes is not None
+                else range(len(devices))
             )
-            if filtered:
-                total_backlog = device.predicted_backlog(
-                    now
-                ) + self._inbound_backlog(inflight, index, now)
-            else:
-                total_backlog = class_backlog
-            key = (class_backlog, total_backlog, index)
-            if best_key is None or key < best_key:
-                best_key, best_index, best_backlog = key, index, class_backlog
+            for index in candidates:
+                device = devices[index]
+                if not device.accepts_work:
+                    continue  # churn: never predict against a doomed device
+                class_backlog = device.predicted_backlog(
+                    now, min_priority=min_priority,
+                    sjf_within_cycles=sjf_within,
+                ) + self._inbound_backlog(
+                    inflight, index, now, min_priority=min_priority
+                )
+                if filtered:
+                    total_backlog = device.predicted_backlog(
+                        now
+                    ) + self._inbound_backlog(inflight, index, now)
+                else:
+                    total_backlog = class_backlog
+                key = (class_backlog, total_backlog, index)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index, best_backlog = index, class_backlog
+        if profiler is not None:
+            profiler.add("admission", time.perf_counter_ns() - start_ns)
+        tracer = self.tracer
+        if tracer.enabled and tracer.audit_routing:
+            self._audit_route(devices, now, inflight, best_index, "admission")
         return best_index, best_backlog
 
     @staticmethod
@@ -2475,9 +2657,8 @@ class ClusterScheduler:
             if min_priority is None or priority >= min_priority
         )
 
-    @classmethod
     def _route_online(
-        cls,
+        self,
         devices: Sequence[DeviceSim],
         now: float,
         inflight: Dict[int, List[Tuple[float, float, int]]],
@@ -2491,21 +2672,141 @@ class ClusterScheduler:
         indexes the argmin comes from the backlog-bound best-first
         search (identical float semantics, candidate devices only).
         """
+        profiler = self.profiler
+        start_ns = time.perf_counter_ns() if profiler is not None else 0
         if indexes is not None:
             index, _ = indexes.route_min_backlog(
-                now, lambda d: cls._inbound_backlog(inflight, d, now)
+                now, lambda d: self._inbound_backlog(inflight, d, now)
             )
-            return index
-        return min(
-            (d for d in range(len(devices)) if devices[d].accepts_work),
-            key=lambda d: (
-                devices[d].predicted_backlog(now)
-                + cls._inbound_backlog(inflight, d, now),
-                d,
-            ),
+        else:
+            index = min(
+                (d for d in range(len(devices)) if devices[d].accepts_work),
+                key=lambda d: (
+                    devices[d].predicted_backlog(now)
+                    + self._inbound_backlog(inflight, d, now),
+                    d,
+                ),
+            )
+        if profiler is not None:
+            profiler.add("route", time.perf_counter_ns() - start_ns)
+        tracer = self.tracer
+        if tracer.enabled and tracer.audit_routing:
+            self._audit_route(devices, now, inflight, index, "route")
+        return index
+
+    def _audit_route(
+        self,
+        devices: Sequence[DeviceSim],
+        now: float,
+        inflight: Dict[int, List[Tuple[float, float, int]]],
+        chosen: int,
+        tag: str,
+    ) -> None:
+        """Decision-audit emission: the chosen device plus the closest
+        runner-ups, each with its exact live backlog and the cheap lower
+        bound the backlog index keys on.
+
+        Deliberately an O(devices) fleet scan -- audit mode documents
+        decisions, it is not on the overhead contract's fast path -- and
+        purely observational (``predicted_backlog`` mutates nothing).
+        """
+        ranked: List[Tuple[float, int, float]] = []
+        chosen_backlog = 0.0
+        for index in range(len(devices)):
+            device = devices[index]
+            if not device.accepts_work:
+                continue
+            backlog = device.predicted_backlog(now) + self._inbound_backlog(
+                inflight, index, now
+            )
+            if index == chosen:
+                chosen_backlog = backlog
+            else:
+                ranked.append((backlog, index, device.backlog_lower_bound()))
+        ranked.sort()
+        self.tracer.instant(
+            "route_audit",
+            f"{tag} -> d{chosen}",
+            now,
+            args={
+                "tag": tag,
+                "chosen": chosen,
+                "chosen_backlog": chosen_backlog,
+                "runners_up": [
+                    {"device": index, "backlog": backlog, "bound": bound}
+                    for backlog, index, bound in ranked[:3]
+                ],
+            },
         )
 
+    def _sample_obs(
+        self,
+        sampler,
+        now: float,
+        devices: Sequence[DeviceSim],
+        fabric: Optional[Interconnect],
+        migrations: List[MigrationRecord],
+    ) -> None:
+        """One streaming-metrics tick (:mod:`repro.obs.metrics`).
+
+        Recomputes the fleet gauges from pure accessors --
+        ``predicted_backlog`` reads task progress without mutating it,
+        ``queue_depth``/``is_busy`` are O(1) -- so sampling never
+        perturbs a scheduling decision; only the sampler's own state
+        changes.  Runs only when a sampler is configured and its
+        interval elapsed, so the un-observed loop never enters here.
+        """
+        rack_of = self.rack_of
+        rack_busy: Optional[List[int]] = None
+        if rack_of is not None:
+            rack_busy = [0] * (max(rack_of) + 1)
+        busy = 0
+        queued = 0
+        backlog_total = 0.0
+        for index, device in enumerate(devices):
+            depth = device.queue_depth
+            backlog = device.predicted_backlog(now)
+            if device.is_busy:
+                busy += 1
+                if rack_busy is not None:
+                    assert rack_of is not None
+                    rack_busy[rack_of[index]] += 1
+            queued += depth
+            backlog_total += backlog
+            sampler.set_gauge(f"device{index}.busy", float(device.is_busy))
+            sampler.set_gauge(f"device{index}.queue_depth", float(depth))
+            sampler.set_gauge(f"device{index}.backlog_cycles", backlog)
+        sampler.set_gauge("cluster.utilization", busy / max(1, len(devices)))
+        sampler.set_gauge("cluster.queue_depth", float(queued))
+        sampler.set_gauge("cluster.backlog_cycles", backlog_total)
+        sampler.set_gauge("cluster.migrations", float(len(migrations)))
+        if rack_busy is not None:
+            for rack, count in enumerate(rack_busy):
+                sampler.set_gauge(f"rack{rack}.busy_devices", float(count))
+            if fabric is not None:
+                for rack, cycles in fabric.uplink_busy_cycles().items():
+                    sampler.set_gauge(
+                        f"rack{rack}.uplink_busy_cycles", cycles
+                    )
+        sampler.sample(now)
+
     def _steal(
+        self,
+        devices: Sequence[DeviceSim],
+        now: float,
+        assignments: Dict[int, int],
+        indexes: Optional[_ClusterIndexes] = None,
+    ) -> List[MigrationRecord]:
+        """Profiling shim over :meth:`_steal_moves` (section "steal")."""
+        profiler = self.profiler
+        if profiler is None:
+            return self._steal_moves(devices, now, assignments, indexes)
+        start_ns = time.perf_counter_ns()
+        moves = self._steal_moves(devices, now, assignments, indexes)
+        profiler.add("steal", time.perf_counter_ns() - start_ns)
+        return moves
+
+    def _steal_moves(
         self,
         devices: Sequence[DeviceSim],
         now: float,
@@ -2609,9 +2910,47 @@ class ClusterScheduler:
                     arrival_cycles=now,
                 )
             )
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "migration",
+                    f"steal t{stolen.task_id} "
+                    f"d{victim_index}->d{thief_index}",
+                    now,
+                    args={
+                        "task": stolen.task_id,
+                        "from": victim_index,
+                        "to": thief_index,
+                        "bytes": 0.0,
+                        "reason": "steal",
+                    },
+                )
         return moves
 
     def _migrate(
+        self,
+        devices: Sequence[DeviceSim],
+        now: float,
+        assignments: Dict[int, int],
+        fabric: Interconnect,
+        inflight: Dict[int, List[Tuple[float, float, int]]],
+        ledger: Optional[ClusterTokenLedger],
+        indexes: Optional[_ClusterIndexes] = None,
+    ) -> List[MigrationRecord]:
+        """Profiling shim over :meth:`_migrate_moves` ("migrate")."""
+        profiler = self.profiler
+        if profiler is None:
+            return self._migrate_moves(
+                devices, now, assignments, fabric, inflight, ledger, indexes
+            )
+        start_ns = time.perf_counter_ns()
+        moves = self._migrate_moves(
+            devices, now, assignments, fabric, inflight, ledger, indexes
+        )
+        profiler.add("migrate", time.perf_counter_ns() - start_ns)
+        return moves
+
+    def _migrate_moves(
         self,
         devices: Sequence[DeviceSim],
         now: float,
@@ -2776,4 +3115,22 @@ class ClusterScheduler:
                     arrival_cycles=record.end_cycles,
                 )
             )
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.span(
+                    "migration",
+                    f"migrate t{task.task_id} "
+                    f"d{best_source}->d{thief_index}",
+                    now,
+                    record.end_cycles,
+                    args={
+                        "task": task.task_id,
+                        "from": best_source,
+                        "to": thief_index,
+                        "bytes": best_payload,
+                        "reason": (
+                            "checkpoint" if ships_checkpoint else "steal"
+                        ),
+                    },
+                )
         return moves

@@ -38,6 +38,8 @@ import math
 import random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.trace import NULL_TRACER
+
 __all__ = [
     "ChurnEvent",
     "ChurnSchedule",
@@ -411,6 +413,9 @@ class FleetAvailability:
         self.states: List[DeviceAvailability] = [
             DeviceAvailability.HEALTHY for _ in range(num_devices)
         ]
+        #: Observability sink; the cluster scheduler replaces this with
+        #: its tracer.  Default no-op singleton: zero cost when off.
+        self.tracer = NULL_TRACER
         # (time, seq, phase, device, event); seq breaks ties in push
         # order, which matches event order (restore precedes a same-time
         # warn of the next event on the same device).
@@ -481,6 +486,19 @@ class FleetAvailability:
     def apply(self, transition: Transition) -> None:
         """Advance the state machine for one popped transition."""
         device = transition.device
+        if self.tracer.enabled and transition.phase != "check":
+            self.tracer.instant(
+                "churn",
+                f"churn {transition.phase} dev{device}",
+                transition.time_cycles,
+                args={
+                    "device": device,
+                    "phase": transition.phase,
+                    "kind": (
+                        transition.event.kind if transition.event else None
+                    ),
+                },
+            )
         if transition.phase == "warn":
             kind = transition.event.kind if transition.event else "revocation"
             self.states[device] = (

@@ -52,6 +52,8 @@ import dataclasses
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.trace import NULL_TRACER
+
 #: Bytes of the Fig-4 context-table row that always travels with a task
 #: (448 bits, Sec VI-F) -- the floor of any migration's payload.
 CONTEXT_ROW_BYTES = 56.0
@@ -266,6 +268,9 @@ class Interconnect:
         self._free_at: Dict[object, float] = {}
         self._last_request: Dict[object, float] = {}
         self._records: List[TransferRecord] = []
+        #: Observability sink; the cluster scheduler replaces this with
+        #: its tracer.  Default no-op singleton: zero cost when off.
+        self.tracer = NULL_TRACER
 
     def is_cross_rack(self, src: int, dst: int) -> bool:
         return (
@@ -357,6 +362,27 @@ class Interconnect:
             cross_rack=cross,
         )
         self._records.append(record)
+        if self.tracer.enabled:
+            # One occupancy span on the first-hop link's track (per-link
+            # FIFO keeps each track monotonic); the full path -- uplink
+            # included -- travels in args.
+            self.tracer.span(
+                "transfer",
+                f"transfer t{task_id} d{src}->d{dst}",
+                start,
+                end,
+                link=links[0],
+                args={
+                    "task": task_id,
+                    "src": src,
+                    "dst": dst,
+                    "bytes": num_bytes,
+                    "purpose": purpose,
+                    "cross_rack": cross,
+                    "queued_cycles": start - now,
+                    "links": [str(key) for key in links],
+                },
+            )
         return record
 
     def cancel_transfers_to(self, device: int, now: float) -> float:

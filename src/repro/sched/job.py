@@ -344,6 +344,7 @@ def merge_runtimes(
     task_id: int,
     now: float,
     marginal_fraction: float,
+    tracer=None,
 ) -> TaskRuntime:
     """Fold compatible queued requests into one batched proxy runtime.
 
@@ -410,6 +411,17 @@ def merge_runtimes(
         estimated_cycles=estimate,
         last_update_cycles=now,
     )
+    if tracer is not None and tracer.enabled:
+        tracer.instant(
+            "batch_merge",
+            f"merge {count}x{largest.profile.name}",
+            now,
+            args={
+                "proxy": task_id,
+                "members": [m.task_id for m in members],
+                "merged_estimate": estimate,
+            },
+        )
     return TaskRuntime(spec=spec, profile=profile, context=context)
 
 

@@ -60,6 +60,7 @@ from repro.npu.preemption import (
     KillMechanism,
     PreemptionMechanism,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.sched.policies import Policy
 from repro.sched.task import TaskRuntime
 from repro.sched.timeline import SegmentKind, Timeline
@@ -164,11 +165,21 @@ class DeviceSim:
     """
 
     def __init__(
-        self, config: SimulationConfig, policy: Policy, device_id: int = 0
+        self,
+        config: SimulationConfig,
+        policy: Policy,
+        device_id: int = 0,
+        tracer=None,
     ) -> None:
         self.config = config
         self.policy = policy
         self.device_id = device_id
+        #: Observability sink (:mod:`repro.obs.trace`).  Defaults to the
+        #: no-op singleton; every emission site guards on
+        #: ``self.tracer.enabled`` before building args, so the default
+        #: costs one attribute load per potential event and allocates
+        #: nothing.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         policy.reset()
         self._checkpoint = CheckpointMechanism(config.npu)
         self._kill = KillMechanism(config.npu)
@@ -355,6 +366,20 @@ class DeviceSim:
         """Any preempted task resident (O(1)); durability still gates
         :meth:`migratable_preempted_tasks` at read time."""
         return bool(self._preempted)
+
+    @property
+    def queue_depth(self) -> int:
+        """Resident not-running work: queued + preempted tasks (O(1)).
+
+        The streaming-metrics gauge (:mod:`repro.obs.metrics`); purely
+        observational.
+        """
+        return len(self._queued) + len(self._preempted)
+
+    @property
+    def is_busy(self) -> bool:
+        """A task currently occupies the array (O(1), observational)."""
+        return self._running_id is not None
 
     def is_idle(self, now: float) -> bool:
         """No running task, empty ready queue, no reservation in flight,
@@ -612,6 +637,14 @@ class DeviceSim:
         self._period_armed = False
         self.accepts_work = False
         self._notify_event_change()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "device_fail",
+                f"fail dev{self.device_id}",
+                now,
+                device=self.device_id,
+                args={"orphans": len(orphans)},
+            )
         return orphans
 
     def preview_checkpoint(self, now: float):
@@ -654,6 +687,26 @@ class DeviceSim:
         if outcome.preemption_latency > 0:
             self.timeline.record(
                 running.task_id, SegmentKind.CHECKPOINT, boundary_wall, free_at
+            )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "preemption",
+                f"evacuate t{running.task_id}",
+                boundary_wall,
+                device=self.device_id,
+                args={
+                    "victim": running.task_id,
+                    "mechanism": "forced-checkpoint",
+                    "checkpoint_bytes": outcome.checkpoint_bytes,
+                },
+            )
+            self.tracer.span(
+                "checkpoint",
+                f"checkpoint t{running.task_id}",
+                boundary_wall,
+                free_at,
+                device=self.device_id,
+                args={"task": running.task_id},
             )
         running.record_preemption(
             now=boundary_wall,
@@ -735,6 +788,14 @@ class DeviceSim:
             return  # stale completion from a preempted dispatch
         self._record_run_segments(task, now)
         task.complete(now)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "complete",
+                f"complete t{task_id}",
+                now,
+                device=self.device_id,
+                args={"task": task_id, "turnaround": task.turnaround_cycles},
+            )
         self.last_completed = task
         self._completed += 1
         self._live_admitted.pop(task_id, None)
@@ -793,6 +854,14 @@ class DeviceSim:
         self._checkpoint_durable_at.pop(task.task_id, None)
         self.policy.on_dispatch(task.context)
         self._push(completion, _EventKind.COMPLETE, (task.task_id, task.epoch))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "dispatch",
+                f"dispatch t{task.task_id}",
+                now,
+                device=self.device_id,
+                args={"task": task.task_id, "projected_end": completion},
+            )
         return task.task_id
 
     def _record_run_segments(self, task: TaskRuntime, end: float) -> None:
@@ -803,6 +872,25 @@ class DeviceSim:
         restore_end = start + task.dispatch_restore
         self.timeline.record(task.task_id, SegmentKind.RESTORE, start, restore_end)
         self.timeline.record(task.task_id, SegmentKind.RUN, restore_end, end)
+        if self.tracer.enabled:
+            # Zero-length restores become instants inside span(), mirroring
+            # the Timeline's instants side list.
+            self.tracer.span(
+                "restore",
+                f"restore t{task.task_id}",
+                start,
+                restore_end,
+                device=self.device_id,
+                args={"task": task.task_id},
+            )
+            self.tracer.span(
+                "run",
+                f"run t{task.task_id}",
+                restore_end,
+                end,
+                device=self.device_id,
+                args={"task": task.task_id},
+            )
 
     def _wake(self, now: float) -> None:
         """Run the scheduler at a wake condition."""
@@ -865,6 +953,30 @@ class DeviceSim:
         if outcome.preemption_latency > 0:
             self.timeline.record(
                 running.task_id, SegmentKind.CHECKPOINT, boundary_wall, free_at
+            )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "preemption",
+                f"preempt t{running.task_id}",
+                boundary_wall,
+                device=self.device_id,
+                args={
+                    "victim": running.task_id,
+                    "candidate": candidate_ctx.task_id,
+                    "mechanism": (
+                        "kill" if isinstance(mechanism, KillMechanism)
+                        else "checkpoint"
+                    ),
+                    "checkpoint_bytes": outcome.checkpoint_bytes,
+                },
+            )
+            self.tracer.span(
+                "checkpoint",
+                f"checkpoint t{running.task_id}",
+                boundary_wall,
+                free_at,
+                device=self.device_id,
+                args={"task": running.task_id},
             )
         running.record_preemption(
             now=boundary_wall,

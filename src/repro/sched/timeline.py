@@ -42,6 +42,7 @@ class Timeline:
 
     def __init__(self) -> None:
         self._segments: List[Segment] = []
+        self._instants: List[Segment] = []
 
     def record(
         self, task_id: int, kind: SegmentKind, start: float, end: float
@@ -50,10 +51,23 @@ class Timeline:
             raise ValueError("segment ends before it starts")
         if end > start:
             self._segments.append(Segment(task_id, kind, start, end))
+        else:
+            # Zero-duration spans (e.g. a restore with nothing to restore,
+            # a checkpoint trap with zero latency) used to vanish here.
+            # They carry real lifecycle information -- trace export and
+            # run-time-conservation accounting both want to see them -- so
+            # they are kept as instant events on a side list, leaving
+            # ``segments`` (and every golden digest over it) untouched.
+            self._instants.append(Segment(task_id, kind, start, end))
 
     @property
     def segments(self) -> Tuple[Segment, ...]:
         return tuple(self._segments)
+
+    @property
+    def instants(self) -> Tuple[Segment, ...]:
+        """Zero-duration records, in recording order (never busy time)."""
+        return tuple(self._instants)
 
     def __len__(self) -> int:
         return len(self._segments)

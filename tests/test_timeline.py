@@ -16,10 +16,27 @@ class TestSegment:
 
 
 class TestTimeline:
-    def test_zero_length_segments_dropped(self):
+    def test_zero_length_segments_kept_as_instants(self):
+        # Zero-duration records used to vanish entirely; they now land
+        # on the instants side list, leaving segments (and every golden
+        # digest over them) untouched.
         timeline = Timeline()
         timeline.record(0, SegmentKind.RUN, 5.0, 5.0)
         assert len(timeline) == 0
+        assert timeline.segments == ()
+        assert len(timeline.instants) == 1
+        instant = timeline.instants[0]
+        assert instant.task_id == 0
+        assert instant.kind is SegmentKind.RUN
+        assert instant.start_cycles == instant.end_cycles == 5.0
+        assert timeline.busy_cycles() == 0.0
+
+    def test_instants_do_not_mix_with_segments(self):
+        timeline = Timeline()
+        timeline.record(0, SegmentKind.RESTORE, 1.0, 1.0)
+        timeline.record(0, SegmentKind.RUN, 1.0, 3.0)
+        assert len(timeline) == 1
+        assert [s.kind for s in timeline.instants] == [SegmentKind.RESTORE]
 
     def test_busy_cycles(self):
         timeline = Timeline()
