@@ -28,6 +28,8 @@ from __future__ import annotations
 import argparse
 import heapq
 import json
+import math
+import os
 import pathlib
 import platform
 import sys
@@ -164,6 +166,8 @@ def measure_cluster(
     tracer: Optional[Tracer] = None,
     metrics_sampler: Optional[MetricsSampler] = None,
     profiler: Optional[HotPathProfiler] = None,
+    workers: Optional[int] = None,
+    cross_rack_threshold_cycles: Optional[float] = None,
 ) -> Dict[str, float]:
     """Wall time of a cluster run over an aggregate open-arrival trace.
 
@@ -203,7 +207,7 @@ def measure_cluster(
         or metrics_sampler is not None
         or profiler is not None
     )
-    if racks is not None or observed:
+    if racks is not None or observed or workers is not None:
         scheduler = ClusterScheduler(
             num_devices=num_devices,
             simulation_config=_simulation_config(),
@@ -216,9 +220,11 @@ def measure_cluster(
                 batching=batching,
                 churn=churn,
                 racks=racks,
+                cross_rack_threshold_cycles=cross_rack_threshold_cycles,
                 tracer=tracer,
                 metrics_sampler=metrics_sampler,
                 profiler=profiler,
+                workers=workers,
             ),
         )
     else:
@@ -358,6 +364,21 @@ def run(tier: str = "full") -> Dict[str, object]:
     )
     record["normalized"] = record["tasks_per_sec"] / calibration_ops
     results["cluster_rack_4x16_2000"] = record
+    # The parallel backend on the same rack shape scaled to 4x64: the
+    # conservative-PDES protocol (per-arrival barriers, rack-key
+    # exchange, event-log merge) under the regression gate.  Worker
+    # count matches available cores (capped at 4) so the floor tracks
+    # the protocol's overhead, not the host's core count.
+    record = measure_cluster(
+        1000,
+        num_devices=256,
+        seed=39,
+        racks=RackTopology.uniform(4, 64),
+        workers=min(4, max(2, os.cpu_count() or 2)),
+        cross_rack_threshold_cycles=math.inf,
+    )
+    record["normalized"] = record["tasks_per_sec"] / calibration_ops
+    results["parallel_rack_4x64"] = record
     if tier == "full":
         record = measure_single_device(FULL_TIERS[-1], bursty=True)
         record["normalized"] = record["events_per_sec"] / calibration_ops

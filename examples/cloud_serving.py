@@ -260,7 +260,7 @@ def main(trace_path: str = None) -> None:
     spot = ChurnSchedule.generate(
         num_devices=2,
         horizon_cycles=horizon,
-        seed=3,
+        seed=0,
         revocation_rate=1.5 / horizon,
         mean_outage_cycles=horizon / 8.0,
         mean_warning_cycles=config.ms_to_cycles(0.5),

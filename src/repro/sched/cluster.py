@@ -255,6 +255,16 @@ class ClusterConfig:
     #: attributing control-plane wall time per event kind (route, steal,
     #: migrate, admission, index maintenance, churn handling).
     profiler: Optional[object] = None
+    #: Parallel backend (repro.sched.parallel): shard the fleet by rack
+    #: across this many worker processes under conservative PDES
+    #: synchronization.  ``None`` or ``1`` runs today's serial loop
+    #: untouched; ``N >= 2`` engages the parallel backend for supported
+    #: configurations (static routings without churn; ONLINE_PREDICTED /
+    #: WORK_STEALING over multi-rack fleets -- see
+    #: ``repro.sched.parallel.supported_reason``) and transparently
+    #: falls back to the serial loop otherwise.  Results are bit-for-bit
+    #: identical either way.
+    workers: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -1362,6 +1372,15 @@ class ClusterScheduler:
         if self.sampler is not None and getattr(self.sampler, "tracer", None) is None:
             self.sampler.tracer = self.tracer
         self.profiler = config.profiler
+        if config.workers is not None and config.workers < 1:
+            raise ValueError("workers must be a positive worker count")
+        self.workers = config.workers
+        #: Whether the most recent run actually took the parallel fast
+        #: path (vs the serial loop or a transparent fallback).
+        self.last_run_parallel = False
+        #: Phase/worker timing dict from the most recent parallel run
+        #: (None after a serial run); see ``run_parallel``.
+        self.last_parallel_stats: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Static routing (the up-front pass)
@@ -1480,6 +1499,16 @@ class ClusterScheduler:
                     f"duplicate task id {task.task_id} in workload"
                 )
             seen_ids.add(task.task_id)
+
+        self.last_run_parallel = False
+        self.last_parallel_stats = None
+        if self.workers is not None and self.workers >= 2:
+            # Rack-sharded conservative-PDES backend; falls back to this
+            # loop transparently for unsupported configurations.
+            from repro.sched.parallel import run_parallel, supported_reason
+
+            if supported_reason(self) is None:
+                return run_parallel(self, tasks)
 
         # The ledger only exists for policies that read tokens: attaching
         # one to HPF/SJF/FCFS would just accumulate dead entries (their

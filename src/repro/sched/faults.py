@@ -23,10 +23,21 @@ two differ only in provenance -- the scheduler treats both as "doomed,
 evacuate if proactive".)
 
 Determinism contract: :meth:`ChurnSchedule.generate` draws every sample
-from its own named RNG stream (``seed ^ 0xFA17``), mirroring how
+from named per-unit RNG substreams (``seed ^ 0xFA17 ^ unit``, the unit
+being a device for :meth:`~ChurnSchedule.generate` and a rack for
+:meth:`~ChurnSchedule.generate_rack_correlated`), mirroring how
 ``trace.assign_qos`` tags arrivals -- enabling churn never perturbs the
 arrival or runtime streams, so a churn-enabled run sees bit-identical
-task traces to a churn-free one.
+task traces to a churn-free one.  Substreams additionally make the
+schedule *partition-stable*: unit ``u``'s outage windows are a pure
+function of ``(seed, u, rates)`` alone, so a rack-sharded fleet (the
+parallel backend) regenerating only its own racks' schedules reproduces
+exactly the events the global draw assigned them, and growing the fleet
+never reshuffles the outages of the units that were already there
+(``tests/test_churn.py`` pins both properties).  Only the global
+``max_concurrent_down`` cap couples units, and it does so through a
+deterministic post-pass arbitration over the independently drawn
+windows (earliest warning wins), not through the RNG streams.
 """
 
 from __future__ import annotations
@@ -55,6 +66,101 @@ CHURN_STREAM_SALT = 0xFA17
 
 #: The three churn event kinds.
 EVENT_KINDS = ("fault", "revocation", "drain")
+
+
+def _unit_stream(seed: int, unit: int) -> random.Random:
+    """The named churn substream of one unit (device or rack)."""
+    return random.Random(seed ^ CHURN_STREAM_SALT ^ unit)
+
+
+def _draw_unit_windows(
+    rng: random.Random,
+    horizon_cycles: float,
+    processes: Tuple[Tuple[str, float], ...],
+    mean_outage_cycles: float,
+    mean_warning_cycles: float,
+    never_restore_probability: float,
+) -> List[Tuple[float, float, float, str, bool]]:
+    """One unit's candidate outage windows, from its own substream.
+
+    Returns ``(warn, down, restore, kind, never)`` tuples in clock
+    order.  The draw is deliberately independent of the concurrency-cap
+    arbitration: the clock advances identically whether a window is
+    later accepted or skipped (``restore`` for finite outages, ``down``
+    for a never-restoring one), so a unit's candidates are a pure
+    function of its substream -- the partition-stability contract.  A
+    never-restoring window keeps the tail candidates attached; the
+    arbitration drops them only if that window is actually accepted.
+    """
+    candidates: List[Tuple[float, float, float, str, bool]] = []
+    clock = 0.0
+    while processes:
+        total_rate = sum(rate for _, rate in processes)
+        clock += rng.expovariate(total_rate)
+        if clock >= horizon_cycles:
+            break
+        pick = rng.random() * total_rate
+        kind = processes[-1][0]
+        for candidate, rate in processes:
+            pick -= rate
+            if pick <= 0.0:
+                kind = candidate
+                break
+        warn_gap = (
+            0.0
+            if kind == "fault"
+            else rng.expovariate(1.0 / mean_warning_cycles)
+        )
+        outage = rng.expovariate(1.0 / mean_outage_cycles)
+        never = (
+            kind == "revocation"
+            and rng.random() < never_restore_probability
+        )
+        warn = clock
+        down = warn + warn_gap
+        restore = math.inf if never else down + outage
+        candidates.append((warn, down, restore, kind, never))
+        clock = down if never else restore
+    return candidates
+
+
+def _arbitrate_windows(
+    unit_candidates: List[List[Tuple[float, float, float, str, bool]]],
+    max_concurrent: int,
+) -> List[List[Tuple[float, float, float, str, bool]]]:
+    """Apply the global concurrency cap over per-unit candidate windows.
+
+    Deterministic post-pass: windows are visited in ``(warn, unit)``
+    order -- earliest warning wins the capacity -- and a window that
+    would put more than ``max_concurrent`` units inside their ``[warn,
+    restore)`` span at once is skipped.  Accepting a never-restoring
+    window drops the unit's remaining candidates (the unit is gone for
+    good), exactly like the draw loop's early exit.  Returns the
+    accepted windows per unit, in clock order.
+    """
+    entries: List[Tuple[float, int, int]] = []
+    for unit, candidates in enumerate(unit_candidates):
+        for position, window in enumerate(candidates):
+            entries.append((window[0], unit, position))
+    entries.sort()
+    windows: List[Tuple[float, float]] = []
+    dead_after: Dict[int, int] = {}
+    accepted: List[List[Tuple[float, float, float, str, bool]]] = [
+        [] for _ in unit_candidates
+    ]
+    for warn, unit, position in entries:
+        if unit in dead_after and position > dead_after[unit]:
+            continue  # the unit never came back from an earlier window
+        window = unit_candidates[unit][position]
+        restore = window[2]
+        concurrent = sum(1 for w, r in windows if warn < r and w < restore)
+        if concurrent >= max_concurrent:
+            continue  # skip: too much of the fleet would be dark at once
+        accepted[unit].append(window)
+        windows.append((warn, restore))
+        if window[4]:
+            dead_after[unit] = position
+    return accepted
 
 
 @dataclasses.dataclass(frozen=True)
@@ -169,7 +275,7 @@ class ChurnSchedule:
         never_restore_probability: float = 0.0,
         max_concurrent_down: Optional[int] = None,
     ) -> "ChurnSchedule":
-        """Draw a schedule from the named churn RNG stream.
+        """Draw a schedule from per-device churn RNG substreams.
 
         Rates are events per cycle (Poisson processes per device); gaps
         between events on one device are exponential.  Outage durations
@@ -178,19 +284,21 @@ class ChurnSchedule:
         restores (the spot instance is gone for good).
 
         ``max_concurrent_down`` caps how many devices can be in their
-        ``[warn, restore)`` window at once -- generation skips events
-        that would exceed it, so some capacity always survives.  It
-        defaults to ``num_devices - 1``.
+        ``[warn, restore)`` window at once -- arbitration (earliest
+        warning wins) skips events that would exceed it, so some
+        capacity always survives.  It defaults to ``num_devices - 1``.
 
-        Every draw comes from ``random.Random(seed ^ CHURN_STREAM_SALT)``
-        with devices visited in index order, so the schedule is a pure
-        function of its arguments and never touches any other stream.
+        Device ``d``'s candidate windows come from ``random.Random(seed
+        ^ CHURN_STREAM_SALT ^ d)`` alone, so they are a pure function of
+        ``(seed, d, rates)``: a rack-sharded worker regenerating only
+        its own devices' schedules reproduces exactly the events the
+        global draw assigned them, and growing the fleet never
+        reshuffles the outages of existing devices.
         """
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
         if horizon_cycles <= 0:
             raise ValueError("horizon_cycles must be positive")
-        rng = random.Random(seed ^ CHURN_STREAM_SALT)
         if max_concurrent_down is None:
             max_concurrent_down = max(0, num_devices - 1)
         processes: Tuple[Tuple[str, float], ...] = tuple(
@@ -202,45 +310,21 @@ class ChurnSchedule:
             )
             if rate > 0.0
         )
-        events: List[ChurnEvent] = []
-        windows: List[Tuple[float, float]] = []  # (warn, restore) so far
-
-        def concurrent_down(warn: float, restore: float) -> int:
-            return sum(
-                1 for w, r in windows if warn < r and w < restore
+        candidates = [
+            _draw_unit_windows(
+                _unit_stream(seed, device),
+                horizon_cycles,
+                processes,
+                mean_outage_cycles,
+                mean_warning_cycles,
+                never_restore_probability,
             )
-
+            for device in range(num_devices)
+        ]
+        accepted = _arbitrate_windows(candidates, max_concurrent_down)
+        events: List[ChurnEvent] = []
         for device in range(num_devices):
-            clock = 0.0
-            while processes:
-                total_rate = sum(rate for _, rate in processes)
-                clock += rng.expovariate(total_rate)
-                if clock >= horizon_cycles:
-                    break
-                pick = rng.random() * total_rate
-                kind = processes[-1][0]
-                for candidate, rate in processes:
-                    pick -= rate
-                    if pick <= 0.0:
-                        kind = candidate
-                        break
-                warn_gap = (
-                    0.0
-                    if kind == "fault"
-                    else rng.expovariate(1.0 / mean_warning_cycles)
-                )
-                outage = rng.expovariate(1.0 / mean_outage_cycles)
-                never = (
-                    kind == "revocation"
-                    and rng.random() < never_restore_probability
-                )
-                warn = clock
-                down = warn + warn_gap
-                restore = math.inf if never else down + outage
-                if concurrent_down(warn, restore) >= max_concurrent_down:
-                    # Skip: too much of the fleet would be dark at once.
-                    clock = down + (0.0 if never else outage)
-                    continue
+            for warn, down, restore, kind, _never in accepted[device]:
                 events.append(
                     ChurnEvent(
                         device=device,
@@ -250,10 +334,6 @@ class ChurnSchedule:
                         restore_cycles=restore,
                     )
                 )
-                windows.append((warn, restore))
-                if math.isinf(restore):
-                    break  # this device never comes back
-                clock = restore
         return cls(events=tuple(events))
 
     @classmethod
@@ -276,12 +356,11 @@ class ChurnSchedule:
         The failure domains real fleets see -- a ToR switch dying, a
         rack PDU tripping, a maintenance drain of one rack -- take every
         device behind them down together.  This generator runs the same
-        Poisson processes as :meth:`generate` but *per rack* (racks
-        visited in id order on ``random.Random(seed ^
-        CHURN_STREAM_SALT)``), and each accepted rack event expands to
-        one :class:`ChurnEvent` per member device with identical
-        warn/down/restore cycles, so the whole rack goes dark and comes
-        back as a unit.
+        Poisson processes as :meth:`generate` but *per rack* (rack ``r``
+        draws from ``random.Random(seed ^ CHURN_STREAM_SALT ^ r)``), and
+        each accepted rack event expands to one :class:`ChurnEvent` per
+        member device with identical warn/down/restore cycles, so the
+        whole rack goes dark and comes back as a unit.
 
         ``rack_of`` is the device->rack map (``RackTopology.rack_of``).
         Rates are events per cycle *per rack*.
@@ -302,7 +381,6 @@ class ChurnSchedule:
             members[rack].append(device)
         if any(not devs for devs in members):
             raise ValueError("rack ids must be contiguous and non-empty")
-        rng = random.Random(seed ^ CHURN_STREAM_SALT)
         if max_concurrent_down_racks is None:
             max_concurrent_down_racks = max(0, num_racks - 1)
         processes: Tuple[Tuple[str, float], ...] = tuple(
@@ -314,43 +392,21 @@ class ChurnSchedule:
             )
             if rate > 0.0
         )
+        candidates = [
+            _draw_unit_windows(
+                _unit_stream(seed, rack),
+                horizon_cycles,
+                processes,
+                mean_outage_cycles,
+                mean_warning_cycles,
+                never_restore_probability,
+            )
+            for rack in range(num_racks)
+        ]
+        accepted = _arbitrate_windows(candidates, max_concurrent_down_racks)
         events: List[ChurnEvent] = []
-        windows: List[Tuple[float, float]] = []  # per accepted rack event
-
-        def concurrent_down(warn: float, restore: float) -> int:
-            return sum(1 for w, r in windows if warn < r and w < restore)
-
         for rack in range(num_racks):
-            clock = 0.0
-            while processes:
-                total_rate = sum(rate for _, rate in processes)
-                clock += rng.expovariate(total_rate)
-                if clock >= horizon_cycles:
-                    break
-                pick = rng.random() * total_rate
-                kind = processes[-1][0]
-                for candidate, rate in processes:
-                    pick -= rate
-                    if pick <= 0.0:
-                        kind = candidate
-                        break
-                warn_gap = (
-                    0.0
-                    if kind == "fault"
-                    else rng.expovariate(1.0 / mean_warning_cycles)
-                )
-                outage = rng.expovariate(1.0 / mean_outage_cycles)
-                never = (
-                    kind == "revocation"
-                    and rng.random() < never_restore_probability
-                )
-                warn = clock
-                down = warn + warn_gap
-                restore = math.inf if never else down + outage
-                if concurrent_down(warn, restore) >= max_concurrent_down_racks:
-                    # Skip: too many racks would be dark at once.
-                    clock = down + (0.0 if never else outage)
-                    continue
+            for warn, down, restore, kind, _never in accepted[rack]:
                 for device in members[rack]:
                     events.append(
                         ChurnEvent(
@@ -361,10 +417,6 @@ class ChurnSchedule:
                             restore_cycles=restore,
                         )
                     )
-                windows.append((warn, restore))
-                if math.isinf(restore):
-                    break  # this rack never comes back
-                clock = restore
         return cls(events=tuple(events))
 
 

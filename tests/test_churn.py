@@ -230,6 +230,52 @@ class TestChurnSchedule:
         assert schedule.num_revocations > 0
         assert all(math.isinf(e.restore_cycles) for e in schedule)
 
+    def test_partition_stable_across_fleet_growth(self):
+        # Per-device substreams: growing the fleet must not reshuffle
+        # the outages of the devices that were already there.  The cap
+        # is made explicitly non-binding so arbitration cannot couple
+        # the old devices to the new ones.
+        kwargs = dict(
+            horizon_cycles=1e8,
+            seed=21,
+            fault_rate=2e-8,
+            revocation_rate=3e-8,
+            drain_rate=1e-8,
+            mean_outage_cycles=1e7,
+            mean_warning_cycles=5e5,
+            never_restore_probability=0.2,
+            max_concurrent_down=1024,
+        )
+        small = ChurnSchedule.generate(4, **kwargs)
+        large = ChurnSchedule.generate(16, **kwargs)
+        assert len(small) > 0
+        for device in range(4):
+            assert small.events_for(device) == large.events_for(device)
+
+    def test_rack_partition_reproduces_global_draw(self):
+        # Per-rack substreams: a shard that regenerates only its own
+        # racks' schedules must see exactly the events the global draw
+        # assigned those racks (non-binding cap, as above).
+        kwargs = dict(
+            horizon_cycles=1e8,
+            seed=22,
+            fault_rate=2e-8,
+            revocation_rate=3e-8,
+            drain_rate=1e-8,
+            mean_outage_cycles=1e7,
+            mean_warning_cycles=5e5,
+            never_restore_probability=0.2,
+            max_concurrent_down_racks=1024,
+        )
+        # 4 racks x 3 devices globally; the shard owns racks 0-1 only.
+        global_map = tuple(d // 3 for d in range(12))
+        shard_map = tuple(d // 3 for d in range(6))
+        whole = ChurnSchedule.generate_rack_correlated(global_map, **kwargs)
+        shard = ChurnSchedule.generate_rack_correlated(shard_map, **kwargs)
+        assert len(shard) > 0
+        for device in range(6):
+            assert whole.events_for(device) == shard.events_for(device)
+
 
 class TestFleetAvailability:
     def test_state_machine_through_one_drain(self):
